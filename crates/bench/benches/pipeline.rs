@@ -1,0 +1,139 @@
+//! Criterion benchmarks of every pipeline stage, sized by the paper's own
+//! benchmark graphs (the polynomial running times claimed in §8–§9 should
+//! show as gentle growth from the 20-node to the 188-node filterbank).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+use sdf_apps::registry::by_name;
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, dppo, rpmc, sdppo};
+
+const SIZES: [&str; 3] = ["qmf12_2d", "qmf12_3d", "qmf12_5d"];
+
+fn bench_repetitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repetitions_vector");
+    for name in SIZES {
+        let g = by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| RepetitionsVector::compute(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_topsort_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topological_sort");
+    for name in SIZES {
+        let g = by_name(name).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        group.bench_with_input(BenchmarkId::new("apgan", name), &g, |b, g| {
+            b.iter(|| apgan(g, &q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rpmc", name), &g, |b, g| {
+            b.iter(|| rpmc(g, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_loop_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_hierarchy");
+    for name in SIZES {
+        let g = by_name(name).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = apgan(&g, &q).unwrap();
+        group.bench_with_input(BenchmarkId::new("dppo", name), &g, |b, g| {
+            b.iter(|| dppo(g, &q, &order).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sdppo", name), &g, |b, g| {
+            b.iter(|| sdppo(g, &q, &order).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifetime_and_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifetime_allocation");
+    for name in SIZES {
+        let g = by_name(name).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = apgan(&g, &q).unwrap();
+        let sas = sdppo(&g, &q, &order).unwrap().tree;
+        group.bench_with_input(BenchmarkId::new("wig", name), &g, |b, g| {
+            b.iter(|| {
+                let tree = ScheduleTree::build(g, &q, &sas).unwrap();
+                IntersectionGraph::build(g, &q, &tree)
+            })
+        });
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let wig = IntersectionGraph::build(&g, &q, &tree);
+        group.bench_with_input(BenchmarkId::new("first_fit", name), &wig, |b, wig| {
+            b.iter(|| {
+                allocate(
+                    wig,
+                    AllocationOrder::DurationDescending,
+                    PlacementPolicy::FirstFit,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mcw_estimates", name), &wig, |b, wig| {
+            b.iter(|| (mcw_optimistic(wig), mcw_pessimistic(wig)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_precise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_precise");
+    for name in ["cd2dat", "16qamModem"] {
+        let g = match name {
+            "cd2dat" => sdf_apps::dsp::cd_to_dat(),
+            _ => by_name(name).unwrap(),
+        };
+        let q = RepetitionsVector::compute(&g).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| sdf_sched::chain_precise::chain_precise(g, &q, 8).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_loopify(c: &mut Criterion) {
+    // Compress the greedy demand-driven CD-DAT schedule (612 firings).
+    let g = sdf_apps::dsp::cd_to_dat();
+    let q = RepetitionsVector::compute(&g).unwrap();
+    let sched = sdf_sched::demand::demand_driven_schedule(&g, &q).unwrap();
+    let seq: Vec<_> = sched.firings().collect();
+    c.bench_function("loopify/cd2dat_greedy", |b| {
+        b.iter(|| sdf_sched::loopify::compress(&seq[..200], 0))
+    });
+}
+
+fn bench_fine_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fine_model");
+    for name in ["qmf12_2d", "qmf12_3d"] {
+        let g = by_name(name).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = apgan(&g, &q).unwrap();
+        let sas = sdppo(&g, &q, &order).unwrap().tree;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| sdf_lifetime::fine::FineIntersectionGraph::build(g, &q, &sas))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_repetitions,
+    bench_topsort_heuristics,
+    bench_loop_hierarchy,
+    bench_lifetime_and_allocation,
+    bench_chain_precise,
+    bench_loopify,
+    bench_fine_model
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation of the **allocation strategy**: first-fit by duration, by
+//! start time, in raw insertion order, and best-fit by duration, on every
+//! practical system's SDPPO schedule.
+
+use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+use sdf_apps::registry::table1_systems;
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, rpmc, sdppo};
+
+fn main() {
+    println!(
+        "{:>12} {:>8} {:>9} {:>10} {:>9}",
+        "system", "ffdur", "ffstart", "ffinsert", "bfdur"
+    );
+    let mut sums = [0u64; 4];
+    for graph in table1_systems() {
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let mut best = [u64::MAX; 4];
+        for order in [rpmc(&graph, &q), apgan(&graph, &q)] {
+            let order = order.expect("acyclic");
+            let s = sdppo(&graph, &q, &order).expect("sdppo");
+            let tree = ScheduleTree::build(&graph, &q, &s.tree).expect("valid SAS");
+            let wig = IntersectionGraph::build(&graph, &q, &tree);
+            let variants = [
+                (AllocationOrder::DurationDescending, PlacementPolicy::FirstFit),
+                (AllocationOrder::StartAscending, PlacementPolicy::FirstFit),
+                (AllocationOrder::Insertion, PlacementPolicy::FirstFit),
+                (AllocationOrder::DurationDescending, PlacementPolicy::BestFit),
+            ];
+            for (slot, (ord, pol)) in variants.into_iter().enumerate() {
+                best[slot] = best[slot].min(allocate(&wig, ord, pol).total());
+            }
+        }
+        for (s, b) in sums.iter_mut().zip(best) {
+            *s += b;
+        }
+        println!(
+            "{:>12} {:>8} {:>9} {:>10} {:>9}",
+            graph.name(),
+            best[0],
+            best[1],
+            best[2],
+            best[3]
+        );
+    }
+    println!(
+        "{:>12} {:>8} {:>9} {:>10} {:>9}   (sum; the paper's choice ffdur should lead)",
+        "TOTAL", sums[0], sums[1], sums[2], sums[3]
+    );
+}

@@ -1,0 +1,54 @@
+//! The **§12 buffer-merging extension**: how much further the shared
+//! allocation drops when actors may overwrite their inputs in place
+//! (consume-before-produce = 0 for every actor — the optimistic bound).
+
+use sdf_alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
+use sdf_apps::registry::table1_systems;
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::merge::{CbpSpec, MergedGraph};
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, rpmc, sdppo};
+
+fn main() {
+    println!(
+        "{:>12} {:>8} {:>8} {:>9}",
+        "system", "shared", "merged", "extra"
+    );
+    let mut sums = [0u64; 2];
+    for graph in table1_systems() {
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let spec = CbpSpec::all_in_place(&graph);
+        let mut shared_best = u64::MAX;
+        let mut merged_best = u64::MAX;
+        for order in [rpmc(&graph, &q), apgan(&graph, &q)] {
+            let order = order.expect("acyclic");
+            let sas = sdppo(&graph, &q, &order).expect("sdppo").tree;
+            let tree = ScheduleTree::build(&graph, &q, &sas).expect("tree");
+            let wig = IntersectionGraph::build(&graph, &q, &tree);
+            let merged = MergedGraph::build(&graph, &wig, &spec);
+            for ord in [AllocationOrder::DurationDescending, AllocationOrder::StartAscending] {
+                let a = allocate(&wig, ord, PlacementPolicy::FirstFit);
+                validate_allocation(&wig, &a).expect("valid");
+                shared_best = shared_best.min(a.total());
+                let m = allocate(&merged, ord, PlacementPolicy::FirstFit);
+                validate_allocation(&merged, &m).expect("valid");
+                merged_best = merged_best.min(m.total());
+            }
+        }
+        sums[0] += shared_best;
+        sums[1] += merged_best;
+        println!(
+            "{:>12} {:>8} {:>8} {:>8.1}%",
+            graph.name(),
+            shared_best,
+            merged_best,
+            (shared_best as f64 - merged_best as f64) / shared_best.max(1) as f64 * 100.0
+        );
+    }
+    println!(
+        "{:>12} {:>8} {:>8}   (sums; merging is the paper's §12 future work,\n\
+         here with the optimistic all-in-place CBP = 0 assumption)",
+        "TOTAL", sums[0], sums[1]
+    );
+}

@@ -1,0 +1,70 @@
+//! Reproduces the **§11.1.3 dynamic-vs-static comparison** (Goddard &
+//! Jeffay): a data-driven (dynamic, non-single-appearance) schedule
+//! versus the static SAS, under both memory models, on the satellite
+//! receiver and CD-to-DAT.
+//!
+//! The paper's numbers for satrec: dynamic EDF 1599 non-shared / ~1101
+//! shared, static SAS 1542 non-shared / 991 shared — i.e. the static SAS
+//! *beats* dynamic scheduling on pure buffer memory once sharing is
+//! applied, at a fraction of the scheduling overhead.  (Dynamic wins only
+//! on graph input/output buffering, covered by `input_buffering`.)
+
+use sdf_alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
+use sdf_core::simulate::validate_schedule;
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::fine::FineIntersectionGraph;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::demand::demand_driven_schedule;
+use sdf_sched::{apgan, rpmc, sdppo};
+
+fn main() {
+    println!(
+        "{:>10} {:>16} {:>14} {:>16} {:>14}",
+        "system", "greedy nonshared", "greedy shared", "SAS nonshared", "SAS shared"
+    );
+    for name in ["cd2dat", "satrec"] {
+        let graph = match name {
+            "cd2dat" => sdf_apps::dsp::cd_to_dat(),
+            _ => sdf_apps::satrec::satellite_receiver(),
+        };
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+
+        // Dynamic (greedy demand-driven) schedule: non-shared = sum of
+        // per-edge maxima; shared = fine-grained lifetimes + first-fit
+        // (a dynamic scheduler tracks liveness exactly).
+        let greedy = demand_driven_schedule(&graph, &q).expect("acyclic");
+        let greedy_nonshared = validate_schedule(&graph, &greedy, &q)
+            .expect("valid")
+            .bufmem();
+        let fine = FineIntersectionGraph::from_firings(&graph, greedy.firings());
+        let ga = allocate(&fine, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        validate_allocation(&fine, &ga).expect("valid allocation");
+
+        // Static SAS: best of RPMC/APGAN, coarse shared model.
+        let mut sas_nonshared = u64::MAX;
+        let mut sas_shared = u64::MAX;
+        for order in [rpmc(&graph, &q), apgan(&graph, &q)] {
+            let order = order.expect("acyclic");
+            let nonshared = sdf_sched::dppo(&graph, &q, &order).expect("dppo");
+            sas_nonshared = sas_nonshared.min(nonshared.bufmem);
+            let shared = sdppo(&graph, &q, &order).expect("sdppo");
+            let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree");
+            let wig = IntersectionGraph::build(&graph, &q, &tree);
+            for ord in [AllocationOrder::DurationDescending, AllocationOrder::StartAscending] {
+                sas_shared = sas_shared.min(allocate(&wig, ord, PlacementPolicy::FirstFit).total());
+            }
+        }
+        println!(
+            "{name:>10} {greedy_nonshared:>16} {:>14} {sas_nonshared:>16} {sas_shared:>14}",
+            ga.total()
+        );
+    }
+    println!(
+        "\nShape: the greedy schedule's buffers are smaller (it drains edges\n\
+         eagerly), but its program is the full firing sequence — thousands of\n\
+         appearances vs one per actor.  The paper's point stands: static SASs\n\
+         with lifetime sharing are competitive on memory while keeping\n\
+         minimal code size and zero runtime scheduling overhead."
+    );
+}

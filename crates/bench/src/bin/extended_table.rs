@@ -1,0 +1,56 @@
+//! Table 1's pipeline on the **extended** benchmark suite (systems beyond
+//! the paper's list, including a cyclic one): a robustness check that the
+//! shared-memory advantage is not specific to the paper's benchmark set.
+
+use sdf_alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
+use sdf_apps::extended::{extended_systems, lms_adaptive};
+use sdf_bench::run_table1_row;
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::cycles::acyclic_skeleton;
+use sdf_sched::{apgan, dppo, sdppo};
+
+fn main() {
+    println!(
+        "{:>14} {:>4} {:>12} {:>10} {:>8}",
+        "system", "n", "non-shared", "shared", "saving"
+    );
+    for graph in extended_systems() {
+        match run_table1_row(&graph) {
+            Ok(row) => println!(
+                "{:>14} {:>4} {:>12} {:>10} {:>7.0}%",
+                row.name,
+                row.actors,
+                row.best_nonshared(),
+                row.best_shared(),
+                row.improvement_percent()
+            ),
+            Err(e) => println!("{:>14}  ERROR: {e}", graph.name()),
+        }
+    }
+
+    // The cyclic LMS goes through the feedback machinery.
+    let graph = lms_adaptive();
+    let q = RepetitionsVector::compute(&graph).expect("consistent");
+    let (skeleton, _) = acyclic_skeleton(&graph, &q).expect("breakable cycle");
+    let order = apgan(&skeleton, &q).expect("acyclic skeleton");
+    let nonshared = dppo(&skeleton, &q, &order).expect("dppo").bufmem
+        + graph
+            .edges()
+            .filter(|(_, e)| !skeleton.edges().any(|(_, s)| s.src == e.src && s.snk == e.snk))
+            .map(|(_, e)| e.delay + e.prod * q.get(e.src))
+            .sum::<u64>();
+    let shared = sdppo(&skeleton, &q, &order).expect("sdppo");
+    let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree on full graph");
+    let wig = IntersectionGraph::build(&graph, &q, &tree);
+    let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    validate_allocation(&wig, &alloc).expect("valid");
+    println!(
+        "{:>14} {:>4} {:>12} {:>10}   (cyclic; feedback buffer resident)",
+        graph.name(),
+        graph.actor_count(),
+        nonshared,
+        alloc.total()
+    );
+}

@@ -1,0 +1,71 @@
+//! Measures the first-fit optimality gap against exact branch-and-bound
+//! allocation on small random instances — putting numbers on §9.1's claim
+//! (after its reference \[20\]) that "in practice, first-fit is a good
+//! heuristic" and the chromatic number is "certainly not as much as 1.25
+//! times" the maximum clique weight.
+
+use rand::SeedableRng;
+use sdf_alloc::optimal::optimal_allocation;
+use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+use sdf_apps::random::{random_sdf_graph, RandomGraphConfig};
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::clique::mcw_exact;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, sdppo};
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    println!("first-fit vs exact optimal allocation ({trials} random 10-actor graphs)\n");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1414);
+    let mut counted = 0usize;
+    let mut ff_optimal = 0usize;
+    let mut gaps = Vec::new();
+    let mut cn_over_mcw: Vec<f64> = Vec::new();
+    for _ in 0..trials {
+        let g = random_sdf_graph(&RandomGraphConfig::paper_style(10), &mut rng);
+        let q = RepetitionsVector::compute(&g).expect("consistent");
+        let order = apgan(&g, &q).expect("acyclic");
+        let sas = sdppo(&g, &q, &order).expect("sdppo").tree;
+        let tree = ScheduleTree::build(&g, &q, &sas).expect("tree");
+        let wig = IntersectionGraph::build(&g, &q, &tree);
+        let ffdur = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let ffstart = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let ff = ffdur.total().min(ffstart.total());
+        let Some(exact) = optimal_allocation(&wig, 5_000_000) else {
+            continue;
+        };
+        counted += 1;
+        let opt = exact.allocation.total();
+        if ff == opt {
+            ff_optimal += 1;
+        }
+        gaps.push((ff as f64 - opt as f64) / opt.max(1) as f64 * 100.0);
+        if let Some(mcw) = mcw_exact(&wig, 1 << 20) {
+            if mcw > 0 {
+                cn_over_mcw.push(opt as f64 / mcw as f64);
+            }
+        }
+    }
+    let avg_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+    let max_gap = gaps.iter().cloned().fold(0.0f64, f64::max);
+    let max_ratio = cn_over_mcw.iter().cloned().fold(0.0f64, f64::max);
+    println!("instances solved exactly:          {counted}/{trials}");
+    println!(
+        "first-fit optimal outright:        {:.0}%",
+        ff_optimal as f64 / counted.max(1) as f64 * 100.0
+    );
+    println!("average first-fit gap:             {avg_gap:.1}%");
+    println!("worst first-fit gap:               {max_gap:.1}%");
+    println!(
+        "worst optimal/MCW ratio observed:  {max_ratio:.3} (theory allows up to 1.25)"
+    );
+    println!(
+        "\nPaper context (§9.1): first-fit \"comes within 7% on average of the\n\
+         MCW\" on random instances, and the chromatic number in practice is\n\
+         \"certainly not as much as 1.25 times\" the MCW."
+    );
+}

@@ -1,0 +1,22 @@
+//! Reproduces **Fig. 25**: the bar graph of the percentage improvement of
+//! the best shared implementation over the best non-shared implementation,
+//! one bar per practical system.
+
+use sdf_apps::registry::table1_systems;
+use sdf_bench::{ascii_bar, run_table1_row};
+
+fn main() {
+    println!("Fig. 25 — % improvement of shared over non-shared implementation\n");
+    let mut rows = Vec::new();
+    for graph in table1_systems() {
+        match run_table1_row(&graph) {
+            Ok(row) => rows.push((row.name.clone(), row.improvement_percent())),
+            Err(e) => eprintln!("{}: {e}", graph.name()),
+        }
+    }
+    for (name, pct) in &rows {
+        println!("{name:>12} {:>6.1}% |{}", pct, ascii_bar(*pct, 100.0, 50));
+    }
+    let avg = rows.iter().map(|(_, p)| p).sum::<f64>() / rows.len().max(1) as f64;
+    println!("{:>12} {avg:>6.1}% |{}", "AVERAGE", ascii_bar(avg, 100.0, 50));
+}

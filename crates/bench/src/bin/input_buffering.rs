@@ -1,0 +1,50 @@
+//! Reproduces the **§11.1.3 input-buffering argument**: under real-time
+//! periodic input, nested SASs need far smaller interface buffers than
+//! flat SASs, because the source actor's firings are spread across the
+//! period instead of bursting.
+//!
+//! The paper's CD-DAT figures (11 tokens nested vs 65 flat, period of 147
+//! sample times) used 1994-era DSP execution-time estimates; uniform unit
+//! times reproduce the same shape.
+
+use sdf_core::timing::{schedule_makespan, source_buffer_requirement, ExecutionTimes};
+use sdf_core::{LoopedSchedule, RepetitionsVector};
+use sdf_sched::{apgan, dppo};
+
+fn main() {
+    for name in ["cd2dat", "satrec"] {
+        let graph = match name {
+            "cd2dat" => sdf_apps::dsp::cd_to_dat(),
+            _ => sdf_apps::satrec::satellite_receiver(),
+        };
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let source = graph
+            .actors()
+            .find(|&a| graph.in_edges(a).is_empty())
+            .expect("graph has a source");
+        let exec = ExecutionTimes::uniform(&graph, 2);
+
+        let order = apgan(&graph, &q).expect("acyclic");
+        let flat = LoopedSchedule::flat_sas(&order, &q);
+        let nested = dppo(&graph, &q, &order).expect("dppo").tree.to_looped_schedule();
+
+        let flat_req = source_buffer_requirement(&graph, &q, &flat, &exec, source)
+            .expect("valid flat SAS");
+        let nested_req = source_buffer_requirement(&graph, &q, &nested, &exec, source)
+            .expect("valid nested SAS");
+        let period = schedule_makespan(&graph, &flat, &exec).expect("makespan");
+
+        println!(
+            "{name}: source {} fires {} times per period ({} time units)",
+            graph.actor_name(source),
+            q.get(source),
+            period
+        );
+        println!("  flat SAS input buffer:   {flat_req}");
+        println!("  nested SAS input buffer: {nested_req}");
+        println!(
+            "  reduction: {:.0}%  (paper's CD-DAT example: 65 -> ~11, <10% of the period)\n",
+            (flat_req as f64 - nested_req as f64) / flat_req as f64 * 100.0
+        );
+    }
+}

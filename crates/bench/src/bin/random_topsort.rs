@@ -1,0 +1,62 @@
+//! Reproduces the **§10.1 random-topological-sort experiment**: how many
+//! random lexical orderings does it take to match APGAN/RPMC, and how good
+//! is the best random result after a large budget?
+//!
+//! The paper runs 1000 trials on `satrec` and `blockVox` (~25 nodes) and
+//! 100 trials on the ~200-node filterbanks. Pass two numbers to override:
+//! `random_topsort 200 20`.
+
+use rand::SeedableRng;
+use sdf_apps::registry::by_name;
+use sdf_bench::{run_pipeline, run_table1_row};
+use sdf_core::RepetitionsVector;
+use sdf_sched::sdppo::FactoringPolicy;
+use sdf_sched::topsort::random_topological_sort;
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+    let small_trials = args.first().copied().unwrap_or(1000);
+    let big_trials = args.get(1).copied().unwrap_or(100);
+
+    let cases = [
+        ("satrec", small_trials),
+        ("blockVox", small_trials),
+        ("qmf12_5d", big_trials),
+        ("qmf235_5d", big_trials),
+    ];
+    for (name, trials) in cases {
+        let graph = by_name(name).expect("registered benchmark");
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let heuristic = run_table1_row(&graph).expect("pipeline");
+        let target = heuristic.best_shared();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let mut best = u64::MAX;
+        let mut first_beat: Option<usize> = None;
+        let started = std::time::Instant::now();
+        for t in 1..=trials {
+            let order = random_topological_sort(&graph, &mut rng).expect("acyclic");
+            let Ok(r) = run_pipeline(&graph, &q, &order, FactoringPolicy::Heuristic) else {
+                continue;
+            };
+            let alloc = r.best_alloc();
+            if alloc < best {
+                best = alloc;
+            }
+            if first_beat.is_none() && alloc < target {
+                first_beat = Some(t);
+            }
+        }
+        println!(
+            "{name:>12}: heuristic best = {target}, best of {trials} random = {best}, \
+             first random win at trial {} ({}s)",
+            first_beat.map_or("never".to_string(), |t| t.to_string()),
+            started.elapsed().as_secs()
+        );
+    }
+    println!(
+        "\nPaper shape: ~50 trials to beat the heuristics on the small systems, \
+         with only marginal final gains; on the 188-node filterbanks the random \
+         search never catches up within 100 trials."
+    );
+}

@@ -1,0 +1,47 @@
+//! Reproduces the **§10.1 sdppo-vs-dppo experiment**: is it better to run
+//! the first-fit allocators on the SDPPO schedule than on the DPPO
+//! schedule?  The paper observes up to ~8% benefit from the shared-aware
+//! loop hierarchy.
+
+use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+use sdf_apps::registry::table1_systems;
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, dppo, rpmc, sdppo};
+
+fn best_alloc_of(graph: &sdf_core::SdfGraph, q: &RepetitionsVector, sas: &sdf_core::SasTree) -> u64 {
+    let tree = ScheduleTree::build(graph, q, sas).expect("valid SAS");
+    let wig = IntersectionGraph::build(graph, q, &tree);
+    let d = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    let s = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+    d.total().min(s.total())
+}
+
+fn main() {
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "system", "alloc on dppo", "alloc on sdppo", "gain%"
+    );
+    let mut gains = Vec::new();
+    for graph in table1_systems() {
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let mut on_dppo = u64::MAX;
+        let mut on_sdppo = u64::MAX;
+        for order in [rpmc(&graph, &q), apgan(&graph, &q)] {
+            let order = order.expect("acyclic benchmark");
+            let d = dppo(&graph, &q, &order).expect("dppo");
+            let s = sdppo(&graph, &q, &order).expect("sdppo");
+            on_dppo = on_dppo.min(best_alloc_of(&graph, &q, &d.tree));
+            on_sdppo = on_sdppo.min(best_alloc_of(&graph, &q, &s.tree));
+        }
+        let gain = (on_dppo as f64 - on_sdppo as f64) / on_dppo.max(1) as f64 * 100.0;
+        gains.push(gain);
+        println!("{:>12} {on_dppo:>16} {on_sdppo:>16} {gain:>7.1}%", graph.name());
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
+    println!(
+        "\naverage gain from allocating on the sdppo schedule: {avg:.1}% \
+         (paper: up to ~8%, modest but consistently worthwhile)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Reproduces **Table 1**: overall performance on practical examples.
+//!
+//! Columns, per the paper: dppo(R), sdppo(R), mco(R), mcp(R), ffdur(R),
+//! ffstart(R), bmlb, dppo(A), sdppo(A), mco(A), mcp(A), ffdur(A),
+//! ffstart(A), and the improvement of the best shared implementation over
+//! the best non-shared one.
+
+use sdf_apps::registry::table1_systems;
+use sdf_bench::{fmt_row, run_table1_row};
+
+fn main() {
+    let headers = [
+        "system", "n", "dppo(R)", "sdppo(R)", "mco(R)", "mcp(R)", "ffdur(R)", "ffstart(R)",
+        "bmlb", "dppo(A)", "sdppo(A)", "mco(A)", "mcp(A)", "ffdur(A)", "ffstart(A)", "%impr",
+    ];
+    let widths = [12, 4, 8, 8, 8, 8, 8, 10, 8, 8, 8, 8, 8, 8, 10, 7];
+    println!(
+        "{}",
+        fmt_row(
+            &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &widths
+        )
+    );
+
+    let mut improvements = Vec::new();
+    for graph in table1_systems() {
+        match run_table1_row(&graph) {
+            Ok(row) => {
+                let cells = vec![
+                    row.name.clone(),
+                    row.actors.to_string(),
+                    row.rpmc.dppo.to_string(),
+                    row.rpmc.sdppo.to_string(),
+                    row.rpmc.mco.to_string(),
+                    row.rpmc.mcp.to_string(),
+                    row.rpmc.ffdur.to_string(),
+                    row.rpmc.ffstart.to_string(),
+                    row.bmlb.to_string(),
+                    row.apgan.dppo.to_string(),
+                    row.apgan.sdppo.to_string(),
+                    row.apgan.mco.to_string(),
+                    row.apgan.mcp.to_string(),
+                    row.apgan.ffdur.to_string(),
+                    row.apgan.ffstart.to_string(),
+                    format!("{:.1}", row.improvement_percent()),
+                ];
+                println!("{}", fmt_row(&cells, &widths));
+                improvements.push(row.improvement_percent());
+            }
+            Err(e) => println!("{:>12}  ERROR: {e}", graph.name()),
+        }
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    println!(
+        "\naverage improvement of best shared over best non-shared: {avg:.1}% \
+         (paper reports >50% average, up to 83%)"
+    );
+}

@@ -1,0 +1,235 @@
+//! Exact dynamic storage allocation by branch and bound.
+//!
+//! §9.1 observes that the chromatic number (the memory an optimal
+//! allocation needs) can exceed the maximum clique weight by up to 1.25×,
+//! and leans on the empirical result that first-fit lands within a few
+//! percent.  This module makes that measurable: an exact solver for small
+//! instances, so the first-fit gap can be computed instead of assumed.
+//!
+//! The search places buffers in a fixed order, trying only *canonical*
+//! offsets — 0 and the end of each already-placed conflicting buffer.
+//! Some optimal allocation always uses canonical offsets (any placement
+//! can be slid down until it hits 0 or another conflicting buffer without
+//! increasing the total), so the restriction preserves optimality.
+
+use sdf_lifetime::wig::ConflictGraph;
+
+use crate::first_fit::{allocate, Allocation, AllocationOrder, PlacementPolicy};
+
+/// Result of the exact search.
+#[derive(Clone, Debug)]
+pub struct OptimalResult {
+    /// An optimal allocation.
+    pub allocation: Allocation,
+    /// Search nodes visited.
+    pub nodes_visited: u64,
+}
+
+/// Finds a provably optimal allocation, or returns `None` if the search
+/// exceeds `node_budget` nodes.
+///
+/// Use only on small instances (exponential worst case); the first-fit
+/// result seeds the upper bound, so the search can only improve on it.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::graph::EdgeId;
+/// use sdf_lifetime::interval::PeriodicLifetime;
+/// use sdf_lifetime::wig::{Buffer, IntersectionGraph};
+/// use sdf_alloc::optimal::optimal_allocation;
+///
+/// let wig = IntersectionGraph::from_buffers(vec![
+///     Buffer { edge: EdgeId::from_index(0), lifetime: PeriodicLifetime::solid(0, 4, 3) },
+///     Buffer { edge: EdgeId::from_index(1), lifetime: PeriodicLifetime::solid(2, 4, 5) },
+///     Buffer { edge: EdgeId::from_index(2), lifetime: PeriodicLifetime::solid(5, 2, 3) },
+/// ]);
+/// let r = optimal_allocation(&wig, 1_000_000).expect("small instance");
+/// assert_eq!(r.allocation.total(), 8);
+/// ```
+pub fn optimal_allocation<G: ConflictGraph + ?Sized>(
+    graph: &G,
+    node_budget: u64,
+) -> Option<OptimalResult> {
+    let n = graph.len();
+    // Seed with first-fit (the paper's heuristic) as the incumbent.
+    let seed = allocate(
+        graph,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
+    if n == 0 {
+        return Some(OptimalResult {
+            allocation: seed,
+            nodes_visited: 0,
+        });
+    }
+
+    // Place in descending size order (strong early pruning).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(graph.size(i)));
+
+    struct Search<'a, G: ?Sized> {
+        graph: &'a G,
+        order: Vec<usize>,
+        offsets: Vec<u64>,
+        placed: Vec<bool>,
+        best_offsets: Vec<u64>,
+        best_total: u64,
+        nodes: u64,
+        budget: u64,
+    }
+
+    impl<G: ConflictGraph + ?Sized> Search<'_, G> {
+        fn dfs(&mut self, depth: usize, total: u64) -> bool {
+            if self.nodes >= self.budget {
+                return false; // budget exhausted
+            }
+            self.nodes += 1;
+            if total >= self.best_total {
+                return true; // pruned
+            }
+            if depth == self.order.len() {
+                self.best_total = total;
+                self.best_offsets.clone_from(&self.offsets);
+                return true;
+            }
+            let i = self.order[depth];
+            let size = self.graph.size(i);
+            // Canonical candidate offsets.
+            let mut candidates: Vec<u64> = std::iter::once(0)
+                .chain(
+                    self.graph
+                        .conflicts(i)
+                        .iter()
+                        .filter(|&&j| self.placed[j])
+                        .map(|&j| self.offsets[j] + self.graph.size(j)),
+                )
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            for off in candidates {
+                // Feasible: no placed conflicting buffer overlaps [off, off+size).
+                let clash = self.graph.conflicts(i).iter().any(|&j| {
+                    self.placed[j]
+                        && self.offsets[j] < off + size
+                        && off < self.offsets[j] + self.graph.size(j)
+                });
+                if clash {
+                    continue;
+                }
+                self.offsets[i] = off;
+                self.placed[i] = true;
+                let ok = self.dfs(depth + 1, total.max(off + size));
+                self.placed[i] = false;
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+
+    let mut search = Search {
+        graph,
+        order,
+        offsets: vec![0; n],
+        placed: vec![false; n],
+        best_offsets: seed.offsets().to_vec(),
+        best_total: seed.total(),
+        nodes: 0,
+        budget: node_budget,
+    };
+    // Allow the search to re-find the incumbent total (strict pruning would
+    // reject equal solutions, which is fine — we keep the seed then).
+    search.best_total = seed.total() + 1;
+    let completed = search.dfs(0, 0);
+    if !completed {
+        return None;
+    }
+    let total = search.best_total.min(seed.total());
+    let offsets = if search.best_total <= seed.total() {
+        search.best_offsets
+    } else {
+        seed.offsets().to_vec()
+    };
+    Some(OptimalResult {
+        allocation: Allocation::from_parts(offsets, total),
+        nodes_visited: search.nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_fit::validate_allocation;
+    use sdf_core::graph::EdgeId;
+    use sdf_lifetime::interval::PeriodicLifetime;
+    use sdf_lifetime::wig::{Buffer, IntersectionGraph};
+
+    fn wig_of(lifetimes: Vec<PeriodicLifetime>) -> IntersectionGraph {
+        IntersectionGraph::from_buffers(
+            lifetimes
+                .into_iter()
+                .enumerate()
+                .map(|(i, lifetime)| Buffer {
+                    edge: EdgeId::from_index(i),
+                    lifetime,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn beats_first_fit_on_a_known_bad_case() {
+        // First-fit by size places the two big buffers at 0 and the small
+        // long-lived one on top; a smarter interleave does better.
+        // Buffers: A [0,2) size 4; B [1,3) size 4; C [0,3) size 4.
+        // All conflict except A/?: A-B overlap at [1,2); everything
+        // conflicts -> clique of 3 -> optimal 12. Make a sharing case:
+        let w = wig_of(vec![
+            PeriodicLifetime::solid(0, 2, 4), // A
+            PeriodicLifetime::solid(2, 2, 4), // B (disjoint from A)
+            PeriodicLifetime::solid(1, 3, 2), // C overlaps both
+        ]);
+        let r = optimal_allocation(&w, 1_000_000).unwrap();
+        validate_allocation(&w, &r.allocation).unwrap();
+        assert_eq!(r.allocation.total(), 6); // A,B overlay at 0; C at 4
+    }
+
+    #[test]
+    fn optimal_never_exceeds_first_fit() {
+        let w = wig_of(vec![
+            PeriodicLifetime::solid(0, 5, 3),
+            PeriodicLifetime::solid(1, 2, 7),
+            PeriodicLifetime::solid(4, 4, 2),
+            PeriodicLifetime::solid(6, 3, 5),
+            PeriodicLifetime::solid(2, 6, 1),
+        ]);
+        let ff = allocate(&w, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let r = optimal_allocation(&w, 10_000_000).unwrap();
+        validate_allocation(&w, &r.allocation).unwrap();
+        assert!(r.allocation.total() <= ff.total());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let w = wig_of((0..12).map(|i| PeriodicLifetime::solid(i, 14, 3)).collect());
+        assert!(optimal_allocation(&w, 5).is_none());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let w = wig_of(vec![]);
+        let r = optimal_allocation(&w, 10).unwrap();
+        assert_eq!(r.allocation.total(), 0);
+    }
+
+    #[test]
+    fn single_buffer() {
+        let w = wig_of(vec![PeriodicLifetime::solid(0, 3, 9)]);
+        let r = optimal_allocation(&w, 100).unwrap();
+        assert_eq!(r.allocation.total(), 9);
+        assert_eq!(r.allocation.offset(0), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Summary statistics of a completed allocation — the numbers a user
+//! checks to judge how well lifetime sharing worked.
+
+use sdf_lifetime::wig::ConflictGraph;
+
+use crate::first_fit::Allocation;
+
+/// Aggregate measures of one allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllocationStats {
+    /// Pool size in words (`max(offset + size)`).
+    pub total: u64,
+    /// What a non-shared implementation would need: the sum of all buffer
+    /// sizes.
+    pub nonshared_total: u64,
+    /// `nonshared_total / total` — how many times over the pool is reused
+    /// (1.0 means no sharing happened).
+    pub packing_factor: f64,
+    /// Number of buffers placed.
+    pub buffer_count: usize,
+    /// The largest number of other buffers any buffer conflicts with.
+    pub max_conflict_degree: usize,
+    /// Buffers that share their address range with at least one
+    /// time-disjoint buffer.
+    pub overlaid_buffers: usize,
+}
+
+/// Computes statistics for `allocation` over the conflict graph it was
+/// built from.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::graph::EdgeId;
+/// use sdf_lifetime::interval::PeriodicLifetime;
+/// use sdf_lifetime::wig::{Buffer, IntersectionGraph};
+/// use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+/// use sdf_alloc::stats::allocation_stats;
+///
+/// let wig = IntersectionGraph::from_buffers(vec![
+///     Buffer { edge: EdgeId::from_index(0), lifetime: PeriodicLifetime::solid(0, 2, 6) },
+///     Buffer { edge: EdgeId::from_index(1), lifetime: PeriodicLifetime::solid(2, 2, 6) },
+/// ]);
+/// let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+/// let stats = allocation_stats(&wig, &alloc);
+/// assert_eq!(stats.total, 6);
+/// assert_eq!(stats.packing_factor, 2.0);
+/// assert_eq!(stats.overlaid_buffers, 2);
+/// ```
+pub fn allocation_stats<G: ConflictGraph + ?Sized>(
+    graph: &G,
+    allocation: &Allocation,
+) -> AllocationStats {
+    let n = graph.len();
+    let nonshared_total: u64 = (0..n).map(|i| graph.size(i)).sum();
+    let total = allocation.total();
+    let max_conflict_degree = (0..n).map(|i| graph.conflicts(i).len()).max().unwrap_or(0);
+
+    // A buffer is "overlaid" if some non-conflicting buffer occupies an
+    // overlapping address range.
+    let mut overlaid = vec![false; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if graph.conflicts(i).binary_search(&j).is_ok() {
+                continue;
+            }
+            let (oi, si) = (allocation.offset(i), graph.size(i));
+            let (oj, sj) = (allocation.offset(j), graph.size(j));
+            if oi < oj + sj && oj < oi + si {
+                overlaid[i] = true;
+                overlaid[j] = true;
+            }
+        }
+    }
+
+    AllocationStats {
+        total,
+        nonshared_total,
+        packing_factor: if total == 0 {
+            1.0
+        } else {
+            nonshared_total as f64 / total as f64
+        },
+        buffer_count: n,
+        max_conflict_degree,
+        overlaid_buffers: overlaid.iter().filter(|&&b| b).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_fit::{allocate, AllocationOrder, PlacementPolicy};
+    use sdf_core::graph::EdgeId;
+    use sdf_lifetime::interval::PeriodicLifetime;
+    use sdf_lifetime::wig::{Buffer, IntersectionGraph};
+
+    fn wig_of(lifetimes: Vec<PeriodicLifetime>) -> IntersectionGraph {
+        IntersectionGraph::from_buffers(
+            lifetimes
+                .into_iter()
+                .enumerate()
+                .map(|(i, lifetime)| Buffer {
+                    edge: EdgeId::from_index(i),
+                    lifetime,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn no_sharing_possible() {
+        let w = wig_of(vec![
+            PeriodicLifetime::solid(0, 4, 3),
+            PeriodicLifetime::solid(1, 4, 5),
+        ]);
+        let a = allocate(&w, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let s = allocation_stats(&w, &a);
+        assert_eq!(s.total, 8);
+        assert_eq!(s.nonshared_total, 8);
+        assert_eq!(s.packing_factor, 1.0);
+        assert_eq!(s.overlaid_buffers, 0);
+        assert_eq!(s.max_conflict_degree, 1);
+    }
+
+    #[test]
+    fn full_overlay() {
+        let w = wig_of(vec![
+            PeriodicLifetime::solid(0, 1, 4),
+            PeriodicLifetime::solid(1, 1, 4),
+            PeriodicLifetime::solid(2, 1, 4),
+        ]);
+        let a = allocate(&w, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let s = allocation_stats(&w, &a);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.packing_factor, 3.0);
+        assert_eq!(s.overlaid_buffers, 3);
+        assert_eq!(s.max_conflict_degree, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let w = wig_of(vec![]);
+        let a = allocate(&w, AllocationOrder::Insertion, PlacementPolicy::FirstFit);
+        let s = allocation_stats(&w, &a);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.packing_factor, 1.0);
+        assert_eq!(s.buffer_count, 0);
+    }
+}

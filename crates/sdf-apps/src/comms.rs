@@ -1,0 +1,137 @@
+//! Communication-system benchmarks: the 16-QAM modem and the 4-PAM
+//! transmitter/receiver pair (§10.1).
+//!
+//! The original Ptolemy demo netlists are not published; these are
+//! reconstructions with the canonical structure of such systems — bit
+//! scrambling, symbol mapping (4 or 2 bits per symbol), pulse-shaping
+//! interpolation, a channel, matched filtering with decimation, slicing and
+//! descrambling — chosen so the multirate pattern (small symbol rates
+//! against a 16× or 8× sample rate) matches what the paper's numbers imply.
+
+use sdf_core::graph::SdfGraph;
+
+/// Builds the 16-QAM modem loopback (transmitter into receiver).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::comms::modem_16qam;
+/// use sdf_core::RepetitionsVector;
+///
+/// let g = modem_16qam();
+/// assert!(RepetitionsVector::compute(&g).is_ok());
+/// ```
+pub fn modem_16qam() -> SdfGraph {
+    let mut g = SdfGraph::new("16qamModem");
+    let bits = g.add_actor("bitSrc");
+    let scram = g.add_actor("scrambler");
+    let map = g.add_actor("qamMapper"); // 4 bits -> 1 symbol
+    let interp = g.add_actor("pulseShaper"); // 1 symbol -> 16 samples
+    let txf = g.add_actor("txFilter");
+    let chan = g.add_actor("channel");
+    let agc = g.add_actor("agc");
+    let matched = g.add_actor("matchedFilter");
+    let decim = g.add_actor("symbolSync"); // 16 samples -> 1 symbol
+    let eq = g.add_actor("equalizer");
+    let slicer = g.add_actor("slicer");
+    let demap = g.add_actor("qamDemapper"); // 1 symbol -> 4 bits
+    let descram = g.add_actor("descrambler");
+    let sink = g.add_actor("bitSink");
+    let chain = [
+        (bits, scram, 1, 1),
+        (scram, map, 1, 4),
+        (map, interp, 1, 1),
+        (interp, txf, 16, 1),
+        (txf, chan, 1, 1),
+        (chan, agc, 1, 1),
+        (agc, matched, 1, 1),
+        (matched, decim, 1, 16),
+        (decim, eq, 1, 1),
+        (eq, slicer, 1, 1),
+        (slicer, demap, 1, 1),
+        (demap, descram, 4, 1),
+        (descram, sink, 1, 1),
+    ];
+    for (s, t, p, c) in chain {
+        g.add_edge(s, t, p, c).expect("valid rates");
+    }
+    g
+}
+
+/// Builds the 4-PAM transmitter/receiver pair with 8× interpolation.
+pub fn pam4_xmitrec() -> SdfGraph {
+    let mut g = SdfGraph::new("4pamxmitrec");
+    let bits = g.add_actor("bitSrc");
+    let map = g.add_actor("pamMapper"); // 2 bits -> 1 level
+    let up = g.add_actor("interp8"); // 1 -> 8
+    let shape = g.add_actor("shaper");
+    let dac = g.add_actor("dac");
+    let chan = g.add_actor("channel");
+    let adc = g.add_actor("adc");
+    let lpf = g.add_actor("rxFilter");
+    let down = g.add_actor("decim8"); // 8 -> 1
+    let detect = g.add_actor("detector");
+    let demap = g.add_actor("pamDemapper"); // 1 -> 2 bits
+    let sink = g.add_actor("bitSink");
+    let chain = [
+        (bits, map, 1, 2),
+        (map, up, 1, 1),
+        (up, shape, 8, 1),
+        (shape, dac, 1, 1),
+        (dac, chan, 1, 1),
+        (chan, adc, 1, 1),
+        (adc, lpf, 1, 1),
+        (lpf, down, 1, 8),
+        (down, detect, 1, 1),
+        (detect, demap, 1, 1),
+        (demap, sink, 2, 1),
+    ];
+    for (s, t, p, c) in chain {
+        g.add_edge(s, t, p, c).expect("valid rates");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn modem_consistent_and_multirate() {
+        let g = modem_16qam();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(g.is_acyclic() && g.is_connected());
+        let bits = g.actor_by_name("bitSrc").unwrap();
+        let samples = g.actor_by_name("channel").unwrap();
+        // 4 bits/symbol, 16 samples/symbol: sample rate = 4x bit rate.
+        assert_eq!(q.get(samples), 4 * q.get(bits));
+    }
+
+    #[test]
+    fn modem_rate_symmetry() {
+        // Receiver symbol rate equals transmitter symbol rate.
+        let g = modem_16qam();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let map = g.actor_by_name("qamMapper").unwrap();
+        let eq = g.actor_by_name("equalizer").unwrap();
+        assert_eq!(q.get(map), q.get(eq));
+    }
+
+    #[test]
+    fn pam_consistent() {
+        let g = pam4_xmitrec();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(g.is_acyclic() && g.is_connected());
+        let bits = g.actor_by_name("bitSrc").unwrap();
+        let chan = g.actor_by_name("channel").unwrap();
+        // 2 bits/level, 8 samples/level: sample rate = 4x bit rate.
+        assert_eq!(q.get(chan), 4 * q.get(bits));
+    }
+
+    #[test]
+    fn chains_are_chain_structured() {
+        assert!(modem_16qam().is_chain());
+        assert!(pam4_xmitrec().is_chain());
+    }
+}

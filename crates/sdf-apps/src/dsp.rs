@@ -1,0 +1,198 @@
+//! DSP benchmarks: block vocoder, overlap-add FFT filter, phased-array
+//! detector and the classic CD-to-DAT rate converter (§10.1 and §11.1.3).
+//!
+//! Like the comms benchmarks, the vocoder / overlap-add / phased-array
+//! graphs are structural reconstructions of the Ptolemy demos the paper
+//! cites: frame-oriented multirate graphs whose block sizes (frame 80 with
+//! hop 64; FFT 256 with hop 128; 4-sensor beamforming over 64-bin spectra)
+//! are the canonical choices for those applications.
+
+use sdf_core::graph::SdfGraph;
+
+/// Builds the block vocoder: LPC analysis of a voice signal modulating a
+/// synthesised excitation (about 25 actors).
+pub fn block_vocoder() -> SdfGraph {
+    let mut g = SdfGraph::new("blockVox");
+    let chain = |g: &mut SdfGraph, edges: &[(&str, &str, u64, u64)]| {
+        for &(s, t, p, c) in edges {
+            let sid = g
+                .actor_by_name(s)
+                .unwrap_or_else(|| g.add_actor(s));
+            let tid = g
+                .actor_by_name(t)
+                .unwrap_or_else(|| g.add_actor(t));
+            g.add_edge(sid, tid, p, c).expect("valid rates");
+        }
+    };
+    // Voice analysis path: frame 80 samples with hop 64.
+    chain(
+        &mut g,
+        &[
+            ("voiceSrc", "preemph", 1, 1),
+            ("preemph", "framer", 1, 64),
+            ("framer", "window", 80, 80),
+            ("window", "autocorr", 80, 80),
+            ("autocorr", "levinson", 12, 12),
+            ("levinson", "lpcCoeffs", 12, 12),
+            ("window", "pitchTrack", 80, 80),
+            ("window", "gainCalc", 80, 80),
+        ],
+    );
+    // Excitation path: music source framed at the same rate.
+    chain(
+        &mut g,
+        &[
+            ("musicSrc", "musFramer", 1, 64),
+            ("musFramer", "musWindow", 80, 80),
+        ],
+    );
+    // Synthesis: all-pole filter driven by coefficients, gain and pitch.
+    chain(
+        &mut g,
+        &[
+            ("lpcCoeffs", "synthFilter", 12, 12),
+            ("gainCalc", "synthFilter", 1, 1),
+            ("pitchTrack", "synthFilter", 1, 1),
+            ("musWindow", "synthFilter", 80, 80),
+            ("synthFilter", "deemph", 80, 80),
+            ("deemph", "overlapAdd", 80, 80),
+            ("overlapAdd", "dcBlock", 64, 1), // frame in, samples out
+
+            ("dcBlock", "agc", 1, 1),
+            ("agc", "limiter", 1, 1),
+            ("limiter", "dac", 1, 1),
+            ("dac", "out", 1, 1),
+        ],
+    );
+    g
+}
+
+/// Builds the overlap-add FFT filter: hop 128, FFT size 256.
+pub fn overlap_add_fft() -> SdfGraph {
+    let mut g = SdfGraph::new("overAddFFT");
+    let src = g.add_actor("src");
+    let seg = g.add_actor("segment"); // 128 in -> 256 out (zero padded)
+    let fft = g.add_actor("fft256");
+    let coef = g.add_actor("freqResponse");
+    let mult = g.add_actor("specMultiply");
+    let ifft = g.add_actor("ifft256");
+    let ola = g.add_actor("overlapAdd"); // 256 in -> 128 out
+    let sink = g.add_actor("sink");
+    let edges = [
+        (src, seg, 1, 128),
+        (seg, fft, 256, 256),
+        (fft, mult, 256, 256),
+        (coef, mult, 256, 256),
+        (mult, ifft, 256, 256),
+        (ifft, ola, 256, 256),
+        (ola, sink, 128, 1),
+    ];
+    for (s, t, p, c) in edges {
+        g.add_edge(s, t, p, c).expect("valid rates");
+    }
+    g
+}
+
+/// Builds a 4-sensor phased-array detector: per-sensor conditioning,
+/// beamforming, spectral analysis and thresholding.
+pub fn phased_array() -> SdfGraph {
+    let mut g = SdfGraph::new("phasedArray");
+    let beam = g.add_actor("beamformer");
+    for s in 0..4 {
+        let src = g.add_actor(format!("sensor{s}"));
+        let bpf = g.add_actor(format!("bandpass{s}"));
+        let dec = g.add_actor(format!("decim{s}"));
+        g.add_edge(src, bpf, 1, 1).expect("valid rates");
+        g.add_edge(bpf, dec, 1, 4).expect("valid rates");
+        g.add_edge(dec, beam, 1, 1).expect("valid rates");
+    }
+    let fft = g.add_actor("fft64");
+    let mag = g.add_actor("magnitude");
+    let avg = g.add_actor("average");
+    let detect = g.add_actor("detector");
+    let sink = g.add_actor("display");
+    let edges = [
+        (beam, fft, 1, 64),
+        (fft, mag, 64, 64),
+        (mag, avg, 64, 64),
+        (avg, detect, 64, 1),
+        (detect, sink, 1, 1),
+    ];
+    for (s, t, p, c) in edges {
+        g.add_edge(s, t, p, c).expect("valid rates");
+    }
+    g
+}
+
+/// Builds the classic CD-to-DAT sample-rate converter chain
+/// (44.1 kHz → 48 kHz through stages 1:1, 2:3, 2:7, 8:7, 5:1), the
+/// §11.1.3 input-buffering example; q = (147, 147, 98, 28, 32, 160).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::dsp::cd_to_dat;
+/// use sdf_core::RepetitionsVector;
+///
+/// let g = cd_to_dat();
+/// let q = RepetitionsVector::compute(&g).unwrap();
+/// assert_eq!(q.as_slice(), &[147, 147, 98, 28, 32, 160]);
+/// ```
+pub fn cd_to_dat() -> SdfGraph {
+    let mut g = SdfGraph::new("cd2dat");
+    let ids: Vec<_> = ["cdSrc", "stage1", "stage2", "stage3", "stage4", "datSink"]
+        .iter()
+        .map(|n| g.add_actor(*n))
+        .collect();
+    for (i, &(p, c)) in [(1, 1), (2, 3), (2, 7), (8, 7), (5, 1)].iter().enumerate() {
+        g.add_edge(ids[i], ids[i + 1], p, c).expect("valid rates");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn vocoder_consistent() {
+        let g = block_vocoder();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(g.is_acyclic() && g.is_connected());
+        assert!(g.actor_count() >= 20, "has {} actors", g.actor_count());
+        // The frame-rate actors fire once per 64 input samples.
+        let src = g.actor_by_name("voiceSrc").unwrap();
+        let framer = g.actor_by_name("framer").unwrap();
+        assert_eq!(q.get(src), 64 * q.get(framer));
+    }
+
+    #[test]
+    fn overlap_add_consistent() {
+        let g = overlap_add_fft();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let src = g.actor_by_name("src").unwrap();
+        let fft = g.actor_by_name("fft256").unwrap();
+        assert_eq!(q.get(src), 128 * q.get(fft));
+        assert!(g.is_acyclic() && g.is_connected());
+    }
+
+    #[test]
+    fn phased_array_consistent() {
+        let g = phased_array();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(g.is_acyclic() && g.is_connected());
+        let sensor = g.actor_by_name("sensor0").unwrap();
+        let fft = g.actor_by_name("fft64").unwrap();
+        // 4x decimation then 64-sample blocks.
+        assert_eq!(q.get(sensor), 4 * 64 * q.get(fft));
+    }
+
+    #[test]
+    fn cd_dat_repetitions() {
+        let g = cd_to_dat();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(q.as_slice(), &[147, 147, 98, 28, 32, 160]);
+        assert!(g.is_chain());
+    }
+}

@@ -1,0 +1,156 @@
+//! Extended benchmark systems beyond Table 1: the reverse DAT→CD
+//! converter, an analysis-only filterbank, a cyclic LMS adaptive filter
+//! and a spectrum analyser.  They widen the structural variety the test
+//! suite and ablations run over (deep trees, wide fan-out, feedback).
+
+use sdf_core::graph::SdfGraph;
+
+/// DAT (48 kHz) → CD (44.1 kHz): the CD→DAT chain with inverted stage
+/// rates; q = (160, 32, 28, 98, 147, 147).
+pub fn dat_to_cd() -> SdfGraph {
+    let mut g = SdfGraph::new("dat2cd");
+    let ids: Vec<_> = ["datSrc", "stage1", "stage2", "stage3", "stage4", "cdSink"]
+        .iter()
+        .map(|n| g.add_actor(*n))
+        .collect();
+    for (i, &(p, c)) in [(1, 5), (7, 8), (7, 2), (3, 2), (1, 1)].iter().enumerate() {
+        g.add_edge(ids[i], ids[i + 1], p, c).expect("valid rates");
+    }
+    g
+}
+
+/// Analysis-only octave filterbank of the given depth: a binary tree of
+/// analysis pairs with `2^depth` leaf channels (no synthesis side).
+pub fn analysis_tree(depth: usize) -> SdfGraph {
+    let mut g = SdfGraph::new(format!("anatree_{depth}d"));
+    let src = g.add_actor("src");
+    build_analysis(&mut g, src, depth, "r");
+    g
+}
+
+fn build_analysis(g: &mut SdfGraph, input: sdf_core::ActorId, depth: usize, prefix: &str) {
+    if depth == 0 {
+        let sink = g.add_actor(format!("{prefix}_chan"));
+        g.add_edge(input, sink, 1, 1).expect("valid rates");
+        return;
+    }
+    let lp = g.add_actor(format!("{prefix}_lp"));
+    let hp = g.add_actor(format!("{prefix}_hp"));
+    g.add_edge(input, lp, 1, 2).expect("valid rates");
+    g.add_edge(input, hp, 1, 2).expect("valid rates");
+    build_analysis(g, lp, depth - 1, &format!("{prefix}l"));
+    build_analysis(g, hp, depth - 1, &format!("{prefix}h"));
+}
+
+/// A cyclic LMS adaptive filter: the coefficient-update loop feeds back
+/// into the FIR with a unit-frame delay, making the graph cyclic with
+/// exactly enough initial tokens to execute.
+pub fn lms_adaptive() -> SdfGraph {
+    let mut g = SdfGraph::new("lmsAdaptive");
+    let x = g.add_actor("signalIn");
+    let d = g.add_actor("desiredIn");
+    let fir = g.add_actor("fir");
+    let err = g.add_actor("errorSum");
+    let upd = g.add_actor("coeffUpdate");
+    let out = g.add_actor("out");
+    g.add_edge(x, fir, 1, 1).expect("valid rates");
+    g.add_edge(fir, err, 1, 1).expect("valid rates");
+    g.add_edge(d, err, 1, 1).expect("valid rates");
+    g.add_edge(err, out, 1, 1).expect("valid rates");
+    g.add_edge(err, upd, 1, 1).expect("valid rates");
+    // Feedback: updated coefficients reach the FIR one iteration later.
+    g.add_edge_with_delay(upd, fir, 8, 8, 8).expect("valid rates");
+    g
+}
+
+/// A spectrum analyser: windowed 64-point FFT frames at 4× decimation
+/// with exponential averaging.
+pub fn spectrum_analyzer() -> SdfGraph {
+    let mut g = SdfGraph::new("spectrum");
+    let src = g.add_actor("adc");
+    let dec = g.add_actor("decim4");
+    let win = g.add_actor("window64");
+    let fft = g.add_actor("fft64");
+    let mag = g.add_actor("magSq");
+    let avg = g.add_actor("expAvg");
+    let disp = g.add_actor("display");
+    let edges = [
+        (src, dec, 1, 4),
+        (dec, win, 1, 64),
+        (win, fft, 64, 64),
+        (fft, mag, 64, 64),
+        (mag, avg, 64, 64),
+        (avg, disp, 64, 64),
+    ];
+    for (s, t, p, c) in edges {
+        g.add_edge(s, t, p, c).expect("valid rates");
+    }
+    g
+}
+
+/// All extended systems (acyclic ones only — `lms_adaptive` is exposed
+/// separately because it needs the feedback machinery).
+pub fn extended_systems() -> Vec<SdfGraph> {
+    vec![dat_to_cd(), analysis_tree(3), spectrum_analyzer()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn dat_to_cd_repetitions() {
+        let g = dat_to_cd();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(q.as_slice(), &[160, 32, 28, 98, 147, 147]);
+        assert!(g.is_chain());
+    }
+
+    #[test]
+    fn analysis_tree_structure() {
+        for depth in 0..=4 {
+            let g = analysis_tree(depth);
+            // src + (2^(depth+1) - 2) filters + 2^depth channels.
+            let filters = (1usize << (depth + 1)) - 2;
+            let channels = 1usize << depth;
+            assert_eq!(g.actor_count(), 1 + filters + channels, "depth {depth}");
+            let q = RepetitionsVector::compute(&g).unwrap();
+            let src = g.actor_by_name("src").unwrap();
+            assert_eq!(q.get(src), 1 << depth);
+        }
+    }
+
+    #[test]
+    fn lms_is_cyclic_but_schedulable() {
+        use sdf_sched::apgan::apgan;
+        use sdf_sched::cycles::acyclic_skeleton;
+        use sdf_sched::sdppo::sdppo;
+        let g = lms_adaptive();
+        assert!(!g.is_acyclic());
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let (skeleton, feedback) = acyclic_skeleton(&g, &q).unwrap();
+        assert_eq!(feedback.len(), 1);
+        let order = apgan(&skeleton, &q).unwrap();
+        let sas = sdppo(&skeleton, &q, &order).unwrap().tree;
+        sdf_core::simulate::validate_schedule(&g, &sas.to_looped_schedule(), &q).unwrap();
+    }
+
+    #[test]
+    fn spectrum_analyzer_rates() {
+        let g = spectrum_analyzer();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let adc = g.actor_by_name("adc").unwrap();
+        let fft = g.actor_by_name("fft64").unwrap();
+        assert_eq!(q.get(adc), 4 * 64 * q.get(fft));
+    }
+
+    #[test]
+    fn extended_systems_all_consistent() {
+        for g in extended_systems() {
+            assert!(RepetitionsVector::compute(&g).is_ok(), "{}", g.name());
+            assert!(g.is_acyclic());
+            assert!(g.is_connected());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Parametric QMF filterbank generators (the paper's Figs. 22–23).
+//!
+//! A depth-`d` **two-sided** filterbank recursively splits the signal into a
+//! low and a high band, processes both at depth `d − 1`, and resynthesises:
+//!
+//! ```text
+//! fb(0) = p1 → p2                      (2 actors)
+//! fb(d) = alp, ahp  +  fb(d−1) low  +  fb(d−1) high  +  slp, shp
+//! ```
+//!
+//! giving `n(d) = 2·n(d−1) + 4` actors — 20 at depth 2, 44 at depth 3 and
+//! 188 at depth 5, matching the node counts reported in §10.1.  The
+//! **one-sided** variant (Fig. 22) recurses only on the low band.
+//!
+//! Rate changes are parametrised by `(lo, hi, den)`: the analysis lowpass
+//! consumes `den` and produces `lo`, the highpass consumes `den` and
+//! produces `hi` (`lo + hi = den` for perfect-reconstruction banks, though
+//! the generator does not require it).
+
+use sdf_core::graph::{ActorId, SdfGraph};
+
+/// Rate-change parameters of one filterbank level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilterbankRates {
+    /// Tokens the lowpass analysis filter produces per `den` consumed.
+    pub lo: u64,
+    /// Tokens the highpass analysis filter produces per `den` consumed.
+    pub hi: u64,
+    /// Tokens consumed per analysis firing (the decimation denominator).
+    pub den: u64,
+}
+
+impl FilterbankRates {
+    /// The 1/2, 1/2 rate change of the most common QMF bank.
+    pub const HALVES: FilterbankRates = FilterbankRates { lo: 1, hi: 1, den: 2 };
+    /// The 1/3, 2/3 rate change.
+    pub const THIRDS: FilterbankRates = FilterbankRates { lo: 1, hi: 2, den: 3 };
+    /// The 2/5, 3/5 rate change.
+    pub const FIFTHS: FilterbankRates = FilterbankRates { lo: 2, hi: 3, den: 5 };
+
+    /// The paper's name tag for the rate change: `12` for 1/2-1/2, `23`
+    /// for 1/3-2/3, `235` for 2/5-3/5, `<lo><hi><den>` otherwise.
+    pub fn tag(self) -> String {
+        match (self.lo, self.hi, self.den) {
+            (1, 1, 2) => "12".into(),
+            (1, 2, 3) => "23".into(),
+            (2, 3, 5) => "235".into(),
+            (lo, hi, den) => format!("{lo}{hi}{den}"),
+        }
+    }
+}
+
+/// The dataflow interface of a generated (sub)filterbank.
+struct Block {
+    /// Input actors with their per-firing consumption from the feeding
+    /// edge.
+    inputs: Vec<(ActorId, u64)>,
+    /// Output actor and its per-firing production.
+    output: (ActorId, u64),
+}
+
+/// Builds the depth-`depth` two-sided filterbank `qmf<rates>_<depth>d`.
+///
+/// # Panics
+///
+/// Panics if rates are zero (edge construction would fail).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::filterbank::{two_sided_filterbank, FilterbankRates};
+/// use sdf_core::RepetitionsVector;
+///
+/// let g = two_sided_filterbank(2, FilterbankRates::THIRDS);
+/// assert_eq!(g.actor_count(), 20);
+/// assert!(RepetitionsVector::compute(&g).is_ok());
+/// ```
+pub fn two_sided_filterbank(depth: usize, rates: FilterbankRates) -> SdfGraph {
+    let mut g = SdfGraph::new(format!("qmf{}_{}d", rates.tag(), depth));
+    build_block(&mut g, depth, rates, "r", true);
+    g
+}
+
+/// Builds the depth-`depth` one-sided filterbank `nqmf<rates>_<depth>d`
+/// (only the low band recurses, Fig. 22).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::filterbank::{one_sided_filterbank, FilterbankRates};
+///
+/// let g = one_sided_filterbank(4, FilterbankRates::THIRDS);
+/// assert_eq!(g.actor_count(), 2 + 6 * 4); // n(d) = n(d-1) + 6
+/// ```
+pub fn one_sided_filterbank(depth: usize, rates: FilterbankRates) -> SdfGraph {
+    let mut g = SdfGraph::new(format!("nqmf{}_{}d", rates.tag(), depth));
+    build_block(&mut g, depth, rates, "r", false);
+    g
+}
+
+fn build_block(
+    g: &mut SdfGraph,
+    depth: usize,
+    rates: FilterbankRates,
+    prefix: &str,
+    two_sided: bool,
+) -> Block {
+    if depth == 0 {
+        let p1 = g.add_actor(format!("{prefix}_p1"));
+        let p2 = g.add_actor(format!("{prefix}_p2"));
+        g.add_edge(p1, p2, 1, 1).expect("unit rates are valid");
+        return Block {
+            inputs: vec![(p1, 1)],
+            output: (p2, 1),
+        };
+    }
+    let FilterbankRates { lo, hi, den } = rates;
+    let alp = g.add_actor(format!("{prefix}_alp"));
+    let ahp = g.add_actor(format!("{prefix}_ahp"));
+    let low = build_block(g, depth - 1, rates, &format!("{prefix}l"), two_sided);
+    let high = if two_sided {
+        build_block(g, depth - 1, rates, &format!("{prefix}h"), two_sided)
+    } else {
+        build_block(g, 0, rates, &format!("{prefix}h"), two_sided)
+    };
+    let slp = g.add_actor(format!("{prefix}_slp"));
+    let shp = g.add_actor(format!("{prefix}_shp"));
+
+    // Analysis outputs feed the sub-banks.
+    for &(a, c) in &low.inputs {
+        g.add_edge(alp, a, lo, c).expect("positive rates");
+    }
+    for &(a, c) in &high.inputs {
+        g.add_edge(ahp, a, hi, c).expect("positive rates");
+    }
+    // Synthesis: slp upsamples the low band (lo -> den), shp combines it
+    // with the high band (hi -> den) into the block output.
+    let (lo_out, lo_prod) = low.output;
+    let (hi_out, hi_prod) = high.output;
+    g.add_edge(lo_out, slp, lo_prod, lo).expect("positive rates");
+    g.add_edge(slp, shp, den, den).expect("positive rates");
+    g.add_edge(hi_out, shp, hi_prod, hi).expect("positive rates");
+
+    Block {
+        inputs: vec![(alp, den), (ahp, den)],
+        output: (shp, den),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn two_sided_node_counts_match_paper() {
+        // §10.1: depth 2, 3 and 5 filterbanks have 20, 44 and 188 nodes.
+        for (depth, expect) in [(1, 8), (2, 20), (3, 44), (4, 92), (5, 188)] {
+            let g = two_sided_filterbank(depth, FilterbankRates::HALVES);
+            assert_eq!(g.actor_count(), expect, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn all_rate_variants_consistent() {
+        for rates in [
+            FilterbankRates::HALVES,
+            FilterbankRates::THIRDS,
+            FilterbankRates::FIFTHS,
+        ] {
+            for depth in 1..=3 {
+                let g = two_sided_filterbank(depth, rates);
+                let q = RepetitionsVector::compute(&g);
+                assert!(q.is_ok(), "depth {depth} rates {rates:?}: {q:?}");
+                assert!(g.is_acyclic());
+                assert!(g.is_connected());
+            }
+        }
+    }
+
+    #[test]
+    fn one_sided_consistent() {
+        for depth in 1..=4 {
+            let g = one_sided_filterbank(depth, FilterbankRates::THIRDS);
+            assert!(RepetitionsVector::compute(&g).is_ok(), "depth {depth}");
+            assert!(g.is_acyclic());
+            assert!(g.is_connected());
+            assert_eq!(g.actor_count(), 2 + 6 * depth);
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_two_actor_chain() {
+        let g = two_sided_filterbank(0, FilterbankRates::HALVES);
+        assert_eq!(g.actor_count(), 2);
+        assert!(g.is_chain());
+    }
+
+    #[test]
+    fn block_behaves_as_identity_rate() {
+        // q(alp) == q(shp) at the top level: the bank consumes and produces
+        // at the same rate.
+        let g = two_sided_filterbank(3, FilterbankRates::THIRDS);
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let alp = g.actor_by_name("r_alp").unwrap();
+        let shp = g.actor_by_name("r_shp").unwrap();
+        assert_eq!(q.get(alp), q.get(shp));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let g = two_sided_filterbank(3, FilterbankRates::HALVES);
+        let mut names: Vec<&str> = g.actors().map(|a| g.actor_name(a)).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn deep_bank_repetition_counts_grow_geometrically() {
+        let g = two_sided_filterbank(3, FilterbankRates::HALVES);
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let top = g.actor_by_name("r_alp").unwrap();
+        let deep = g.actor_by_name("rlll_p1").unwrap();
+        // Two halving levels separate the top analysis filter from the
+        // deepest leaf (the leaf fires at its feeding filter's rate).
+        assert_eq!(q.get(top), 4 * q.get(deep));
+    }
+}

@@ -1,0 +1,88 @@
+//! The homogeneous M×N graph family of §10.2 (Fig. 26).
+//!
+//! A source fans out to `M` parallel chains of `N` actors each, all merging
+//! into one sink; every rate is 1.  No matter the schedule there are never
+//! more than `M + 1` live tokens, so the shared allocation should reach
+//! `M + 1` while a non-shared implementation needs one location per edge:
+//! `M(N − 1) + 2M = M(N + 1)`.
+
+use sdf_core::graph::SdfGraph;
+
+/// Builds the Fig. 26 graph with `m` chains of `n` actors.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::homogeneous::homogeneous_grid;
+///
+/// let g = homogeneous_grid(3, 4);
+/// assert_eq!(g.actor_count(), 2 + 3 * 4);
+/// assert_eq!(g.edge_count(), 3 * (4 + 1));
+/// assert!(g.is_homogeneous());
+/// ```
+pub fn homogeneous_grid(m: usize, n: usize) -> SdfGraph {
+    assert!(m > 0 && n > 0, "grid dimensions must be positive");
+    let mut g = SdfGraph::new(format!("homog_{m}x{n}"));
+    let src = g.add_actor("src");
+    let snk = g.add_actor("snk");
+    for row in 0..m {
+        let mut prev = src;
+        for col in 0..n {
+            let a = g.add_actor(format!("x{row}_{col}"));
+            g.add_edge(prev, a, 1, 1).expect("unit rates");
+            prev = a;
+        }
+        g.add_edge(prev, snk, 1, 1).expect("unit rates");
+    }
+    g
+}
+
+/// The non-shared memory a per-edge implementation needs: `M(N + 1)` (the
+/// paper writes it as `M(N − 1) + 2M`).
+pub fn nonshared_requirement(m: u64, n: u64) -> u64 {
+    m * (n + 1)
+}
+
+/// The shared-model optimum the paper reports: `M + 1` live tokens.
+pub fn shared_optimum(m: u64) -> u64 {
+    m + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn structure_and_counts() {
+        for (m, n) in [(1, 1), (2, 3), (5, 4), (8, 10)] {
+            let g = homogeneous_grid(m, n);
+            assert_eq!(g.actor_count(), 2 + m * n);
+            assert_eq!(g.edge_count(), m * (n + 1));
+            assert_eq!(
+                nonshared_requirement(m as u64, n as u64),
+                g.edge_count() as u64
+            );
+            assert!(g.is_acyclic());
+            assert!(g.is_connected());
+            assert!(g.is_homogeneous());
+        }
+    }
+
+    #[test]
+    fn all_repetitions_one() {
+        let g = homogeneous_grid(4, 6);
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(q.as_slice().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let _ = homogeneous_grid(0, 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Benchmark SDF application graphs.
+//!
+//! Every system the paper's evaluation section (§10) uses:
+//!
+//! * [`filterbank`] — parametric one-/two-sided QMF filterbanks
+//!   (Figs. 22–23) with the paper's node counts;
+//! * [`satrec`] — the satellite receiver (Fig. 24), rebuilt so its
+//!   repetitions vector matches the published APGAN schedule;
+//! * [`comms`] / [`dsp`] — the remaining Ptolemy-demo reconstructions
+//!   (16-QAM modem, 4-PAM link, block vocoder, overlap-add FFT, phased
+//!   array) plus the CD-to-DAT chain;
+//! * [`homogeneous`] — the M×N graphs of §10.2 (Fig. 26);
+//! * [`random`] — consistent-by-construction random SDF graphs (§10.3);
+//! * [`registry`] — all Table 1 systems by name.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf_apps::registry::by_name;
+//! use sdf_core::RepetitionsVector;
+//!
+//! let satrec = by_name("satrec").expect("registered benchmark");
+//! assert!(RepetitionsVector::compute(&satrec).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comms;
+pub mod extended;
+pub mod dsp;
+pub mod filterbank;
+pub mod homogeneous;
+pub mod random;
+pub mod registry;
+pub mod satrec;

@@ -1,0 +1,177 @@
+//! Random consistent SDF graph generation (§10.3's experimental workload).
+//!
+//! The generator is consistent-by-construction: each actor is first given a
+//! repetition count built from small prime factors, then edges are rated
+//! `prod = q(snk)/g · f`, `cons = q(src)/g · f` with `g = gcd(q(src),
+//! q(snk))`, which satisfies the balance equation by algebra.  A random
+//! spanning arborescence keeps the graph connected; all edges point from
+//! lower to higher index, so the result is acyclic.
+
+use rand::Rng;
+use sdf_core::graph::SdfGraph;
+
+/// Tunable parameters for the random graph generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomGraphConfig {
+    /// Number of actors.
+    pub actors: usize,
+    /// Target number of edges (at least `actors − 1` is used to keep the
+    /// graph connected).
+    pub edges: usize,
+    /// Largest extra rate multiplier `f` applied to an edge (≥ 1).
+    pub max_rate_multiplier: u64,
+    /// Probability that an edge carries initial tokens.
+    pub delay_probability: f64,
+}
+
+impl RandomGraphConfig {
+    /// The paper-style configuration: sparse (≈ 1.5 edges per actor),
+    /// delayless, modest rates.
+    pub fn paper_style(actors: usize) -> Self {
+        RandomGraphConfig {
+            actors,
+            edges: actors + actors / 2,
+            max_rate_multiplier: 2,
+            delay_probability: 0.0,
+        }
+    }
+}
+
+/// Generates a random connected, acyclic, consistent SDF graph.
+///
+/// # Panics
+///
+/// Panics if `config.actors == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sdf_apps::random::{random_sdf_graph, RandomGraphConfig};
+/// use sdf_core::RepetitionsVector;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = random_sdf_graph(&RandomGraphConfig::paper_style(20), &mut rng);
+/// assert_eq!(g.actor_count(), 20);
+/// assert!(RepetitionsVector::compute(&g).is_ok());
+/// assert!(g.is_acyclic());
+/// assert!(g.is_connected());
+/// ```
+pub fn random_sdf_graph<R: Rng + ?Sized>(config: &RandomGraphConfig, rng: &mut R) -> SdfGraph {
+    assert!(config.actors > 0, "graph must have at least one actor");
+    let n = config.actors;
+    let mut g = SdfGraph::new(format!("random_{n}"));
+    let ids: Vec<_> = (0..n).map(|i| g.add_actor(format!("n{i}"))).collect();
+
+    // Repetition counts with interesting shared factors.
+    let primes = [2u64, 2, 2, 3, 3, 5];
+    let q: Vec<u64> = (0..n)
+        .map(|_| {
+            let factors = rng.gen_range(0..=3);
+            (0..factors)
+                .map(|_| primes[rng.gen_range(0..primes.len())])
+                .product::<u64>()
+                .max(1)
+        })
+        .collect();
+
+    let add = |g: &mut SdfGraph, rng: &mut R, i: usize, j: usize| {
+        debug_assert!(i < j);
+        let gij = sdf_core::math::gcd(q[i], q[j]);
+        let f = rng.gen_range(1..=config.max_rate_multiplier.max(1));
+        let prod = q[j] / gij * f;
+        let cons = q[i] / gij * f;
+        let delay = if rng.gen_bool(config.delay_probability) {
+            cons * rng.gen_range(1..=2)
+        } else {
+            0
+        };
+        g.add_edge_with_delay(ids[i], ids[j], prod, cons, delay)
+            .expect("construction keeps rates positive");
+    };
+
+    // Spanning structure: every actor after the first attaches to an
+    // earlier one.
+    for j in 1..n {
+        let i = rng.gen_range(0..j);
+        add(&mut g, rng, i, j);
+    }
+    // Extra forward edges up to the target count.
+    let extra = config.edges.saturating_sub(n - 1);
+    for _ in 0..extra {
+        if n < 2 {
+            break;
+        }
+        let i = rng.gen_range(0..n - 1);
+        let j = rng.gen_range(i + 1..n);
+        add(&mut g, rng, i, j);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn always_consistent_connected_acyclic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for size in [1, 2, 5, 20, 50] {
+            for _ in 0..20 {
+                let g = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+                assert!(RepetitionsVector::compute(&g).is_ok(), "{}", g.name());
+                assert!(g.is_acyclic());
+                assert!(g.is_connected());
+            }
+        }
+    }
+
+    #[test]
+    fn respects_edge_target() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = RandomGraphConfig {
+            actors: 30,
+            edges: 45,
+            max_rate_multiplier: 3,
+            delay_probability: 0.0,
+        };
+        let g = random_sdf_graph(&cfg, &mut rng);
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn delays_appear_when_requested() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let cfg = RandomGraphConfig {
+            actors: 40,
+            edges: 60,
+            max_rate_multiplier: 2,
+            delay_probability: 0.5,
+        };
+        let g = random_sdf_graph(&cfg, &mut rng);
+        assert!(g.total_delay() > 0);
+        assert!(RepetitionsVector::compute(&g).is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = RandomGraphConfig::paper_style(15);
+        let g1 = random_sdf_graph(&cfg, &mut rand::rngs::StdRng::seed_from_u64(42));
+        let g2 = random_sdf_graph(&cfg, &mut rand::rngs::StdRng::seed_from_u64(42));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g1.edges().map(|(_, e)| *e).collect();
+        let e2: Vec<_> = g2.edges().map(|(_, e)| *e).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn repetition_vector_magnitudes_are_moderate() {
+        // Guard against rate blowups that would make the experiments slow.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = random_sdf_graph(&RandomGraphConfig::paper_style(100), &mut rng);
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(q.total_firings() < 2_000_000, "{}", q.total_firings());
+    }
+}

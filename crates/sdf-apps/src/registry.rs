@@ -1,0 +1,114 @@
+//! The named benchmark registry: every practical system of Table 1.
+
+use sdf_core::graph::SdfGraph;
+
+use crate::comms::{modem_16qam, pam4_xmitrec};
+use crate::dsp::{block_vocoder, cd_to_dat, overlap_add_fft, phased_array};
+use crate::filterbank::{one_sided_filterbank, two_sided_filterbank, FilterbankRates};
+use crate::satrec::satellite_receiver;
+
+/// Builds every practical benchmark of the paper's Table 1, in the table's
+/// row order, as `(name, graph)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::registry::table1_systems;
+///
+/// let systems = table1_systems();
+/// assert!(systems.iter().any(|g| g.name() == "satrec"));
+/// ```
+pub fn table1_systems() -> Vec<SdfGraph> {
+    vec![
+        one_sided_filterbank(4, FilterbankRates::THIRDS), // nqmf23_4d
+        two_sided_filterbank(2, FilterbankRates::THIRDS), // qmf23_2d
+        two_sided_filterbank(3, FilterbankRates::THIRDS), // qmf23_3d
+        two_sided_filterbank(2, FilterbankRates::HALVES), // qmf12_2d
+        two_sided_filterbank(3, FilterbankRates::HALVES), // qmf12_3d
+        two_sided_filterbank(5, FilterbankRates::HALVES), // qmf12_5d
+        two_sided_filterbank(2, FilterbankRates::FIFTHS), // qmf235_2d
+        two_sided_filterbank(3, FilterbankRates::FIFTHS), // qmf235_3d
+        two_sided_filterbank(5, FilterbankRates::FIFTHS), // qmf235_5d
+        satellite_receiver(),
+        modem_16qam(),
+        pam4_xmitrec(),
+        block_vocoder(),
+        overlap_add_fft(),
+        phased_array(),
+    ]
+}
+
+/// Looks up one benchmark by its Table 1 name (e.g. `"qmf23_2d"`).
+pub fn by_name(name: &str) -> Option<SdfGraph> {
+    table1_systems().into_iter().find(|g| g.name() == name)
+}
+
+/// The CD-to-DAT chain used by the §11.1.3 bounds discussion (not part of
+/// Table 1).
+pub fn cd_dat() -> SdfGraph {
+    cd_to_dat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::RepetitionsVector;
+
+    #[test]
+    fn all_systems_build_and_are_consistent() {
+        let systems = table1_systems();
+        assert_eq!(systems.len(), 15);
+        for g in &systems {
+            assert!(
+                RepetitionsVector::compute(g).is_ok(),
+                "inconsistent: {}",
+                g.name()
+            );
+            assert!(g.is_acyclic(), "cyclic: {}", g.name());
+            assert!(g.is_connected(), "disconnected: {}", g.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let names: Vec<String> = table1_systems()
+            .iter()
+            .map(|g| g.name().to_string())
+            .collect();
+        let expect = [
+            "nqmf23_4d",
+            "qmf23_2d",
+            "qmf23_3d",
+            "qmf12_2d",
+            "qmf12_3d",
+            "qmf12_5d",
+            "qmf235_2d",
+            "qmf235_3d",
+            "qmf235_5d",
+            "satrec",
+            "16qamModem",
+            "4pamxmitrec",
+            "blockVox",
+            "overAddFFT",
+            "phasedArray",
+        ];
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("satrec").is_some());
+        assert!(by_name("qmf12_2d").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn filterbank_sizes_match_section_10() {
+        let depth5 = by_name("qmf12_5d").unwrap();
+        assert_eq!(depth5.actor_count(), 188);
+        let depth3 = by_name("qmf12_3d").unwrap();
+        assert_eq!(depth3.actor_count(), 44);
+        let depth2 = by_name("qmf12_2d").unwrap();
+        assert_eq!(depth2.actor_count(), 20);
+    }
+}

@@ -1,0 +1,462 @@
+//! Command-line front end for the `sdfmem` workspace.
+//!
+//! Parses SDF graphs from the [`sdf_core::io`] text format and drives the
+//! full pipeline: consistency analysis, scheduling, lifetime analysis,
+//! allocation and C code generation.  See `sdfmem help` for usage.
+//!
+//! The argument parsing and command execution live in this library so
+//! they can be unit-tested; `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use sdf_alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
+use sdf_codegen::{generate_nonshared_c, generate_shared_c};
+use sdf_core::bounds::{bmlb, min_buffer_bound};
+use sdf_core::graph::SdfGraph;
+use sdf_core::repetitions::RepetitionsVector;
+use sdf_core::SdfError;
+use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::{ConflictGraph, IntersectionGraph};
+use sdf_sched::{apgan, dppo, rpmc, sdppo};
+
+/// Which topological-sort heuristic to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Method {
+    /// APGAN (bottom-up clustering).
+    #[default]
+    Apgan,
+    /// RPMC (top-down min-cut partitioning).
+    Rpmc,
+}
+
+/// Which buffer model to target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Model {
+    /// One shared pool, lifetime-packed (the paper's contribution).
+    #[default]
+    Shared,
+    /// One array per edge (the DPPO baseline).
+    NonShared,
+}
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `sdfmem info <file>`.
+    Info {
+        /// Graph file path.
+        file: String,
+    },
+    /// `sdfmem bounds <file>`.
+    Bounds {
+        /// Graph file path.
+        file: String,
+    },
+    /// `sdfmem schedule <file> [--method M] [--model M]`.
+    Schedule {
+        /// Graph file path.
+        file: String,
+        /// Topological-sort heuristic.
+        method: Method,
+        /// Buffer model.
+        model: Model,
+    },
+    /// `sdfmem allocate <file> [--method M]`.
+    Allocate {
+        /// Graph file path.
+        file: String,
+        /// Topological-sort heuristic.
+        method: Method,
+    },
+    /// `sdfmem codegen <file> [--method M] [--model M]`.
+    Codegen {
+        /// Graph file path.
+        file: String,
+        /// Topological-sort heuristic.
+        method: Method,
+        /// Buffer model.
+        model: Model,
+    },
+    /// `sdfmem gantt <file> [--method M]` — lifetime chart.
+    Gantt {
+        /// Graph file path.
+        file: String,
+        /// Topological-sort heuristic.
+        method: Method,
+    },
+    /// `sdfmem dot <file>` — Graphviz export.
+    Dot {
+        /// Graph file path.
+        file: String,
+    },
+    /// `sdfmem help`.
+    Help,
+}
+
+/// Usage text shown by `help` and on argument errors.
+pub const USAGE: &str = "\
+sdfmem — shared-memory SDF scheduling (Murthy & Bhattacharyya, DATE 2000)
+
+USAGE:
+    sdfmem <COMMAND> <graph-file> [OPTIONS]
+
+COMMANDS:
+    info      graph statistics and the repetitions vector
+    bounds    buffer-memory lower bounds (BMLB, all-schedules)
+    schedule  construct a single appearance schedule
+    allocate  pack all buffers into one shared pool
+    codegen   emit the C implementation
+    gantt     ASCII lifetime chart of all buffers
+    dot       Graphviz export of the graph
+    help      show this text
+
+OPTIONS:
+    --method apgan|rpmc      topological-sort heuristic (default apgan)
+    --model  shared|nonshared  buffer model (default shared)
+
+GRAPH FILE FORMAT:
+    graph NAME
+    actor NAME
+    edge SRC SNK PROD CONS [delay D]
+";
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, missing files or
+/// bad option values.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        return Ok(Command::Help);
+    }
+    let file = it
+        .next()
+        .cloned()
+        .ok_or_else(|| format!("missing graph file for `{cmd}`"))?;
+    let mut method = Method::default();
+    let mut model = Model::default();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--method" => {
+                method = match it.next().map(String::as_str) {
+                    Some("apgan") => Method::Apgan,
+                    Some("rpmc") => Method::Rpmc,
+                    other => return Err(format!("bad --method value: {other:?}")),
+                }
+            }
+            "--model" => {
+                model = match it.next().map(String::as_str) {
+                    Some("shared") => Model::Shared,
+                    Some("nonshared") => Model::NonShared,
+                    other => return Err(format!("bad --model value: {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    match cmd {
+        "info" => Ok(Command::Info { file }),
+        "bounds" => Ok(Command::Bounds { file }),
+        "schedule" => Ok(Command::Schedule { file, method, model }),
+        "allocate" => Ok(Command::Allocate { file, method }),
+        "codegen" => Ok(Command::Codegen { file, method, model }),
+        "gantt" => Ok(Command::Gantt { file, method }),
+        "dot" => Ok(Command::Dot { file }),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load(file: &str) -> Result<SdfGraph, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    sdf_core::io::parse_graph(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+fn order_for(graph: &SdfGraph, q: &RepetitionsVector, method: Method) -> Result<Vec<sdf_core::ActorId>, SdfError> {
+    match method {
+        Method::Apgan => apgan(graph, q),
+        Method::Rpmc => rpmc(graph, q),
+    }
+}
+
+/// Executes a command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any I/O, parse or analysis error.
+pub fn run(command: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Info { file } => {
+            let g = load(file)?;
+            let _ = write!(out, "{g}");
+            match RepetitionsVector::compute(&g) {
+                Ok(q) => {
+                    let _ = writeln!(out, "consistent; period of {} firings", q.total_firings());
+                    for a in g.actors() {
+                        let _ = writeln!(out, "  q({}) = {}", g.actor_name(a), q.get(a));
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "INCONSISTENT: {e}");
+                }
+            }
+        }
+        Command::Bounds { file } => {
+            let g = load(file)?;
+            RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "BMLB (over all SASs):           {}", bmlb(&g));
+            let _ = writeln!(out, "bound over all valid schedules: {}", min_buffer_bound(&g));
+        }
+        Command::Schedule { file, method, model } => {
+            let g = load(file)?;
+            let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
+            let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
+            match model {
+                Model::NonShared => {
+                    let r = dppo(&g, &q, &order).map_err(|e| e.to_string())?;
+                    let _ = writeln!(out, "schedule: {}", r.tree.to_looped_schedule().display(&g));
+                    let _ = writeln!(out, "bufmem (non-shared): {}", r.bufmem);
+                }
+                Model::Shared => {
+                    let r = sdppo(&g, &q, &order).map_err(|e| e.to_string())?;
+                    let _ = writeln!(out, "schedule: {}", r.tree.to_looped_schedule().display(&g));
+                    let _ = writeln!(out, "shared cost estimate: {}", r.shared_cost);
+                }
+            }
+        }
+        Command::Allocate { file, method } => {
+            let g = load(file)?;
+            let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
+            let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
+            let shared = sdppo(&g, &q, &order).map_err(|e| e.to_string())?;
+            let tree = ScheduleTree::build(&g, &q, &shared.tree).map_err(|e| e.to_string())?;
+            let wig = IntersectionGraph::build(&g, &q, &tree);
+            let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+            validate_allocation(&wig, &alloc).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "schedule: {}", shared.tree.to_looped_schedule().display(&g));
+            let stats = sdf_alloc::allocation_stats(&wig, &alloc);
+            let _ = writeln!(
+                out,
+                "pool: {} words (non-shared would need {}; mco {}, mcp {})",
+                alloc.total(),
+                wig.total_size(),
+                mcw_optimistic(&wig),
+                mcw_pessimistic(&wig)
+            );
+            let _ = writeln!(
+                out,
+                "packing factor {:.2}x; {} of {} buffers overlaid",
+                stats.packing_factor, stats.overlaid_buffers, stats.buffer_count
+            );
+            for (i, buf) in wig.buffers().iter().enumerate() {
+                let e = g.edge(buf.edge);
+                let _ = writeln!(
+                    out,
+                    "  {:>4}..{:<4}  {} -> {} ({} words)",
+                    alloc.offset(i),
+                    alloc.offset(i) + wig.size(i),
+                    g.actor_name(e.src),
+                    g.actor_name(e.snk),
+                    wig.size(i)
+                );
+            }
+        }
+        Command::Dot { file } => {
+            let g = load(file)?;
+            out.push_str(&sdf_core::io::to_dot(&g));
+        }
+        Command::Gantt { file, method } => {
+            let g = load(file)?;
+            let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
+            let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
+            let shared = sdppo(&g, &q, &order).map_err(|e| e.to_string())?;
+            let tree = ScheduleTree::build(&g, &q, &shared.tree).map_err(|e| e.to_string())?;
+            let wig = IntersectionGraph::build(&g, &q, &tree);
+            let _ = writeln!(
+                out,
+                "schedule: {}\n",
+                shared.tree.to_looped_schedule().display(&g)
+            );
+            out.push_str(&sdf_lifetime::gantt::render_gantt(&g, &tree, &wig, 96));
+        }
+        Command::Codegen { file, method, model } => {
+            let g = load(file)?;
+            let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
+            let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
+            let code = match model {
+                Model::NonShared => {
+                    let r = dppo(&g, &q, &order).map_err(|e| e.to_string())?;
+                    generate_nonshared_c(&g, &q, &r.tree.to_looped_schedule())
+                        .map_err(|e| e.to_string())?
+                }
+                Model::Shared => {
+                    let r = sdppo(&g, &q, &order).map_err(|e| e.to_string())?;
+                    let tree = ScheduleTree::build(&g, &q, &r.tree).map_err(|e| e.to_string())?;
+                    let wig = IntersectionGraph::build(&g, &q, &tree);
+                    let alloc = allocate(
+                        &wig,
+                        AllocationOrder::DurationDescending,
+                        PlacementPolicy::FirstFit,
+                    );
+                    generate_shared_c(&g, &q, &r.tree, &wig, &alloc).map_err(|e| e.to_string())?
+                }
+            };
+            out.push_str(&code);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        for h in [&["help"][..], &["--help"], &["-h"], &[]] {
+            assert_eq!(parse_args(&args(h)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn parse_commands_with_options() {
+        assert_eq!(
+            parse_args(&args(&["info", "g.sdf"])).unwrap(),
+            Command::Info { file: "g.sdf".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["schedule", "g.sdf", "--method", "rpmc", "--model", "nonshared"]))
+                .unwrap(),
+            Command::Schedule {
+                file: "g.sdf".into(),
+                method: Method::Rpmc,
+                model: Model::NonShared
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["codegen", "g.sdf", "--model", "shared"])).unwrap(),
+            Command::Codegen {
+                file: "g.sdf".into(),
+                method: Method::Apgan,
+                model: Model::Shared
+            }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&["frobnicate", "x"])).is_err());
+        assert!(parse_args(&args(&["info"])).is_err());
+        assert!(parse_args(&args(&["schedule", "g", "--method", "magic"])).is_err());
+        assert!(parse_args(&args(&["schedule", "g", "--bogus"])).is_err());
+    }
+
+    fn write_fig2() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sdfmem-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("fig2-{}.sdf", std::process::id()));
+        std::fs::write(
+            &path,
+            "graph fig2\nedge A B 20 10\nedge B C 20 10\n",
+        )
+        .expect("write temp graph");
+        path
+    }
+
+    #[test]
+    fn end_to_end_info() {
+        let path = write_fig2();
+        let out = run(&Command::Info {
+            file: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("consistent"), "{out}");
+        assert!(out.contains("q(C) = 4"), "{out}");
+    }
+
+    #[test]
+    fn end_to_end_schedule_and_allocate() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let s = run(&Command::Schedule {
+            file: file.clone(),
+            method: Method::Apgan,
+            model: Model::Shared,
+        })
+        .unwrap();
+        assert!(s.contains("schedule:"), "{s}");
+        let a = run(&Command::Allocate {
+            file,
+            method: Method::Apgan,
+        })
+        .unwrap();
+        assert!(a.contains("pool:"), "{a}");
+        assert!(a.contains("A -> B"), "{a}");
+    }
+
+    #[test]
+    fn end_to_end_codegen() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let c = run(&Command::Codegen {
+            file,
+            method: Method::Rpmc,
+            model: Model::Shared,
+        })
+        .unwrap();
+        assert!(c.contains("float mem["), "{c}");
+        assert!(c.contains("run_schedule"), "{c}");
+    }
+
+    #[test]
+    fn end_to_end_gantt_and_dot() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let g = run(&Command::Gantt {
+            file: file.clone(),
+            method: Method::Apgan,
+        })
+        .unwrap();
+        assert!(g.contains("schedule:"), "{g}");
+        assert!(g.contains('#'), "{g}");
+        assert!(g.contains("(A,B)"), "{g}");
+        let d = run(&Command::Dot { file }).unwrap();
+        assert!(d.contains("digraph \"fig2\""), "{d}");
+        assert!(d.contains("label=\"20,10\""), "{d}");
+    }
+
+    #[test]
+    fn parse_gantt_and_dot_commands() {
+        assert_eq!(
+            parse_args(&args(&["gantt", "g.sdf", "--method", "rpmc"])).unwrap(),
+            Command::Gantt {
+                file: "g.sdf".into(),
+                method: Method::Rpmc
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["dot", "g.sdf"])).unwrap(),
+            Command::Dot { file: "g.sdf".into() }
+        );
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&Command::Info {
+            file: "/nonexistent/x.sdf".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

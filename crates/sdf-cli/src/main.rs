@@ -1,0 +1,13 @@
+//! The `sdfmem` command-line tool; all logic lives in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sdf_cli::parse_args(&args).and_then(|cmd| sdf_cli::run(&cmd)) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{}", sdf_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! C code generation from looped SDF schedules.
+//!
+//! The paper's synthesis flow threads actor code blocks together following
+//! the schedule; this crate emits that scaffolding as compilable C:
+//! nested `for` loops mirroring the loop hierarchy, one extern firing
+//! function per actor, and buffer definitions under either memory model:
+//!
+//! * **non-shared** — one statically sized array per edge
+//!   ([`generate_nonshared_c`]);
+//! * **shared** — a single memory pool with per-edge offsets taken from a
+//!   first-fit allocation ([`generate_shared_c`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf_core::{SdfGraph, RepetitionsVector, LoopedSchedule};
+//! use sdf_codegen::generate_nonshared_c;
+//!
+//! # fn main() -> Result<(), sdf_core::SdfError> {
+//! let mut g = SdfGraph::new("fig2");
+//! let a = g.add_actor("A");
+//! let b = g.add_actor("B");
+//! let c = g.add_actor("C");
+//! g.add_edge(a, b, 20, 10)?;
+//! g.add_edge(b, c, 20, 10)?;
+//! let q = RepetitionsVector::compute(&g)?;
+//! let s = LoopedSchedule::parse("A(2B(2C))", &g)?;
+//! let code = generate_nonshared_c(&g, &q, &s)?;
+//! assert!(code.contains("float buf_e0[20]"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use sdf_alloc::Allocation;
+use sdf_core::error::SdfError;
+use sdf_core::graph::{ActorId, SdfGraph};
+use sdf_core::repetitions::RepetitionsVector;
+use sdf_core::schedule::{LoopedSchedule, SasTree, ScheduleNode};
+use sdf_core::simulate::validate_schedule;
+use sdf_lifetime::wig::IntersectionGraph;
+
+/// Sanitises a name into a C identifier (alphanumerics and underscores,
+/// never starting with a digit).
+fn c_ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            if i == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Emits the extern firing-function declarations, one per actor, with a
+/// pointer parameter per incident edge.
+fn emit_actor_decls(graph: &SdfGraph, out: &mut String) {
+    for a in graph.actors() {
+        let ins = graph.in_edges(a).len();
+        let outs = graph.out_edges(a).len();
+        let mut params: Vec<String> = Vec::with_capacity(ins + outs);
+        for (i, _) in graph.in_edges(a).iter().enumerate() {
+            params.push(format!("const float *in{i}"));
+        }
+        for (i, _) in graph.out_edges(a).iter().enumerate() {
+            params.push(format!("float *out{i}"));
+        }
+        let params = if params.is_empty() {
+            "void".to_string()
+        } else {
+            params.join(", ")
+        };
+        let _ = writeln!(out, "extern void fire_{}({});", c_ident(graph.actor_name(a)), params);
+    }
+}
+
+/// Emits one firing call for `actor`, passing its edge buffers.
+fn emit_fire(graph: &SdfGraph, actor: ActorId, indent: usize, out: &mut String) {
+    let mut args: Vec<String> = Vec::new();
+    for &e in graph.in_edges(actor) {
+        args.push(format!("buf_e{}", e.index()));
+    }
+    for &e in graph.out_edges(actor) {
+        args.push(format!("buf_e{}", e.index()));
+    }
+    let _ = writeln!(
+        out,
+        "{:indent$}fire_{}({});",
+        "",
+        c_ident(graph.actor_name(actor)),
+        args.join(", "),
+        indent = indent
+    );
+}
+
+fn emit_body(graph: &SdfGraph, body: &[ScheduleNode], indent: usize, depth: usize, out: &mut String) {
+    for node in body {
+        match node {
+            ScheduleNode::Fire { actor, count } => {
+                if *count == 1 {
+                    emit_fire(graph, *actor, indent, out);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{:indent$}for (int i{depth} = 0; i{depth} < {count}; ++i{depth}) {{",
+                        "",
+                        indent = indent
+                    );
+                    emit_fire(graph, *actor, indent + 4, out);
+                    let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
+                }
+            }
+            ScheduleNode::Loop { count, body } => {
+                let _ = writeln!(
+                    out,
+                    "{:indent$}for (int i{depth} = 0; i{depth} < {count}; ++i{depth}) {{",
+                    "",
+                    indent = indent
+                );
+                emit_body(graph, body, indent + 4, depth + 1, out);
+                let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
+            }
+        }
+    }
+}
+
+fn emit_schedule_function(graph: &SdfGraph, schedule: &LoopedSchedule, out: &mut String) {
+    out.push_str("\nvoid run_schedule(void) {\n");
+    emit_body(graph, schedule.body(), 4, 0, out);
+    out.push_str("}\n");
+}
+
+/// Generates C for the non-shared model: one array per edge sized to its
+/// `max_tokens` under `schedule`.
+///
+/// # Errors
+///
+/// Returns an error if `schedule` is not a valid schedule for `graph`
+/// (the simulation that sizes the buffers must complete).
+pub fn generate_nonshared_c(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    schedule: &LoopedSchedule,
+) -> Result<String, SdfError> {
+    let report = validate_schedule(graph, schedule, q)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* Generated by sdfmem: graph \"{}\", non-shared buffers ({} words). */",
+        graph.name(),
+        report.bufmem()
+    );
+    out.push('\n');
+    for (id, e) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "float buf_e{}[{}]; /* {} -> {} */",
+            id.index(),
+            report.max_tokens(id).max(1),
+            graph.actor_name(e.src),
+            graph.actor_name(e.snk)
+        );
+    }
+    out.push('\n');
+    emit_actor_decls(graph, &mut out);
+    emit_schedule_function(graph, schedule, &mut out);
+    Ok(out)
+}
+
+/// Generates C for the shared model: a single `float mem[total]` pool with
+/// per-edge offset macros taken from `allocation`.
+///
+/// `wig` and `allocation` must come from the same schedule as `sas` (the
+/// usual pipeline guarantees this).
+///
+/// # Errors
+///
+/// Returns an error if the SAS is invalid for the graph, or if the
+/// allocation does not cover every edge of the graph.
+pub fn generate_shared_c(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    sas: &SasTree,
+    wig: &IntersectionGraph,
+    allocation: &Allocation,
+) -> Result<String, SdfError> {
+    sas.validate(graph, q)?;
+    let schedule = sas.to_looped_schedule();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* Generated by sdfmem: graph \"{}\", shared pool of {} words. */",
+        graph.name(),
+        allocation.total()
+    );
+    out.push('\n');
+    let _ = writeln!(out, "float mem[{}];", allocation.total().max(1));
+    for (id, e) in graph.edges() {
+        let i = wig.buffer_of_edge(id)?;
+        let _ = writeln!(
+            out,
+            "#define buf_e{} (mem + {}) /* {} -> {}, {} words */",
+            id.index(),
+            allocation.offset(i),
+            graph.actor_name(e.src),
+            graph.actor_name(e.snk),
+            wig.buffer(i).lifetime.size()
+        );
+    }
+    out.push('\n');
+    emit_actor_decls(graph, &mut out);
+    emit_schedule_function(graph, &schedule, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+    use sdf_core::schedule::{SasNode, SasTree};
+    use sdf_lifetime::tree::ScheduleTree;
+
+    fn fig2() -> (SdfGraph, RepetitionsVector, SasTree) {
+        let mut g = SdfGraph::new("fig2");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 20, 10).unwrap();
+        g.add_edge(b, c, 20, 10).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let sas = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(a, 1),
+            SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+        ));
+        (g, q, sas)
+    }
+
+    fn balanced(code: &str) {
+        let mut depth = 0i64;
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced braces in:\n{code}");
+        }
+        assert_eq!(depth, 0, "unbalanced braces in:\n{code}");
+    }
+
+    #[test]
+    fn nonshared_arrays_sized_by_max_tokens() {
+        let (g, q, sas) = fig2();
+        let code = generate_nonshared_c(&g, &q, &sas.to_looped_schedule()).unwrap();
+        assert!(code.contains("float buf_e0[20]"), "{code}");
+        assert!(code.contains("float buf_e1[20]"), "{code}");
+        assert!(code.contains("for (int i0 = 0; i0 < 2; ++i0)"), "{code}");
+        assert!(code.contains("fire_A(buf_e0);"), "{code}");
+        assert!(code.contains("fire_B(buf_e0, buf_e1);"), "{code}");
+        assert!(code.contains("fire_C(buf_e1);"), "{code}");
+        balanced(&code);
+    }
+
+    #[test]
+    fn shared_pool_and_offsets() {
+        let (g, q, sas) = fig2();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let wig = IntersectionGraph::build(&g, &q, &tree);
+        let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let code = generate_shared_c(&g, &q, &sas, &wig, &alloc).unwrap();
+        assert!(code.contains(&format!("float mem[{}];", alloc.total())), "{code}");
+        assert!(code.contains("#define buf_e0 (mem + "), "{code}");
+        assert!(code.contains("#define buf_e1 (mem + "), "{code}");
+        balanced(&code);
+    }
+
+    #[test]
+    fn counted_firings_become_loops() {
+        let (g, q, _) = fig2();
+        let flat = LoopedSchedule::parse("A(2B)(4C)", &g).unwrap();
+        let code = generate_nonshared_c(&g, &q, &flat).unwrap();
+        assert!(code.contains("i0 < 4"), "{code}");
+        balanced(&code);
+    }
+
+    #[test]
+    fn identifiers_sanitised() {
+        assert_eq!(c_ident("16qamModem"), "_16qamModem");
+        assert_eq!(c_ident("r_alp"), "r_alp");
+        assert_eq!(c_ident("a-b c"), "a_b_c");
+        assert_eq!(c_ident(""), "_");
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let (g, q, _) = fig2();
+        let bad = LoopedSchedule::parse("A B C", &g).unwrap();
+        assert!(generate_nonshared_c(&g, &q, &bad).is_err());
+    }
+
+    #[test]
+    fn source_only_actor_gets_void_params() {
+        let mut g = SdfGraph::new("src");
+        let a = g.add_actor("A");
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let s = LoopedSchedule::parse("A", &g).unwrap();
+        let code = generate_nonshared_c(&g, &q, &s).unwrap();
+        assert!(code.contains("extern void fire_A(void);"), "{code}");
+        let _ = a;
+    }
+}

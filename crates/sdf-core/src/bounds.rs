@@ -1,0 +1,178 @@
+//! Buffer-memory lower bounds (§11.1.3 of the paper).
+//!
+//! Two per-edge bounds bracket what any scheduler can achieve:
+//!
+//! * the **BMLB** — the minimum buffer size on an edge over all *single
+//!   appearance* schedules: `ab/c + d` if `d < ab/c`, else `d`
+//!   (with `a = prod`, `b = cns`, `c = gcd(a, b)`, `d = delay`);
+//! * the **all-schedules bound** — the minimum over *all* valid schedules:
+//!   `a + b − c + (d mod c)` if `d < a + b − c`, else `d`.
+//!
+//! Summed over edges these give graph-level lower bounds used as the
+//! comparison baseline in Table 1.
+
+use crate::graph::SdfGraph;
+use crate::math::gcd;
+
+/// The BMLB of a single edge: the minimum `max_tokens` over all valid SASs.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::bounds::bmlb_edge;
+/// assert_eq!(bmlb_edge(2, 3, 0), 6);  // ab/c = 6
+/// assert_eq!(bmlb_edge(2, 3, 4), 10); // d < ab/c, so ab/c + d
+/// assert_eq!(bmlb_edge(2, 3, 9), 9);  // d >= ab/c, so d
+/// ```
+pub fn bmlb_edge(prod: u64, cons: u64, delay: u64) -> u64 {
+    let c = gcd(prod, cons);
+    let lower = prod / c * cons;
+    if delay < lower {
+        lower + delay
+    } else {
+        delay
+    }
+}
+
+/// The minimum buffer size on an edge over **all** valid schedules (not just
+/// SASs); see §11.1.3.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::bounds::min_buffer_edge;
+/// assert_eq!(min_buffer_edge(2, 3, 0), 4); // a + b - c = 4
+/// assert_eq!(min_buffer_edge(2, 3, 100), 100);
+/// ```
+pub fn min_buffer_edge(prod: u64, cons: u64, delay: u64) -> u64 {
+    let c = gcd(prod, cons);
+    let bound = prod + cons - c;
+    if delay < bound {
+        bound + delay % c
+    } else {
+        delay
+    }
+}
+
+/// Graph-level BMLB: the sum of [`bmlb_edge`] over all edges. A lower bound
+/// on `bufmem(S)` over all valid SASs under the non-shared model.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, bounds::bmlb};
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig1");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 2, 1)?;
+/// g.add_edge(b, c, 1, 3)?;
+/// assert_eq!(bmlb(&g), 2 + 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bmlb(graph: &SdfGraph) -> u64 {
+    graph
+        .edges()
+        .map(|(_, e)| bmlb_edge(e.prod, e.cons, e.delay))
+        .sum()
+}
+
+/// Graph-level all-schedules bound: the sum of [`min_buffer_edge`] over all
+/// edges.  A lower bound on `bufmem(S)` over every valid schedule.
+pub fn min_buffer_bound(graph: &SdfGraph) -> u64 {
+    graph
+        .edges()
+        .map(|(_, e)| min_buffer_edge(e.prod, e.cons, e.delay))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repetitions::RepetitionsVector;
+    use crate::schedule::LoopedSchedule;
+    use crate::simulate::validate_schedule;
+
+    #[test]
+    fn bmlb_edge_coprime_rates() {
+        // gcd 1: bound is a*b.
+        assert_eq!(bmlb_edge(3, 5, 0), 15);
+    }
+
+    #[test]
+    fn bmlb_edge_divisible_rates() {
+        // a=4, b=2, c=2: ab/c = 4.
+        assert_eq!(bmlb_edge(4, 2, 0), 4);
+        assert_eq!(bmlb_edge(1, 1, 0), 1);
+    }
+
+    #[test]
+    fn bmlb_edge_delay_dominates() {
+        assert_eq!(bmlb_edge(1, 1, 5), 5);
+    }
+
+    #[test]
+    fn min_buffer_edge_homogeneous() {
+        // a=b=c=1: bound 1.
+        assert_eq!(min_buffer_edge(1, 1, 0), 1);
+    }
+
+    #[test]
+    fn min_buffer_below_bmlb() {
+        // The all-schedules bound never exceeds the SAS bound.
+        for (a, b) in [(2u64, 3u64), (7, 5), (8, 6), (10, 4), (1, 9)] {
+            assert!(min_buffer_edge(a, b, 0) <= bmlb_edge(a, b, 0));
+        }
+    }
+
+    #[test]
+    fn min_buffer_delay_mod() {
+        // a=4, b=6, c=2, bound=8; d=3 < 8 so result 8 + 3 % 2 = 9.
+        assert_eq!(min_buffer_edge(4, 6, 3), 9);
+    }
+
+    #[test]
+    fn bmlb_achieved_by_fully_nested_schedule() {
+        // A --2,3--> B, q = (3, 2): schedule (3A(2B))? not valid; the
+        // BMLB-achieving SAS interleaves maximally: here (3A)(2B) has max 6,
+        // the nested (A(...)) forms cannot go below ab/c = 6.
+        let mut g = SdfGraph::new("t");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let e = g.add_edge(a, b, 2, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b);
+        let s = LoopedSchedule::parse("(3A)(2B)", &g).unwrap();
+        let r = validate_schedule(&g, &s, &q).unwrap();
+        assert_eq!(r.max_tokens(e), bmlb_edge(2, 3, 0));
+    }
+
+    #[test]
+    fn min_buffer_achieved_by_demand_driven_firing() {
+        // A --2,3--> B: firing A A B A B uses at most 4 = a+b-c tokens.
+        let mut g = SdfGraph::new("t");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let e = g.add_edge(a, b, 2, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b);
+        let s = LoopedSchedule::parse("A A B A B", &g).unwrap();
+        let r = validate_schedule(&g, &s, &q).unwrap();
+        assert_eq!(r.max_tokens(e), min_buffer_edge(2, 3, 0));
+    }
+
+    #[test]
+    fn graph_bounds_sum_edges() {
+        let mut g = SdfGraph::new("t");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 2, 3).unwrap();
+        g.add_edge_with_delay(b, c, 1, 1, 7).unwrap();
+        assert_eq!(bmlb(&g), 6 + 7);
+        assert_eq!(min_buffer_bound(&g), 4 + 7);
+    }
+}

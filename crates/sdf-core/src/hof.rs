@@ -1,0 +1,227 @@
+//! Higher-order graph constructors (§12's closing discussion).
+//!
+//! The paper points to Lee's higher-order functions — graphical blocks
+//! that expand into regular structures — as the right way to author
+//! large, fine-grained specifications (an FIR filter as a `Chain` of
+//! multiply-accumulate cells) while preserving the regularity a scheduler
+//! can exploit.  This module provides the two combinators that cover the
+//! paper's examples:
+//!
+//! * [`chain`] — replicate a template subgraph `n` times, wiring each
+//!   instance's output port to the next instance's chain-input port (the
+//!   paper's `Chain` actor);
+//! * [`fan`] — replicate a template `n` times in parallel, broadcasting
+//!   one upstream actor to every instance.
+//!
+//! Together with [`crate::schedule`]'s loop machinery these reproduce the
+//! §12 FIR example end to end (see `loopify` in `sdf-sched` for the
+//! regularity extraction that recovers the loops).
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, SdfGraph};
+
+/// A reusable subgraph template: local actors, local edges and the ports
+/// the combinators wire up.
+///
+/// Port indices refer to `actors`.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// Actor name stems; instance `i` of stem `s` is named `s_i`.
+    pub actors: Vec<String>,
+    /// Internal edges as `(from, to, prod, cons, delay)` over actor
+    /// indices.
+    pub edges: Vec<(usize, usize, u64, u64, u64)>,
+    /// The actor that receives the chain input, and its consumption rate.
+    pub input: (usize, u64),
+    /// The actor that drives the chain output, and its production rate.
+    pub output: (usize, u64),
+}
+
+impl Template {
+    /// A single-actor pass-through template (consume 1, produce 1).
+    pub fn unit(name: impl Into<String>) -> Self {
+        Template {
+            actors: vec![name.into()],
+            edges: Vec::new(),
+            input: (0, 1),
+            output: (0, 1),
+        }
+    }
+
+    fn instantiate(&self, graph: &mut SdfGraph, index: usize) -> Result<Vec<ActorId>, SdfError> {
+        let ids: Vec<ActorId> = self
+            .actors
+            .iter()
+            .map(|stem| graph.add_actor(format!("{stem}_{index}")))
+            .collect();
+        for &(f, t, p, c, d) in &self.edges {
+            graph.add_edge_with_delay(ids[f], ids[t], p, c, d)?;
+        }
+        Ok(ids)
+    }
+}
+
+/// Expands `template` into `count` chained instances inside `graph`,
+/// connecting `source` to the first instance and returning the last
+/// instance's output actor.
+///
+/// Instance `i`'s output feeds instance `i+1`'s input with unit rates
+/// between the template's declared port rates.
+///
+/// # Errors
+///
+/// Propagates edge-construction errors (zero rates in the template).
+///
+/// # Examples
+///
+/// The paper's fine-grained FIR as a chain of MAC cells:
+///
+/// ```
+/// use sdf_core::{SdfGraph, RepetitionsVector};
+/// use sdf_core::hof::{chain, Template};
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fir8");
+/// let src = g.add_actor("in");
+/// let mac = Template {
+///     actors: vec!["gain".into(), "add".into()],
+///     edges: vec![(0, 1, 1, 1, 0)],
+///     input: (0, 1),
+///     output: (1, 1),
+/// };
+/// let out = chain(&mut g, src, 1, &mac, 8)?;
+/// let sink = g.add_actor("out");
+/// g.add_edge(out, sink, 1, 1)?;
+/// assert_eq!(g.actor_count(), 2 + 8 * 2);
+/// assert!(RepetitionsVector::compute(&g).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn chain(
+    graph: &mut SdfGraph,
+    source: ActorId,
+    source_rate: u64,
+    template: &Template,
+    count: usize,
+) -> Result<ActorId, SdfError> {
+    let mut upstream = (source, source_rate);
+    for i in 0..count {
+        let ids = template.instantiate(graph, i)?;
+        let (in_idx, in_rate) = template.input;
+        graph.add_edge(upstream.0, ids[in_idx], upstream.1, in_rate)?;
+        let (out_idx, out_rate) = template.output;
+        upstream = (ids[out_idx], out_rate);
+    }
+    Ok(upstream.0)
+}
+
+/// Expands `template` into `count` parallel instances, each fed from
+/// `source`; returns every instance's output actor (e.g. for a collector
+/// stage).
+///
+/// # Errors
+///
+/// Propagates edge-construction errors.
+pub fn fan(
+    graph: &mut SdfGraph,
+    source: ActorId,
+    source_rate: u64,
+    template: &Template,
+    count: usize,
+) -> Result<Vec<ActorId>, SdfError> {
+    let mut outputs = Vec::with_capacity(count);
+    for i in 0..count {
+        let ids = template.instantiate(graph, i)?;
+        let (in_idx, in_rate) = template.input;
+        graph.add_edge(source, ids[in_idx], source_rate, in_rate)?;
+        outputs.push(ids[template.output.0]);
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repetitions::RepetitionsVector;
+
+    fn mac() -> Template {
+        Template {
+            actors: vec!["gain".into(), "add".into()],
+            edges: vec![(0, 1, 1, 1, 0)],
+            input: (0, 1),
+            output: (1, 1),
+        }
+    }
+
+    #[test]
+    fn chain_builds_fir_shape() {
+        let mut g = SdfGraph::new("fir");
+        let src = g.add_actor("in");
+        let out = chain(&mut g, src, 1, &mac(), 4).unwrap();
+        assert_eq!(g.actor_count(), 1 + 8);
+        assert_eq!(g.actor_name(out), "add_3");
+        assert!(g.is_acyclic());
+        assert!(g.is_connected());
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert!(q.as_slice().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chain_of_zero_instances_returns_source() {
+        let mut g = SdfGraph::new("t");
+        let src = g.add_actor("in");
+        let out = chain(&mut g, src, 1, &mac(), 0).unwrap();
+        assert_eq!(out, src);
+        assert_eq!(g.actor_count(), 1);
+    }
+
+    #[test]
+    fn unit_template_chain_is_a_chain_graph() {
+        let mut g = SdfGraph::new("t");
+        let src = g.add_actor("in");
+        chain(&mut g, src, 1, &Template::unit("stage"), 5).unwrap();
+        assert!(g.is_chain());
+        assert_eq!(g.actor_count(), 6);
+    }
+
+    #[test]
+    fn fan_broadcasts() {
+        let mut g = SdfGraph::new("bank");
+        let src = g.add_actor("in");
+        let outs = fan(&mut g, src, 1, &Template::unit("chan"), 3).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(g.out_edges(src).len(), 3);
+        assert!(RepetitionsVector::compute(&g).is_ok());
+    }
+
+    #[test]
+    fn multirate_template_rates_respected() {
+        // Each stage decimates 2:1.
+        let mut g = SdfGraph::new("dec");
+        let src = g.add_actor("in");
+        let dec = Template {
+            actors: vec!["halve".into()],
+            edges: vec![],
+            input: (0, 2),
+            output: (0, 1),
+        };
+        chain(&mut g, src, 1, &dec, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let first = g.actor_by_name("halve_0").unwrap();
+        let last = g.actor_by_name("halve_2").unwrap();
+        assert_eq!(q.get(first), 4 * q.get(last));
+    }
+
+    #[test]
+    fn template_zero_rate_rejected() {
+        let mut g = SdfGraph::new("bad");
+        let src = g.add_actor("in");
+        let bad = Template {
+            actors: vec!["x".into(), "y".into()],
+            edges: vec![(0, 1, 0, 1, 0)],
+            input: (0, 1),
+            output: (1, 1),
+        };
+        assert!(chain(&mut g, src, 1, &bad, 1).is_err());
+    }
+}

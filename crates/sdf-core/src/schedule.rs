@@ -1,0 +1,974 @@
+//! Looped schedules, single appearance schedules and R-schedule trees.
+//!
+//! A *looped schedule* is the paper's compact firing-sequence notation:
+//! `(3A)(2B(2C))` fires `A` three times, then twice fires `B` followed by
+//! two `C`s.  A *single appearance schedule* (SAS) mentions each actor
+//! exactly once; every SAS over an acyclic graph can be put in the binary
+//! *R-schedule* form `(i_L S_L)(i_R S_R)` (§8.1), which this module models as
+//! [`SasTree`] — the input to lifetime analysis.
+
+use std::fmt;
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, SdfGraph};
+use crate::repetitions::RepetitionsVector;
+
+/// One element of a looped schedule body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ScheduleNode {
+    /// Fire `actor` `count` consecutive times (`(count actor)` in paper
+    /// notation; `count` is 1 for a bare actor mention).
+    Fire {
+        /// The actor to fire.
+        actor: ActorId,
+        /// Consecutive firings.
+        count: u64,
+    },
+    /// A schedule loop `(count body…)`.
+    Loop {
+        /// Loop iteration count.
+        count: u64,
+        /// Loop body, executed in order each iteration.
+        body: Vec<ScheduleNode>,
+    },
+}
+
+impl ScheduleNode {
+    /// Convenience constructor for a single firing.
+    pub fn fire(actor: ActorId) -> Self {
+        ScheduleNode::Fire { actor, count: 1 }
+    }
+
+    /// Convenience constructor for `count` consecutive firings.
+    pub fn fire_n(actor: ActorId, count: u64) -> Self {
+        ScheduleNode::Fire { actor, count }
+    }
+
+    /// Convenience constructor for a loop.
+    pub fn loop_of(count: u64, body: Vec<ScheduleNode>) -> Self {
+        ScheduleNode::Loop { count, body }
+    }
+}
+
+/// A looped schedule: an ordered body of firings and nested loops.
+///
+/// # Examples
+///
+/// Parsing and printing paper notation:
+///
+/// ```
+/// use sdf_core::{SdfGraph, LoopedSchedule};
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig2");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 20, 10)?;
+/// g.add_edge(b, c, 20, 10)?;
+/// let s = LoopedSchedule::parse("A (2 B (2 C))", &g)?;
+/// assert!(s.is_single_appearance());
+/// assert_eq!(s.display(&g).to_string(), "A(2B(2C))");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LoopedSchedule {
+    body: Vec<ScheduleNode>,
+}
+
+impl LoopedSchedule {
+    /// Creates a schedule from a body.
+    pub fn new(body: Vec<ScheduleNode>) -> Self {
+        LoopedSchedule { body }
+    }
+
+    /// Returns the top-level body.
+    pub fn body(&self) -> &[ScheduleNode] {
+        &self.body
+    }
+
+    /// Parses paper notation: actor names, optional integer repetition
+    /// prefixes and parenthesised loops, e.g. `"(3A)(6B)(2C)"` or
+    /// `"2(B(2C))"`.  Whitespace between tokens is ignored; actor names are
+    /// maximal runs of alphanumerics/underscores that do not start with a
+    /// digit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::InvalidSchedule`] on malformed input or unknown
+    /// actor names.
+    pub fn parse(text: &str, graph: &SdfGraph) -> Result<Self, SdfError> {
+        let mut parser = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+            graph,
+        };
+        let body = parser.parse_sequence()?;
+        parser.skip_ws();
+        if parser.pos != parser.chars.len() {
+            return Err(SdfError::InvalidSchedule(format!(
+                "unexpected trailing input at offset {}",
+                parser.pos
+            )));
+        }
+        Ok(LoopedSchedule { body })
+    }
+
+    /// Iterates over the fully expanded firing sequence.
+    ///
+    /// The iterator is lazy; the expansion can be exponentially longer than
+    /// the schedule text, so avoid collecting it for untrusted inputs.
+    pub fn firings(&self) -> Firings<'_> {
+        Firings {
+            stack: vec![Frame {
+                body: &self.body,
+                index: 0,
+                fire_done: 0,
+                remaining_iters: 1,
+            }],
+        }
+    }
+
+    /// Returns the number of firings of each actor in one pass of the
+    /// schedule, computed without expansion.
+    pub fn firing_counts(&self, actor_count: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; actor_count];
+        fn walk(nodes: &[ScheduleNode], mult: u64, counts: &mut [u64]) {
+            for node in nodes {
+                match node {
+                    ScheduleNode::Fire { actor, count } => {
+                        counts[actor.index()] += mult * count;
+                    }
+                    ScheduleNode::Loop { count, body } => {
+                        walk(body, mult * count, counts);
+                    }
+                }
+            }
+        }
+        walk(&self.body, 1, &mut counts);
+        counts
+    }
+
+    /// Returns the number of lexical appearances of each actor (loop
+    /// notation counts a `Fire` node once regardless of its count).
+    pub fn appearance_counts(&self, actor_count: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; actor_count];
+        fn walk(nodes: &[ScheduleNode], counts: &mut [u64]) {
+            for node in nodes {
+                match node {
+                    ScheduleNode::Fire { actor, .. } => counts[actor.index()] += 1,
+                    ScheduleNode::Loop { body, .. } => walk(body, counts),
+                }
+            }
+        }
+        walk(&self.body, &mut counts);
+        counts
+    }
+
+    /// Returns true if every actor that appears, appears exactly once.
+    pub fn is_single_appearance(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        fn walk(
+            nodes: &[ScheduleNode],
+            seen: &mut std::collections::HashSet<ActorId>,
+        ) -> bool {
+            for node in nodes {
+                match node {
+                    ScheduleNode::Fire { actor, .. } => {
+                        if !seen.insert(*actor) {
+                            return false;
+                        }
+                    }
+                    ScheduleNode::Loop { body, .. } => {
+                        if !walk(body, seen) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }
+        walk(&self.body, &mut seen)
+    }
+
+    /// Returns the lexical ordering of the schedule: actors in order of
+    /// first appearance (for a SAS this is `lexorder(S)` of §4).
+    pub fn lexical_order(&self) -> Vec<ActorId> {
+        let mut order = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        fn walk(
+            nodes: &[ScheduleNode],
+            order: &mut Vec<ActorId>,
+            seen: &mut std::collections::HashSet<ActorId>,
+        ) {
+            for node in nodes {
+                match node {
+                    ScheduleNode::Fire { actor, .. } => {
+                        if seen.insert(*actor) {
+                            order.push(*actor);
+                        }
+                    }
+                    ScheduleNode::Loop { body, .. } => walk(body, order, seen),
+                }
+            }
+        }
+        walk(&self.body, &mut order, &mut seen);
+        order
+    }
+
+    /// Maximum loop nesting depth (a flat schedule has depth ≤ 1).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[ScheduleNode]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    ScheduleNode::Fire { .. } => 0,
+                    ScheduleNode::Loop { body, .. } => 1 + walk(body),
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        walk(&self.body)
+    }
+
+    /// Builds the flat SAS `(q1 x1)(q2 x2)…(qn xn)` for a lexical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an actor in `order` is out of range for `q`.
+    pub fn flat_sas(order: &[ActorId], q: &RepetitionsVector) -> Self {
+        LoopedSchedule {
+            body: order
+                .iter()
+                .map(|&a| ScheduleNode::fire_n(a, q.get(a)))
+                .collect(),
+        }
+    }
+
+    /// Returns a displayable form using actor names from `graph`.
+    pub fn display<'a>(&'a self, graph: &'a SdfGraph) -> DisplaySchedule<'a> {
+        DisplaySchedule {
+            schedule: self,
+            graph,
+        }
+    }
+
+    /// Applies the paper's **Fact 1** factoring transformation everywhere
+    /// it is possible: any loop `(m (n1 S1)(n2 S2)…(nk Sk))` whose body
+    /// iteration counts share a common divisor γ > 1 becomes
+    /// `(γm (n1/γ S1)…(nk/γ Sk))`, recursively, until no loop can be
+    /// factored further.
+    ///
+    /// Under the **non-shared** buffer model this never increases
+    /// `bufmem` (Fact 1(b)); under the shared model it can (§5.1, Fig. 7)
+    /// — which is exactly why SDPPO applies its factoring heuristic
+    /// instead of factoring blindly.
+    ///
+    /// The transformation preserves validity whenever the loop bodies
+    /// fire disjoint actor sets (always true for the SASs this workspace
+    /// produces; for general schedules the caller should re-validate).
+    pub fn fully_factored(&self) -> LoopedSchedule {
+        fn count_of(node: &ScheduleNode) -> u64 {
+            match node {
+                ScheduleNode::Fire { count, .. } => *count,
+                ScheduleNode::Loop { count, .. } => *count,
+            }
+        }
+        fn divide(node: &mut ScheduleNode, g: u64) {
+            match node {
+                ScheduleNode::Fire { count, .. } => *count /= g,
+                ScheduleNode::Loop { count, .. } => *count /= g,
+            }
+        }
+        fn factor_body(body: &[ScheduleNode]) -> (Vec<ScheduleNode>, u64) {
+            // Recurse first so inner loops are already factored.
+            let mut new_body: Vec<ScheduleNode> = body
+                .iter()
+                .map(|n| match n {
+                    ScheduleNode::Fire { .. } => n.clone(),
+                    ScheduleNode::Loop { count, body } => {
+                        let (inner, gamma) = factor_body(body);
+                        ScheduleNode::loop_of(count * gamma, inner)
+                    }
+                })
+                .collect();
+            let g = new_body
+                .iter()
+                .map(count_of)
+                .fold(0, crate::math::gcd);
+            if g > 1 {
+                for n in &mut new_body {
+                    divide(n, g);
+                }
+                (new_body, g)
+            } else {
+                (new_body, 1)
+            }
+        }
+        // The top level is not inside a loop, so a common factor of the
+        // top-level body cannot be extracted (there is nothing to attach
+        // it to without changing the period); only nested loops factor.
+        let body = self
+            .body
+            .iter()
+            .map(|n| match n {
+                ScheduleNode::Fire { .. } => n.clone(),
+                ScheduleNode::Loop { count, body } => {
+                    let (inner, gamma) = factor_body(body);
+                    ScheduleNode::loop_of(count * gamma, inner)
+                }
+            })
+            .collect();
+        LoopedSchedule { body }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    graph: &'a SdfGraph,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse_sequence(&mut self) -> Result<Vec<ScheduleNode>, SdfError> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' {
+                break;
+            }
+            nodes.push(self.parse_term()?);
+        }
+        Ok(nodes)
+    }
+
+    fn parse_term(&mut self) -> Result<ScheduleNode, SdfError> {
+        // A count may prefix a loop (`2(B(2C))`) or an actor (`3A`); inside
+        // parentheses a leading count is the loop count of that group
+        // (`(3A)`, `(24(11(4A)B)…)`).
+        let prefix = self.parse_count()?;
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.parse_count()?;
+                let body = self.parse_sequence()?;
+                if self.peek() != Some(')') {
+                    return Err(SdfError::InvalidSchedule(
+                        "missing closing parenthesis".into(),
+                    ));
+                }
+                self.pos += 1;
+                if body.is_empty() {
+                    return Err(SdfError::InvalidSchedule("empty loop body".into()));
+                }
+                let count = prefix * inner;
+                // Collapse `(n X)` into a counted firing.
+                if body.len() == 1 {
+                    if let ScheduleNode::Fire { actor, count: c } = body[0] {
+                        return Ok(ScheduleNode::fire_n(actor, count * c));
+                    }
+                }
+                Ok(ScheduleNode::loop_of(count, body))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let name = self.parse_name();
+                let actor = self.graph.actor_by_name(&name).ok_or_else(|| {
+                    SdfError::InvalidSchedule(format!("unknown actor \"{name}\""))
+                })?;
+                Ok(ScheduleNode::fire_n(actor, prefix))
+            }
+            other => Err(SdfError::InvalidSchedule(format!(
+                "expected actor or loop, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_count(&mut self) -> Result<u64, SdfError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len() && self.chars[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Ok(1);
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let value: u64 = text
+            .parse()
+            .map_err(|_| SdfError::InvalidSchedule(format!("bad loop count \"{text}\"")))?;
+        if value == 0 {
+            return Err(SdfError::InvalidSchedule("loop count of zero".into()));
+        }
+        Ok(value)
+    }
+
+    fn parse_name(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && (self.chars[self.pos].is_alphanumeric() || self.chars[self.pos] == '_')
+        {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+}
+
+struct Frame<'a> {
+    body: &'a [ScheduleNode],
+    index: usize,
+    fire_done: u64,
+    remaining_iters: u64,
+}
+
+/// Lazy iterator over the expanded firing sequence of a
+/// [`LoopedSchedule`]; created by [`LoopedSchedule::firings`].
+pub struct Firings<'a> {
+    stack: Vec<Frame<'a>>,
+}
+
+impl Iterator for Firings<'_> {
+    type Item = ActorId;
+
+    fn next(&mut self) -> Option<ActorId> {
+        loop {
+            let frame = self.stack.last_mut()?;
+            if frame.index == frame.body.len() {
+                frame.remaining_iters -= 1;
+                if frame.remaining_iters == 0 {
+                    self.stack.pop();
+                } else {
+                    frame.index = 0;
+                }
+                continue;
+            }
+            match &frame.body[frame.index] {
+                ScheduleNode::Fire { actor, count } => {
+                    if frame.fire_done + 1 >= *count {
+                        frame.fire_done = 0;
+                        frame.index += 1;
+                    } else {
+                        frame.fire_done += 1;
+                    }
+                    return Some(*actor);
+                }
+                ScheduleNode::Loop { count, body } => {
+                    frame.index += 1;
+                    if *count > 0 && !body.is_empty() {
+                        self.stack.push(Frame {
+                            body,
+                            index: 0,
+                            fire_done: 0,
+                            remaining_iters: *count,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Displays a schedule in paper notation; created by
+/// [`LoopedSchedule::display`].
+pub struct DisplaySchedule<'a> {
+    schedule: &'a LoopedSchedule,
+    graph: &'a SdfGraph,
+}
+
+impl fmt::Display for DisplaySchedule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Two adjacent bare actor names need a separating space so that
+        // multi-character names stay parseable ("cdSrc stage1", not
+        // "cdSrcstage1"); counts and parentheses delimit themselves.
+        fn node(n: &ScheduleNode, g: &SdfGraph, out: &mut String, after_name: &mut bool) {
+            match n {
+                ScheduleNode::Fire { actor, count } => {
+                    if *count == 1 {
+                        if *after_name {
+                            out.push(' ');
+                        }
+                        out.push_str(g.actor_name(*actor));
+                        *after_name = true;
+                    } else {
+                        out.push('(');
+                        out.push_str(&count.to_string());
+                        out.push_str(g.actor_name(*actor));
+                        out.push(')');
+                        *after_name = false;
+                    }
+                }
+                ScheduleNode::Loop { count, body } => {
+                    out.push('(');
+                    out.push_str(&count.to_string());
+                    let mut inner_after_name = false;
+                    for b in body {
+                        node(b, g, out, &mut inner_after_name);
+                    }
+                    out.push(')');
+                    *after_name = false;
+                }
+            }
+        }
+        let mut out = String::new();
+        let mut after_name = false;
+        for n in &self.schedule.body {
+            node(n, self.graph, &mut out, &mut after_name);
+        }
+        f.write_str(&out)
+    }
+}
+
+/// A single appearance schedule in binary R-schedule form (§8.1).
+///
+/// Internal nodes carry a loop factor; leaves carry an actor with its
+/// residual repetition count.  The looped schedule it denotes is
+/// `(count (left right))` at each branch and `(reps actor)` at each leaf.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SasNode {
+    /// `(reps actor)`.
+    Leaf {
+        /// The actor fired at this leaf.
+        actor: ActorId,
+        /// Residual repetition count.
+        reps: u64,
+    },
+    /// `(count left right)`.
+    Branch {
+        /// Loop factor of this subschedule.
+        count: u64,
+        /// Left subschedule.
+        left: Box<SasNode>,
+        /// Right subschedule.
+        right: Box<SasNode>,
+    },
+}
+
+impl SasNode {
+    /// Creates a leaf node.
+    pub fn leaf(actor: ActorId, reps: u64) -> Self {
+        SasNode::Leaf { actor, reps }
+    }
+
+    /// Creates a branch node.
+    pub fn branch(count: u64, left: SasNode, right: SasNode) -> Self {
+        SasNode::Branch {
+            count,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+/// A complete R-schedule: a binary schedule tree for a SAS.
+///
+/// # Examples
+///
+/// The R-schedule `(1 (1A) ((2 (2B)(4C))))` for Fig. 2's graph:
+///
+/// ```
+/// use sdf_core::{SdfGraph, SasTree, SasNode};
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig2");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 20, 10)?;
+/// g.add_edge(b, c, 20, 10)?;
+/// let tree = SasTree::new(SasNode::branch(
+///     1,
+///     SasNode::leaf(a, 1),
+///     SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+/// ));
+/// let s = tree.to_looped_schedule();
+/// assert_eq!(s.display(&g).to_string(), "A(2B(2C))");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SasTree {
+    root: SasNode,
+}
+
+impl SasTree {
+    /// Wraps a root node as a tree.
+    pub fn new(root: SasNode) -> Self {
+        SasTree { root }
+    }
+
+    /// Returns the root node.
+    pub fn root(&self) -> &SasNode {
+        &self.root
+    }
+
+    /// Converts to the equivalent looped schedule, dropping unit loop
+    /// factors.
+    pub fn to_looped_schedule(&self) -> LoopedSchedule {
+        fn conv(node: &SasNode) -> Vec<ScheduleNode> {
+            match node {
+                SasNode::Leaf { actor, reps } => vec![ScheduleNode::fire_n(*actor, *reps)],
+                SasNode::Branch { count, left, right } => {
+                    let mut body = conv(left);
+                    body.extend(conv(right));
+                    if *count == 1 {
+                        body
+                    } else {
+                        vec![ScheduleNode::loop_of(*count, body)]
+                    }
+                }
+            }
+        }
+        LoopedSchedule::new(conv(&self.root))
+    }
+
+    /// The actors in left-to-right (lexical) order.
+    pub fn lexical_order(&self) -> Vec<ActorId> {
+        let mut order = Vec::new();
+        fn walk(node: &SasNode, order: &mut Vec<ActorId>) {
+            match node {
+                SasNode::Leaf { actor, .. } => order.push(*actor),
+                SasNode::Branch { left, right, .. } => {
+                    walk(left, order);
+                    walk(right, order);
+                }
+            }
+        }
+        walk(&self.root, &mut order);
+        order
+    }
+
+    /// Number of leaves (== number of distinct actors in a SAS).
+    pub fn leaf_count(&self) -> usize {
+        fn walk(node: &SasNode) -> usize {
+            match node {
+                SasNode::Leaf { .. } => 1,
+                SasNode::Branch { left, right, .. } => walk(left) + walk(right),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Checks that for every leaf, the product of ancestor loop factors and
+    /// the leaf's residual count equals `q(actor)`, and that each actor
+    /// appears exactly once.
+    ///
+    /// # Errors
+    ///
+    /// * [`SdfError::NotSingleAppearance`] if some actor repeats or is
+    ///   missing.
+    /// * [`SdfError::InvalidSchedule`] if a leaf's total count differs from
+    ///   the repetitions vector.
+    pub fn validate(&self, graph: &SdfGraph, q: &RepetitionsVector) -> Result<(), SdfError> {
+        let mut seen = vec![false; graph.actor_count()];
+        fn walk(
+            node: &SasNode,
+            mult: u64,
+            q: &RepetitionsVector,
+            seen: &mut [bool],
+        ) -> Result<(), SdfError> {
+            match node {
+                SasNode::Leaf { actor, reps } => {
+                    if seen[actor.index()] {
+                        return Err(SdfError::NotSingleAppearance(*actor));
+                    }
+                    seen[actor.index()] = true;
+                    let total = mult * reps;
+                    if total != q.get(*actor) {
+                        return Err(SdfError::InvalidSchedule(format!(
+                            "actor {} fires {} times, repetitions vector requires {}",
+                            actor,
+                            total,
+                            q.get(*actor)
+                        )));
+                    }
+                    Ok(())
+                }
+                SasNode::Branch { count, left, right } => {
+                    walk(left, mult * count, q, seen)?;
+                    walk(right, mult * count, q, seen)
+                }
+            }
+        }
+        walk(&self.root, 1, q, &mut seen)?;
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(SdfError::NotSingleAppearance(ActorId::from_index(missing)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2() -> (SdfGraph, [ActorId; 3]) {
+        let mut g = SdfGraph::new("fig2");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 20, 10).unwrap();
+        g.add_edge(b, c, 20, 10).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn parse_flat_sas() {
+        let (g, [a, b, c]) = fig2();
+        let s = LoopedSchedule::parse("(1A)(2B)(4C)", &g).unwrap();
+        let counts = s.firing_counts(3);
+        assert_eq!(counts, vec![1, 2, 4]);
+        assert!(s.is_single_appearance());
+        assert_eq!(s.lexical_order(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn parse_nested() {
+        let (g, _) = fig2();
+        let s = LoopedSchedule::parse("A(2B(2C))", &g).unwrap();
+        assert_eq!(s.firing_counts(3), vec![1, 2, 4]);
+        // `(2C)` collapses to a counted firing, so only one Loop node remains.
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.display(&g).to_string(), "A(2B(2C))");
+    }
+
+    #[test]
+    fn parse_non_sas() {
+        let (g, [a, b, c]) = fig2();
+        let s = LoopedSchedule::parse("A B C C B C C", &g).unwrap();
+        assert!(!s.is_single_appearance());
+        assert_eq!(s.firing_counts(3), vec![1, 2, 4]);
+        let firing: Vec<_> = s.firings().collect();
+        assert_eq!(firing, vec![a, b, c, c, b, c, c]);
+    }
+
+    #[test]
+    fn parse_count_before_paren() {
+        let (g, _) = fig2();
+        let s = LoopedSchedule::parse("A 2(B(2C))", &g).unwrap();
+        assert_eq!(s.display(&g).to_string(), "A(2B(2C))");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_actor() {
+        let (g, _) = fig2();
+        assert!(matches!(
+            LoopedSchedule::parse("A Z", &g),
+            Err(SdfError::InvalidSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let (g, _) = fig2();
+        assert!(LoopedSchedule::parse("(2A", &g).is_err());
+        assert!(LoopedSchedule::parse("A)", &g).is_err());
+        assert!(LoopedSchedule::parse("()", &g).is_err());
+        assert!(LoopedSchedule::parse("0A", &g).is_err());
+    }
+
+    #[test]
+    fn firings_expand_nested_loops() {
+        let (g, [a, b, c]) = fig2();
+        let s = LoopedSchedule::parse("(2(2B)C)A", &g).unwrap();
+        let expanded: Vec<_> = s.firings().collect();
+        assert_eq!(expanded, vec![b, b, c, b, b, c, a]);
+    }
+
+    #[test]
+    fn firing_counts_without_expansion() {
+        let (g, _) = fig2();
+        let s = LoopedSchedule::parse("(100(100(100A)))", &g).unwrap();
+        assert_eq!(s.firing_counts(3)[0], 1_000_000);
+    }
+
+    #[test]
+    fn appearance_counts() {
+        let (g, _) = fig2();
+        let s = LoopedSchedule::parse("A B C C B C C", &g).unwrap();
+        assert_eq!(s.appearance_counts(3), vec![1, 2, 4]);
+        let sas = LoopedSchedule::parse("(2(3B)(5C))(7A)", &g).unwrap();
+        assert_eq!(sas.appearance_counts(3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn lexorder_of_paper_example() {
+        // lexorder((2(3B)(5C))(7A)) = (B, C, A).
+        let (g, [a, b, c]) = fig2();
+        let s = LoopedSchedule::parse("(2(3B)(5C))(7A)", &g).unwrap();
+        assert_eq!(s.lexical_order(), vec![b, c, a]);
+    }
+
+    #[test]
+    fn flat_sas_from_order() {
+        let (g, [a, b, c]) = fig2();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let s = LoopedSchedule::flat_sas(&[a, b, c], &q);
+        assert_eq!(s.display(&g).to_string(), "A(2B)(4C)");
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn sas_tree_roundtrip_and_validation() {
+        let (g, [a, b, c]) = fig2();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let tree = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(a, 1),
+            SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+        ));
+        tree.validate(&g, &q).unwrap();
+        assert_eq!(tree.lexical_order(), vec![a, b, c]);
+        assert_eq!(tree.leaf_count(), 3);
+        let s = tree.to_looped_schedule();
+        assert_eq!(s.firing_counts(3), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn sas_tree_validation_catches_bad_counts() {
+        let (g, [a, b, c]) = fig2();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let tree = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(a, 2), // should be 1
+            SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+        ));
+        assert!(matches!(
+            tree.validate(&g, &q),
+            Err(SdfError::InvalidSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn sas_tree_validation_catches_duplicates() {
+        let (g, [a, b, _]) = fig2();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let tree = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(a, 1),
+            SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 2)),
+        ));
+        assert!(matches!(
+            tree.validate(&g, &q),
+            Err(SdfError::NotSingleAppearance(_))
+        ));
+    }
+
+    #[test]
+    fn sas_tree_validation_catches_missing_actor() {
+        let (g, [a, b, _]) = fig2();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let tree = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(a, 1),
+            SasNode::leaf(b, 2),
+        ));
+        assert!(matches!(
+            tree.validate(&g, &q),
+            Err(SdfError::NotSingleAppearance(_))
+        ));
+    }
+
+    #[test]
+    fn fact1_factoring_extracts_common_divisors() {
+        let (g, _) = fig2();
+        // (1 (2B) (4C)) -> (2 B (2C)).
+        let s = LoopedSchedule::parse("A (1 (2B)(4C))", &g).unwrap();
+        let f = s.fully_factored();
+        assert_eq!(f.display(&g).to_string(), "A(2B(2C))");
+        assert_eq!(f.firing_counts(3), s.firing_counts(3));
+    }
+
+    #[test]
+    fn fact1_factoring_is_recursive() {
+        let (g, _) = fig2();
+        // (1 (4B) (8C)) -> (4 B (2C)).
+        let mut g2 = SdfGraph::new("t");
+        let a = g2.add_actor("A");
+        let b = g2.add_actor("B");
+        g2.add_edge(a, b, 2, 1).unwrap();
+        let _ = (g, a, b);
+        let s = LoopedSchedule::parse("(1 (4A)(8B))", &g2).unwrap();
+        let f = s.fully_factored();
+        assert_eq!(f.display(&g2).to_string(), "(4A(2B))");
+    }
+
+    #[test]
+    fn fact1_never_increases_nonshared_bufmem() {
+        // Fact 1(b) checked by simulation on Fig. 2 variants.
+        let (g, _) = fig2();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        for text in ["A(1(2B)(4C))", "A(2B(2C))", "(1A(2B(2C)))"] {
+            let s = LoopedSchedule::parse(text, &g).unwrap();
+            let f = s.fully_factored();
+            let before = crate::simulate::validate_schedule(&g, &s, &q)
+                .unwrap()
+                .bufmem();
+            let after = crate::simulate::validate_schedule(&g, &f, &q)
+                .unwrap()
+                .bufmem();
+            assert!(after <= before, "{text}: {after} > {before}");
+        }
+    }
+
+    #[test]
+    fn factoring_leaves_flat_top_level_alone() {
+        let (g, _) = fig2();
+        let s = LoopedSchedule::parse("A(2B)(4C)", &g).unwrap();
+        let f = s.fully_factored();
+        assert_eq!(f.display(&g).to_string(), "A(2B)(4C)");
+    }
+
+    #[test]
+    fn display_parse_round_trip_multichar_names() {
+        let mut g = SdfGraph::new("rt");
+        let src = g.add_actor("cdSrc");
+        let s1 = g.add_actor("stage1");
+        let s2 = g.add_actor("stage2");
+        g.add_edge(src, s1, 1, 1).unwrap();
+        g.add_edge(s1, s2, 2, 3).unwrap();
+        let s = LoopedSchedule::new(vec![ScheduleNode::loop_of(
+            3,
+            vec![
+                ScheduleNode::fire(src),
+                ScheduleNode::fire(s1),
+                ScheduleNode::fire_n(s2, 2),
+            ],
+        )]);
+        let text = s.display(&g).to_string();
+        assert_eq!(text, "(3cdSrc stage1(2stage2))");
+        let back = LoopedSchedule::parse(&text, &g).unwrap();
+        assert_eq!(back.firing_counts(3), s.firing_counts(3));
+        assert_eq!(
+            back.firings().collect::<Vec<_>>(),
+            s.firings().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn display_satrec_style_schedule() {
+        let mut g = SdfGraph::new("x");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 4).unwrap();
+        let s = LoopedSchedule::new(vec![ScheduleNode::loop_of(
+            24,
+            vec![
+                ScheduleNode::loop_of(
+                    11,
+                    vec![ScheduleNode::fire_n(a, 4), ScheduleNode::fire(b)],
+                ),
+            ],
+        )]);
+        assert_eq!(s.display(&g).to_string(), "(24(11(4A)B))");
+    }
+}

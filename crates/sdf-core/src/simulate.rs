@@ -1,0 +1,310 @@
+//! Token-level execution of looped schedules.
+//!
+//! The simulator fires a schedule leaf-by-leaf against an [`SdfGraph`],
+//! tracking the token count on every edge.  It is the ground truth the rest
+//! of the workspace is checked against: `max_tokens(e, S)` and `bufmem(S)`
+//! (Eq. 1) fall out of it directly, and it verifies the defining properties
+//! of a *valid schedule* — no deadlock, every actor fired `q(a)` times, and
+//! every edge returned to its initial token count.
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, EdgeId, SdfGraph};
+use crate::repetitions::RepetitionsVector;
+use crate::schedule::LoopedSchedule;
+
+/// The result of simulating a schedule to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimulationReport {
+    /// `max_tokens(e, S)` per edge: the high-water token count observed.
+    max_tokens: Vec<u64>,
+    /// Firings of each actor over the whole run.
+    firings: Vec<u64>,
+}
+
+impl SimulationReport {
+    /// The maximum number of tokens simultaneously queued on edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the simulated graph.
+    pub fn max_tokens(&self, e: EdgeId) -> u64 {
+        self.max_tokens[e.index()]
+    }
+
+    /// All per-edge maxima, indexed by edge index.
+    pub fn max_tokens_slice(&self) -> &[u64] {
+        &self.max_tokens
+    }
+
+    /// The number of times actor `a` fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range for the simulated graph.
+    pub fn firings(&self, a: ActorId) -> u64 {
+        self.firings[a.index()]
+    }
+
+    /// `bufmem(S)` under the non-shared model (Eq. 1): the sum over edges of
+    /// `max_tokens(e, S)`.
+    pub fn bufmem(&self) -> u64 {
+        self.max_tokens.iter().sum()
+    }
+}
+
+/// Fires `schedule` once against `graph`, starting from the initial delays.
+///
+/// Unlike [`validate_schedule`], this does not require the schedule to be
+/// valid — it only requires that every firing is enabled (enough input
+/// tokens). Use it to measure `max_tokens` of schedule prefixes or non-period
+/// schedules.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Deadlock`] if some firing lacks input tokens.
+pub fn simulate(graph: &SdfGraph, schedule: &LoopedSchedule) -> Result<SimulationReport, SdfError> {
+    let mut tokens: Vec<u64> = graph.edges().map(|(_, e)| e.delay).collect();
+    let mut max_tokens = tokens.clone();
+    let mut firings = vec![0u64; graph.actor_count()];
+    for actor in schedule.firings() {
+        fire(graph, actor, &mut tokens, &mut max_tokens)?;
+        firings[actor.index()] += 1;
+    }
+    Ok(SimulationReport {
+        max_tokens,
+        firings,
+    })
+}
+
+fn fire(
+    graph: &SdfGraph,
+    actor: ActorId,
+    tokens: &mut [u64],
+    max_tokens: &mut [u64],
+) -> Result<(), SdfError> {
+    for &e in graph.in_edges(actor) {
+        let need = graph.edge(e).cons;
+        if tokens[e.index()] < need {
+            return Err(SdfError::Deadlock { actor });
+        }
+    }
+    for &e in graph.in_edges(actor) {
+        tokens[e.index()] -= graph.edge(e).cons;
+    }
+    for &e in graph.out_edges(actor) {
+        let idx = e.index();
+        tokens[idx] += graph.edge(e).prod;
+        if tokens[idx] > max_tokens[idx] {
+            max_tokens[idx] = tokens[idx];
+        }
+    }
+    Ok(())
+}
+
+/// Simulates `schedule` and additionally checks that it is a *valid
+/// schedule* for `graph`: every actor fires exactly `q(a)` times and every
+/// edge returns to its initial token count.
+///
+/// # Errors
+///
+/// * [`SdfError::Deadlock`] if a firing is not enabled.
+/// * [`SdfError::InvalidSchedule`] if firing counts disagree with the
+///   repetitions vector or tokens are displaced at the end.
+pub fn validate_schedule(
+    graph: &SdfGraph,
+    schedule: &LoopedSchedule,
+    q: &RepetitionsVector,
+) -> Result<SimulationReport, SdfError> {
+    let mut tokens: Vec<u64> = graph.edges().map(|(_, e)| e.delay).collect();
+    let mut max_tokens = tokens.clone();
+    let mut firings = vec![0u64; graph.actor_count()];
+    for actor in schedule.firings() {
+        fire(graph, actor, &mut tokens, &mut max_tokens)?;
+        firings[actor.index()] += 1;
+    }
+    for a in graph.actors() {
+        if firings[a.index()] != q.get(a) {
+            return Err(SdfError::InvalidSchedule(format!(
+                "actor {} fired {} times, expected {}",
+                graph.actor_name(a),
+                firings[a.index()],
+                q.get(a)
+            )));
+        }
+    }
+    for (id, e) in graph.edges() {
+        if tokens[id.index()] != e.delay {
+            return Err(SdfError::InvalidSchedule(format!(
+                "edge {id} ends with {} tokens, started with {}",
+                tokens[id.index()],
+                e.delay
+            )));
+        }
+    }
+    Ok(SimulationReport {
+        max_tokens,
+        firings,
+    })
+}
+
+/// Computes `bufmem(S)` (Eq. 1) for a schedule known to be executable.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Deadlock`] if the schedule cannot execute.
+pub fn bufmem(graph: &SdfGraph, schedule: &LoopedSchedule) -> Result<u64, SdfError> {
+    Ok(simulate(graph, schedule)?.bufmem())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraph;
+
+    /// Fig. 1 graph: A --2,1--> B --1,3--> C with a unit delay on (A,B).
+    fn fig1() -> (SdfGraph, RepetitionsVector) {
+        let mut g = SdfGraph::new("fig1");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 2, 1).unwrap();
+        g.add_edge(b, c, 1, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b, c);
+        (g, q)
+    }
+
+    #[test]
+    fn paper_section4_max_tokens_example() {
+        // S1 = (3A)(6B)(2C): max_tokens(A,B) = 6... the paper uses a unit
+        // delay on (A,B) giving 7; we test the delayless statement first.
+        let (g, q) = fig1();
+        let s1 = LoopedSchedule::parse("(3A)(6B)(2C)", &g).unwrap();
+        let r1 = validate_schedule(&g, &s1, &q).unwrap();
+        assert_eq!(r1.max_tokens(EdgeId::from_index(0)), 6);
+        assert_eq!(r1.max_tokens(EdgeId::from_index(1)), 6);
+        let s2 = LoopedSchedule::parse("(3A(2B))(2C)", &g).unwrap();
+        let r2 = validate_schedule(&g, &s2, &q).unwrap();
+        assert_eq!(r2.max_tokens(EdgeId::from_index(0)), 2);
+        assert_eq!(r2.max_tokens(EdgeId::from_index(1)), 6);
+    }
+
+    #[test]
+    fn paper_section4_with_delay() {
+        // With del(A,B) = 1 the paper reports max_tokens 7 and 3 and
+        // bufmem(S1) = 13, bufmem(S2) = 9.
+        let mut g = SdfGraph::new("fig1d");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge_with_delay(a, b, 2, 1, 1).unwrap();
+        g.add_edge(b, c, 1, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b, c);
+        let s1 = LoopedSchedule::parse("(3A)(6B)(2C)", &g).unwrap();
+        let r1 = validate_schedule(&g, &s1, &q).unwrap();
+        assert_eq!(r1.max_tokens(EdgeId::from_index(0)), 7);
+        assert_eq!(r1.bufmem(), 13);
+        let s2 = LoopedSchedule::parse("(3A(2B))(2C)", &g).unwrap();
+        let r2 = validate_schedule(&g, &s2, &q).unwrap();
+        assert_eq!(r2.max_tokens(EdgeId::from_index(0)), 3);
+        assert_eq!(r2.bufmem(), 9);
+    }
+
+    #[test]
+    fn fig2_buffering_of_four_schedules() {
+        // Fig. 2(b): buffering requirements 50, 40, 60, 50.
+        let mut g = SdfGraph::new("fig2");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 20, 10).unwrap();
+        g.add_edge(b, c, 20, 10).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b, c);
+        let cases = [
+            ("A B C B C C C", 50),
+            ("A (2 B (2C))", 40),
+            ("A (2B) (4C)", 60),
+            ("A (2 B C) (2C)", 50),
+        ];
+        for (text, expect) in cases {
+            let s = LoopedSchedule::parse(text, &g).unwrap();
+            let r = validate_schedule(&g, &s, &q).unwrap();
+            assert_eq!(r.bufmem(), expect, "schedule {text}");
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let (g, _) = fig1();
+        // C before B: no tokens on (B,C).
+        let s = LoopedSchedule::parse("C (3A) (6B) C", &g).unwrap();
+        assert!(matches!(
+            simulate(&g, &s),
+            Err(SdfError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_firing_count_rejected() {
+        let (g, q) = fig1();
+        let s = LoopedSchedule::parse("(3A)(6B)C", &g).unwrap();
+        assert!(matches!(
+            validate_schedule(&g, &s, &q),
+            Err(SdfError::InvalidSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn displaced_tokens_rejected() {
+        // Two periods of A but one of B leaves tokens on the edge.
+        let mut g = SdfGraph::new("t");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b);
+        let s = LoopedSchedule::parse("A A B", &g).unwrap();
+        assert!(matches!(
+            validate_schedule(&g, &s, &q),
+            Err(SdfError::InvalidSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn delay_enables_sink_first_firing() {
+        let mut g = SdfGraph::new("t");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge_with_delay(a, b, 1, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b);
+        // B first works because of the initial token.
+        let s = LoopedSchedule::parse("B A", &g).unwrap();
+        let r = validate_schedule(&g, &s, &q).unwrap();
+        assert_eq!(r.max_tokens(EdgeId::from_index(0)), 1);
+    }
+
+    #[test]
+    fn bufmem_helper() {
+        let (g, _) = fig1();
+        let s = LoopedSchedule::parse("(3A)(6B)(2C)", &g).unwrap();
+        assert_eq!(bufmem(&g, &s).unwrap(), 12);
+    }
+
+    #[test]
+    fn multi_edge_tokens_tracked_separately() {
+        let mut g = SdfGraph::new("multi");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let e1 = g.add_edge(a, b, 1, 1).unwrap();
+        let e2 = g.add_edge(a, b, 2, 2).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let _ = (a, b);
+        let s = LoopedSchedule::parse("A B", &g).unwrap();
+        let r = validate_schedule(&g, &s, &q).unwrap();
+        assert_eq!(r.max_tokens(e1), 1);
+        assert_eq!(r.max_tokens(e2), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Timed schedule execution and graph input buffering (§11.1.3).
+//!
+//! The abstract schedule clock of the lifetime analysis counts leaf
+//! invocations; sizing the buffer between a real-time input stream and the
+//! graph's source actor needs *wall-clock* time instead.  Given per-actor
+//! execution times, this module computes schedule makespans and the §11.1.3
+//! input-buffer requirement: samples arrive at a constant rate (one sample
+//! consumed per source firing, `q(src)` samples per period), and the buffer
+//! must absorb the worst-case backlog between arrivals and the schedule's
+//! bursty consumption.  Nested schedules spread the source's firings out
+//! and need far smaller input buffers than flat ones — the paper's CD-DAT
+//! example needs ~11 tokens nested versus 65 flat.
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, SdfGraph};
+use crate::repetitions::RepetitionsVector;
+use crate::schedule::LoopedSchedule;
+
+/// Per-actor execution times in arbitrary wall-clock units.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutionTimes {
+    times: Vec<u64>,
+}
+
+impl ExecutionTimes {
+    /// Creates execution times indexed by actor index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times.len()` differs from the graph's actor count or any
+    /// time is zero (zero-time firings break the arrival model).
+    pub fn new(graph: &SdfGraph, times: Vec<u64>) -> Self {
+        assert_eq!(times.len(), graph.actor_count(), "one time per actor");
+        assert!(times.iter().all(|&t| t > 0), "execution times must be positive");
+        ExecutionTimes { times }
+    }
+
+    /// All actors take the same time `t`.
+    pub fn uniform(graph: &SdfGraph, t: u64) -> Self {
+        Self::new(graph, vec![t; graph.actor_count()])
+    }
+
+    /// The execution time of one firing of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn get(&self, a: ActorId) -> u64 {
+        self.times[a.index()]
+    }
+}
+
+/// Total wall-clock time of one pass of `schedule`.
+///
+/// # Errors
+///
+/// Returns [`SdfError::InvalidSchedule`] if the schedule fires an actor
+/// outside the graph.
+pub fn schedule_makespan(
+    graph: &SdfGraph,
+    schedule: &LoopedSchedule,
+    exec: &ExecutionTimes,
+) -> Result<u64, SdfError> {
+    let mut total = 0u64;
+    for a in schedule.firings() {
+        if a.index() >= graph.actor_count() {
+            return Err(SdfError::UnknownActor(a));
+        }
+        total += exec.get(a);
+    }
+    Ok(total)
+}
+
+/// The input-buffer requirement at `source` for a periodic external
+/// stream.
+///
+/// One sample is consumed per `source` firing; `q(source)` samples arrive
+/// uniformly over the schedule period.  The arrival phase is chosen as
+/// late as the schedule allows (samples arrive just in time for the
+/// tightest firing), and the result is the worst-case number of samples
+/// waiting at any firing instant — the size the interface FIFO must have.
+///
+/// # Errors
+///
+/// * [`SdfError::InvalidSchedule`] if `schedule` never fires `source` or
+///   fires it a number of times other than `q(source)`.
+pub fn source_buffer_requirement(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    schedule: &LoopedSchedule,
+    exec: &ExecutionTimes,
+    source: ActorId,
+) -> Result<u64, SdfError> {
+    let period = schedule_makespan(graph, schedule, exec)?;
+    let samples = q.get(source);
+    if samples == 0 {
+        return Err(SdfError::UnknownActor(source));
+    }
+
+    // Start times of the source's firings.
+    let mut t = 0u64;
+    let mut starts = Vec::with_capacity(samples as usize);
+    for a in schedule.firings() {
+        if a == source {
+            starts.push(t);
+        }
+        t += exec.get(a);
+    }
+    if starts.len() as u64 != samples {
+        return Err(SdfError::InvalidSchedule(format!(
+            "schedule fires the source {} times, repetitions vector requires {}",
+            starts.len(),
+            samples
+        )));
+    }
+
+    // Sample i arrives at (i * period + phase) / samples; choose the
+    // latest feasible phase: phase = min_i (start_i * samples - i * period)
+    // (may be negative). All arithmetic scaled by `samples` in i128 to
+    // stay exact.
+    let phase = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| s as i128 * samples as i128 - i as i128 * period as i128)
+        .min()
+        .expect("source fires at least once");
+
+    // Backlog just before firing i: arrivals in [0, start_i] minus the i
+    // samples already consumed. Sample j arrived iff
+    // j * period + phase <= start_i * samples.
+    let mut worst = 0u64;
+    for (i, &s) in starts.iter().enumerate() {
+        let avail = s as i128 * samples as i128 - phase; // >= 0 by phase choice
+        let arrivals = (avail / period as i128) as u64 + 1; // j = 0 counts
+        let arrivals = arrivals.min(samples);
+        worst = worst.max(arrivals - i as u64);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (SdfGraph, RepetitionsVector) {
+        let mut g = SdfGraph::new("pair");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 4).unwrap(); // q = (4, 1)
+        let q = RepetitionsVector::compute(&g).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn makespan_sums_exec_times() {
+        let (g, _) = pair();
+        let s = LoopedSchedule::parse("(4A)B", &g).unwrap();
+        let exec = ExecutionTimes::new(&g, vec![2, 10]);
+        assert_eq!(schedule_makespan(&g, &s, &exec).unwrap(), 4 * 2 + 10);
+    }
+
+    #[test]
+    fn evenly_spread_source_needs_one_slot() {
+        // Source fires at a perfectly regular cadence: buffer of 1.
+        let mut g = SdfGraph::new("t");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let s = LoopedSchedule::parse("A B", &g).unwrap();
+        let exec = ExecutionTimes::uniform(&g, 5);
+        assert_eq!(
+            source_buffer_requirement(&g, &q, &s, &exec, a).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn bursty_flat_schedule_needs_full_period() {
+        // (4A) B: all four source firings burst at the start; with B long,
+        // samples for the next period pile up... here within one period the
+        // burst consumes immediately, so requirement stays small; make B
+        // long and compare against an interleaved schedule.
+        let (g, q) = pair();
+        let a = g.actor_by_name("A").unwrap();
+        let exec = ExecutionTimes::new(&g, vec![1, 100]);
+        let flat = LoopedSchedule::parse("(4A)B", &g).unwrap();
+        let flat_req = source_buffer_requirement(&g, &q, &flat, &exec, a).unwrap();
+        // The burst at period start after a long B: arrivals accumulate
+        // during B of the previous period — captured by the phase choice:
+        // firing i=3 at t=3 vs arrival cadence 104/4=26 apart.
+        assert!(flat_req >= 3, "flat requirement {flat_req}");
+    }
+
+    #[test]
+    fn nested_beats_flat_on_cd_dat_style_chain() {
+        // The §11.1.3 claim: nesting spreads source firings, shrinking the
+        // interface buffer.
+        let mut g = SdfGraph::new("cd");
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| g.add_actor(*n))
+            .collect();
+        for (i, &(p, c)) in [(1, 1), (2, 3), (2, 7), (8, 7), (5, 1)].iter().enumerate() {
+            g.add_edge(ids[i], ids[i + 1], p, c).unwrap();
+        }
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let exec = ExecutionTimes::uniform(&g, 3);
+        let flat = LoopedSchedule::flat_sas(&ids, &q);
+        let flat_req = source_buffer_requirement(&g, &q, &flat, &exec, ids[0]).unwrap();
+        // A deeply interleaved (non-SAS) schedule: fire on demand.
+        let nested = LoopedSchedule::parse(
+            "(7(7(3A)(3B)(2C))(4D))(32E)(160F)",
+            &g,
+        );
+        // If that particular nesting is invalid fall back to a 2-way split.
+        let nested = match nested {
+            Ok(s) if crate::simulate::validate_schedule(&g, &s, &q).is_ok() => s,
+            _ => LoopedSchedule::parse("(49(3A)(3B)(2C))(28D)(32E)(160F)", &g).unwrap(),
+        };
+        crate::simulate::validate_schedule(&g, &nested, &q).unwrap();
+        let nested_req = source_buffer_requirement(&g, &q, &nested, &exec, ids[0]).unwrap();
+        assert!(
+            nested_req < flat_req,
+            "nested {nested_req} should beat flat {flat_req}"
+        );
+    }
+
+    #[test]
+    fn wrong_source_count_rejected() {
+        let (g, q) = pair();
+        let a = g.actor_by_name("A").unwrap();
+        let s = LoopedSchedule::parse("(2A)B", &g).unwrap();
+        let exec = ExecutionTimes::uniform(&g, 1);
+        assert!(source_buffer_requirement(&g, &q, &s, &exec, a).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_exec_time_rejected() {
+        let (g, _) = pair();
+        let _ = ExecutionTimes::new(&g, vec![0, 1]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Whole-graph transformations: subset clustering and transposition.
+//!
+//! Clustering is the primitive beneath APGAN (§7): a connected subset of
+//! actors is contracted into one supernode that fires
+//! `g = gcd{q(a) : a ∈ subset}` times per period, executing each member
+//! `q(a)/g` times per firing.  Edges crossing into or out of the subset
+//! have their rates scaled accordingly; internal edges disappear into the
+//! supernode.  The transformation preserves consistency and the
+//! repetition counts of all other actors.
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, SdfGraph};
+use crate::math::gcd_iter;
+use crate::repetitions::RepetitionsVector;
+
+/// The result of clustering a subset.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// The transformed graph; actor indices are remapped.
+    pub graph: SdfGraph,
+    /// The supernode in the new graph.
+    pub cluster: ActorId,
+    /// For each original actor: its id in the new graph, or `None` if it
+    /// was absorbed into the cluster.
+    pub mapping: Vec<Option<ActorId>>,
+    /// Firings of each absorbed member per cluster firing, indexed by
+    /// original actor index (zero for non-members).
+    pub internal_repetitions: Vec<u64>,
+}
+
+/// Contracts `members` of `graph` into a single supernode named `name`.
+///
+/// # Errors
+///
+/// * [`SdfError::EmptyGraph`] if `members` is empty.
+/// * [`SdfError::UnknownActor`] if a member id is out of range.
+/// * [`SdfError::Cyclic`] if contraction would create a delayless cycle
+///   through the cluster (the clustered graph would deadlock).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, RepetitionsVector};
+/// use sdf_core::transform::cluster;
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig2");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 20, 10)?;
+/// g.add_edge(b, c, 20, 10)?;
+/// // Cluster {B, C}: q was (1, 2, 4); gcd(2, 4) = 2 so the supernode
+/// // fires twice, consuming 10 tokens from A per firing.
+/// let r = cluster(&g, &[b, c], "W")?;
+/// let q = RepetitionsVector::compute(&r.graph)?;
+/// assert_eq!(q.get(r.cluster), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster(graph: &SdfGraph, members: &[ActorId], name: &str) -> Result<Clustering, SdfError> {
+    if members.is_empty() {
+        return Err(SdfError::EmptyGraph);
+    }
+    let n = graph.actor_count();
+    let mut is_member = vec![false; n];
+    for &a in members {
+        if a.index() >= n {
+            return Err(SdfError::UnknownActor(a));
+        }
+        is_member[a.index()] = true;
+    }
+    let q = RepetitionsVector::compute(graph)?;
+    let g = gcd_iter(members.iter().map(|&a| q.get(a)));
+    debug_assert!(g >= 1);
+
+    let mut out = SdfGraph::new(graph.name());
+    let mut mapping: Vec<Option<ActorId>> = vec![None; n];
+    for a in graph.actors() {
+        if !is_member[a.index()] {
+            mapping[a.index()] = Some(out.add_actor(graph.actor_name(a)));
+        }
+    }
+    let cluster_id = out.add_actor(name);
+
+    for (_, e) in graph.edges() {
+        let src_in = is_member[e.src.index()];
+        let snk_in = is_member[e.snk.index()];
+        match (src_in, snk_in) {
+            (true, true) => {} // internal: absorbed
+            (false, false) => {
+                out.add_edge_with_delay(
+                    mapping[e.src.index()].expect("non-member mapped"),
+                    mapping[e.snk.index()].expect("non-member mapped"),
+                    e.prod,
+                    e.cons,
+                    e.delay,
+                )?;
+            }
+            (true, false) => {
+                // One cluster firing produces what q(src)/g source firings
+                // produced.
+                let prod = e.prod * (q.get(e.src) / g);
+                out.add_edge_with_delay(
+                    cluster_id,
+                    mapping[e.snk.index()].expect("non-member mapped"),
+                    prod,
+                    e.cons,
+                    e.delay,
+                )?;
+            }
+            (false, true) => {
+                let cons = e.cons * (q.get(e.snk) / g);
+                out.add_edge_with_delay(
+                    mapping[e.src.index()].expect("non-member mapped"),
+                    cluster_id,
+                    e.prod,
+                    cons,
+                    e.delay,
+                )?;
+            }
+        }
+    }
+
+    // Contraction must not create a cycle the original acyclic graph did
+    // not have (the "introduces deadlock" condition APGAN checks).
+    if graph.is_acyclic() && !out.is_acyclic() {
+        return Err(SdfError::Cyclic);
+    }
+
+    let internal_repetitions = graph
+        .actors()
+        .map(|a| if is_member[a.index()] { q.get(a) / g } else { 0 })
+        .collect();
+
+    Ok(Clustering {
+        graph: out,
+        cluster: cluster_id,
+        mapping,
+        internal_repetitions,
+    })
+}
+
+/// Returns the transpose of `graph`: every edge reversed with production
+/// and consumption swapped (delays kept).  The transpose of a consistent
+/// graph is consistent with the same repetitions vector.
+pub fn transpose(graph: &SdfGraph) -> SdfGraph {
+    let mut out = SdfGraph::new(format!("{}_transposed", graph.name()));
+    for a in graph.actors() {
+        out.add_actor(graph.actor_name(a));
+    }
+    for (_, e) in graph.edges() {
+        out.add_edge_with_delay(e.snk, e.src, e.cons, e.prod, e.delay)
+            .expect("valid rates stay valid");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2() -> (SdfGraph, [ActorId; 3]) {
+        let mut g = SdfGraph::new("fig2");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 20, 10).unwrap();
+        g.add_edge(b, c, 20, 10).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn cluster_preserves_external_rates() {
+        let (g, [a, b, c]) = fig2();
+        let r = cluster(&g, &[b, c], "W").unwrap();
+        let q = RepetitionsVector::compute(&r.graph).unwrap();
+        let new_a = r.mapping[a.index()].unwrap();
+        assert_eq!(q.get(new_a), 1); // unchanged
+        assert_eq!(q.get(r.cluster), 2); // gcd(2, 4)
+        // Internal repetitions: B once, C twice per cluster firing.
+        assert_eq!(r.internal_repetitions[b.index()], 1);
+        assert_eq!(r.internal_repetitions[c.index()], 2);
+        // The edge A -> W consumes 10 per W firing (B consumed 10).
+        let (_, e) = r.graph.edges().next().unwrap();
+        assert_eq!((e.prod, e.cons), (20, 10));
+    }
+
+    #[test]
+    fn cluster_scales_outgoing_rates() {
+        // Cluster {A, B} of fig2: gcd(1, 2) = 1, cluster fires once,
+        // producing B's whole-period output of 40 tokens.
+        let (g, [a, b, c]) = fig2();
+        let r = cluster(&g, &[a, b], "W").unwrap();
+        let q = RepetitionsVector::compute(&r.graph).unwrap();
+        assert_eq!(q.get(r.cluster), 1);
+        let new_c = r.mapping[c.index()].unwrap();
+        assert_eq!(q.get(new_c), 4);
+        let (_, e) = r.graph.edges().next().unwrap();
+        assert_eq!((e.prod, e.cons), (40, 10));
+    }
+
+    #[test]
+    fn illegal_cluster_detected() {
+        // A -> B, A -> C, B -> C: clustering {A, C} creates a cycle with B.
+        let mut g = SdfGraph::new("tri");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge(a, c, 1, 1).unwrap();
+        g.add_edge(b, c, 1, 1).unwrap();
+        assert_eq!(cluster(&g, &[a, c], "W").err(), Some(SdfError::Cyclic));
+    }
+
+    #[test]
+    fn cluster_of_everything() {
+        let (g, ids) = fig2();
+        let r = cluster(&g, &ids, "ALL").unwrap();
+        assert_eq!(r.graph.actor_count(), 1);
+        assert_eq!(r.graph.edge_count(), 0);
+        let q = RepetitionsVector::compute(&r.graph).unwrap();
+        assert_eq!(q.get(r.cluster), 1);
+    }
+
+    #[test]
+    fn empty_and_bad_members_rejected() {
+        let (g, _) = fig2();
+        assert!(cluster(&g, &[], "W").is_err());
+        assert!(cluster(&g, &[ActorId::from_index(99)], "W").is_err());
+    }
+
+    #[test]
+    fn transpose_preserves_repetitions() {
+        let (g, _) = fig2();
+        let t = transpose(&g);
+        let q1 = RepetitionsVector::compute(&g).unwrap();
+        let q2 = RepetitionsVector::compute(&t).unwrap();
+        assert_eq!(q1.as_slice(), q2.as_slice());
+        // Double transpose restores edge directions.
+        let tt = transpose(&t);
+        let orig: Vec<_> = g.edges().map(|(_, e)| (e.src, e.snk, e.prod, e.cons)).collect();
+        let back: Vec<_> = tt.edges().map(|(_, e)| (e.src, e.snk, e.prod, e.cons)).collect();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn cluster_with_delays_kept() {
+        let mut g = SdfGraph::new("d");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge_with_delay(a, b, 1, 1, 5).unwrap();
+        g.add_edge(b, c, 1, 1).unwrap();
+        let r = cluster(&g, &[b, c], "W").unwrap();
+        let (_, e) = r.graph.edges().next().unwrap();
+        assert_eq!(e.delay, 5);
+    }
+}

@@ -1,0 +1,497 @@
+//! The schedule tree: an R-schedule annotated with abstract time (§8.1–8.3).
+//!
+//! Each invocation of a *leaf* of the schedule tree is one schedule step
+//! (one unit of abstract time).  Durations, start times and stop times of
+//! every loop nest follow by depth-first search:
+//!
+//! ```text
+//! dur(leaf) = 1
+//! dur(v)    = loop(v) · (dur(left(v)) + dur(right(v)))
+//! ```
+//!
+//! `start`/`stop` locate each node's **first** iteration inside its parent's
+//! first iteration; periodicity (later iterations) is handled symbolically
+//! by [`crate::interval::PeriodicLifetime`].
+
+use sdf_core::error::SdfError;
+use sdf_core::graph::{ActorId, SdfGraph};
+use sdf_core::repetitions::RepetitionsVector;
+use sdf_core::schedule::{SasNode, SasTree};
+
+/// Identifies a node of a [`ScheduleTree`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TreeNodeId(usize);
+
+impl TreeNodeId {
+    /// Returns the dense index of the node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TreeNodeKind {
+    Leaf { actor: ActorId },
+    Internal { left: TreeNodeId, right: TreeNodeId },
+}
+
+#[derive(Clone, Debug)]
+struct TreeNode {
+    kind: TreeNodeKind,
+    parent: Option<TreeNodeId>,
+    /// `loop(v)`: iteration count (leaf residual factors count as loop
+    /// factors of a single-leaf nest; see `ScheduleTree::build`).
+    loop_count: u64,
+    /// `dur(v)` in schedule steps.
+    dur: u64,
+    /// Start of the node's first iteration.
+    start: u64,
+    /// `start + dur`: end of the node's *last* iteration relative to its
+    /// parent's first iteration.
+    stop: u64,
+    /// Iterations of this node per schedule period: the product of
+    /// `loop(w)` for `w` on the path from the root to this node, inclusive.
+    iterations: u64,
+}
+
+/// An R-schedule as a timed binary tree.
+///
+/// Built from a [`SasTree`]; leaves keep their residual repetition count as
+/// the leaf's `loop` value (a leaf invocation of `(3 B)` is **one** schedule
+/// step, matching the paper's convention that `2(A 3B)` takes 4 steps).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, RepetitionsVector, SasNode, SasTree};
+/// use sdf_lifetime::tree::ScheduleTree;
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig2");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 20, 10)?;
+/// g.add_edge(b, c, 20, 10)?;
+/// let q = RepetitionsVector::compute(&g)?;
+/// // A (2 B (2C))
+/// let sas = SasTree::new(SasNode::branch(
+///     1,
+///     SasNode::leaf(a, 1),
+///     SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+/// ));
+/// let tree = ScheduleTree::build(&g, &q, &sas)?;
+/// assert_eq!(tree.total_duration(), 1 + 2 * (1 + 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScheduleTree {
+    nodes: Vec<TreeNode>,
+    root: TreeNodeId,
+    /// Leaf node of each actor, indexed by actor index.
+    leaf_of: Vec<Option<TreeNodeId>>,
+}
+
+impl ScheduleTree {
+    /// Builds the timed tree for a validated SAS.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from [`SasTree::validate`] if the SAS does not
+    /// match the graph and repetitions vector.
+    pub fn build(
+        graph: &SdfGraph,
+        q: &RepetitionsVector,
+        sas: &SasTree,
+    ) -> Result<Self, SdfError> {
+        sas.validate(graph, q)?;
+        let mut tree = ScheduleTree {
+            nodes: Vec::new(),
+            root: TreeNodeId(0),
+            leaf_of: vec![None; graph.actor_count()],
+        };
+        let root = tree.convert(sas.root());
+        tree.root = root;
+        tree.annotate(root, None, 0, 1);
+        Ok(tree)
+    }
+
+    /// Recursively converts a [`SasNode`], computing durations bottom-up.
+    fn convert(&mut self, node: &SasNode) -> TreeNodeId {
+        match node {
+            SasNode::Leaf { actor, reps } => {
+                let id = TreeNodeId(self.nodes.len());
+                self.nodes.push(TreeNode {
+                    kind: TreeNodeKind::Leaf { actor: *actor },
+                    parent: None,
+                    loop_count: *reps,
+                    dur: 1,
+                    start: 0,
+                    stop: 0,
+                    iterations: 1,
+                });
+                self.leaf_of[actor.index()] = Some(id);
+                id
+            }
+            SasNode::Branch { count, left, right } => {
+                let l = self.convert(left);
+                let r = self.convert(right);
+                let dur = count * (self.nodes[l.0].dur + self.nodes[r.0].dur);
+                let id = TreeNodeId(self.nodes.len());
+                self.nodes.push(TreeNode {
+                    kind: TreeNodeKind::Internal { left: l, right: r },
+                    parent: None,
+                    loop_count: *count,
+                    dur,
+                    start: 0,
+                    stop: 0,
+                    iterations: 1,
+                });
+                self.nodes[l.0].parent = Some(id);
+                self.nodes[r.0].parent = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Second pass: start/stop times and per-period iteration counts.
+    fn annotate(&mut self, id: TreeNodeId, parent: Option<TreeNodeId>, start: u64, iters: u64) {
+        let node = &mut self.nodes[id.0];
+        node.parent = parent;
+        node.start = start;
+        node.stop = start + node.dur;
+        node.iterations = iters * node.loop_count;
+        let iters = node.iterations;
+        if let TreeNodeKind::Internal { left, right } = node.kind {
+            let left_dur = self.nodes[left.0].dur;
+            self.annotate(left, Some(id), start, iters);
+            self.annotate(right, Some(id), start + left_dur, iters);
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> TreeNodeId {
+        self.root
+    }
+
+    /// Total schedule duration in steps (`dur(root)`).
+    pub fn total_duration(&self) -> u64 {
+        self.nodes[self.root.0].dur
+    }
+
+    /// `loop(v)` — iteration count of the node (leaf residual factors are
+    /// reported as 1, matching §8.2's convention `loop(leaf) = 1`; a leaf's
+    /// firings happen within its single schedule step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn loop_count(&self, v: TreeNodeId) -> u64 {
+        match self.nodes[v.0].kind {
+            TreeNodeKind::Leaf { .. } => 1,
+            TreeNodeKind::Internal { .. } => self.nodes[v.0].loop_count,
+        }
+    }
+
+    /// The residual repetition count of a leaf (e.g. 3 for `(3 B)`), or
+    /// `None` for internal nodes.
+    pub fn leaf_reps(&self, v: TreeNodeId) -> Option<u64> {
+        match self.nodes[v.0].kind {
+            TreeNodeKind::Leaf { .. } => Some(self.nodes[v.0].loop_count),
+            TreeNodeKind::Internal { .. } => None,
+        }
+    }
+
+    /// `dur(v)` in schedule steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn dur(&self, v: TreeNodeId) -> u64 {
+        self.nodes[v.0].dur
+    }
+
+    /// Start time of the node's first iteration.
+    pub fn start(&self, v: TreeNodeId) -> u64 {
+        self.nodes[v.0].start
+    }
+
+    /// Stop time (`start + dur`).
+    pub fn stop(&self, v: TreeNodeId) -> u64 {
+        self.nodes[v.0].stop
+    }
+
+    /// Iterations of `v` per schedule period (product of loop counts from
+    /// the root down to `v`, using internal loop counts only for leaves'
+    /// ancestors — a leaf's own residual factor is excluded since all its
+    /// firings share one step).
+    pub fn iterations(&self, v: TreeNodeId) -> u64 {
+        match self.nodes[v.0].kind {
+            // `iterations` accumulated the leaf's residual factor; undo it.
+            TreeNodeKind::Leaf { .. } => self.nodes[v.0].iterations / self.nodes[v.0].loop_count,
+            TreeNodeKind::Internal { .. } => self.nodes[v.0].iterations,
+        }
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: TreeNodeId) -> Option<TreeNodeId> {
+        self.nodes[v.0].parent
+    }
+
+    /// Children of an internal node.
+    pub fn children(&self, v: TreeNodeId) -> Option<(TreeNodeId, TreeNodeId)> {
+        match self.nodes[v.0].kind {
+            TreeNodeKind::Leaf { .. } => None,
+            TreeNodeKind::Internal { left, right } => Some((left, right)),
+        }
+    }
+
+    /// The actor at a leaf, or `None` for internal nodes.
+    pub fn leaf_actor(&self, v: TreeNodeId) -> Option<ActorId> {
+        match self.nodes[v.0].kind {
+            TreeNodeKind::Leaf { actor } => Some(actor),
+            TreeNodeKind::Internal { .. } => None,
+        }
+    }
+
+    /// The leaf node of `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is out of range for the graph the tree was built
+    /// from, or does not appear in the schedule.
+    pub fn leaf(&self, actor: ActorId) -> TreeNodeId {
+        self.leaf_of[actor.index()].expect("actor must appear in the schedule")
+    }
+
+    /// The smallest (least) parent of two leaves: their lowest common
+    /// ancestor (§8.3, Definition 2).
+    pub fn least_parent(&self, u: TreeNodeId, v: TreeNodeId) -> TreeNodeId {
+        let mut ancestors = std::collections::HashSet::new();
+        let mut cur = Some(u);
+        while let Some(c) = cur {
+            ancestors.insert(c);
+            cur = self.parent(c);
+        }
+        let mut cur = Some(v);
+        while let Some(c) = cur {
+            if ancestors.contains(&c) {
+                return c;
+            }
+            cur = self.parent(c);
+        }
+        unreachable!("two nodes of the same tree always share the root")
+    }
+
+    /// True if `descendant` lies in the subtree rooted at `ancestor`.
+    pub fn is_ancestor(&self, ancestor: TreeNodeId, descendant: TreeNodeId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Renders the tree as indented ASCII with timing annotations, e.g.
+    ///
+    /// ```text
+    /// loop x2  [start 0, dur 18, iters 2]
+    ///   loop x2  [start 0, dur 8, iters 4]
+    ///     …
+    ///     leaf B x1  [start 1, dur 1]
+    /// ```
+    pub fn render(&self, graph: &SdfGraph) -> String {
+        let mut out = String::new();
+        self.render_node(graph, self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, graph: &SdfGraph, v: TreeNodeId, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self.nodes[v.0].kind {
+            TreeNodeKind::Leaf { actor } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}leaf {} x{}  [start {}, dur {}]",
+                    graph.actor_name(actor),
+                    self.nodes[v.0].loop_count,
+                    self.start(v),
+                    self.dur(v)
+                );
+            }
+            TreeNodeKind::Internal { left, right } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}loop x{}  [start {}, dur {}, iters {}]",
+                    self.nodes[v.0].loop_count,
+                    self.start(v),
+                    self.dur(v),
+                    self.iterations(v)
+                );
+                self.render_node(graph, left, depth + 1, out);
+                self.render_node(graph, right, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the §8.4 worked example's shape:
+    /// S 2( 2( (A B)(C D) ) (2E) ): strides 4 and 9 for buffer (A,B).
+    /// The rate-4 source S forces q = (1, 4, 4, 4, 4, 4) so the nesting is
+    /// a valid minimal-period SAS.
+    fn paper_example() -> (SdfGraph, RepetitionsVector, SasTree) {
+        let mut g = SdfGraph::new("fig15");
+        let s = g.add_actor("S");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        let d = g.add_actor("D");
+        let e = g.add_actor("E");
+        g.add_edge(s, a, 4, 1).unwrap();
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge(b, c, 1, 1).unwrap();
+        g.add_edge(c, d, 1, 1).unwrap();
+        g.add_edge(d, e, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let sas = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(s, 1),
+            SasNode::branch(
+                2,
+                SasNode::branch(
+                    2,
+                    SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 1)),
+                    SasNode::branch(1, SasNode::leaf(c, 1), SasNode::leaf(d, 1)),
+                ),
+                SasNode::leaf(e, 2),
+            ),
+        ));
+        (g, q, sas)
+    }
+
+    #[test]
+    fn durations_match_paper_convention() {
+        let (g, q, sas) = paper_example();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        // dur(root) = 1 + 2 * (2 * (2 + 2) + 1) = 19.
+        assert_eq!(tree.total_duration(), 19);
+        let a = tree.leaf(g.actor_by_name("A").unwrap());
+        assert_eq!(tree.dur(a), 1);
+        let ab = tree.parent(a).unwrap();
+        assert_eq!(tree.dur(ab), 2);
+        let v1 = tree.parent(ab).unwrap();
+        assert_eq!(tree.dur(v1), 8);
+        let v2 = tree.parent(v1).unwrap();
+        assert_eq!(tree.dur(v2), 18);
+        assert_eq!(tree.parent(v2), Some(tree.root()));
+    }
+
+    #[test]
+    fn leaf_with_residual_count_is_one_step() {
+        // X (2 (A (3B))): the (3B) invocation is one schedule step, so the
+        // whole schedule takes 1 + 2·(1 + 1) = 5 steps (paper §8.1's
+        // convention that 2(A 3B) takes 4 steps).
+        let mut g = SdfGraph::new("t");
+        let x = g.add_actor("X");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(x, a, 2, 1).unwrap();
+        g.add_edge(a, b, 3, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(q.as_slice(), &[1, 2, 6]);
+        let sas = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(x, 1),
+            SasNode::branch(2, SasNode::leaf(a, 1), SasNode::leaf(b, 3)),
+        ));
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        assert_eq!(tree.total_duration(), 5);
+        let bleaf = tree.leaf(b);
+        assert_eq!(tree.dur(bleaf), 1);
+        assert_eq!(tree.leaf_reps(bleaf), Some(3));
+        assert_eq!(tree.loop_count(bleaf), 1);
+        // First invocation of (3B) spans [2, 3).
+        assert_eq!(tree.start(bleaf), 2);
+        assert_eq!(tree.stop(bleaf), 3);
+    }
+
+    #[test]
+    fn start_stop_first_iteration() {
+        let (g, q, sas) = paper_example();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let name = |n: &str| tree.leaf(g.actor_by_name(n).unwrap());
+        assert_eq!(tree.start(name("S")), 0);
+        assert_eq!(tree.start(name("A")), 1);
+        assert_eq!(tree.start(name("B")), 2);
+        assert_eq!(tree.start(name("C")), 3);
+        assert_eq!(tree.start(name("D")), 4);
+        assert_eq!(tree.start(name("E")), 9);
+        assert_eq!(tree.stop(name("E")), 10);
+    }
+
+    #[test]
+    fn iterations_per_period() {
+        let (g, q, sas) = paper_example();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let a = tree.leaf(g.actor_by_name("A").unwrap());
+        let ab = tree.parent(a).unwrap();
+        let v1 = tree.parent(ab).unwrap();
+        let v2 = tree.parent(v1).unwrap();
+        assert_eq!(tree.iterations(tree.root()), 1);
+        assert_eq!(tree.iterations(v2), 2);
+        assert_eq!(tree.iterations(v1), 4);
+        assert_eq!(tree.iterations(ab), 4);
+        assert_eq!(tree.iterations(a), 4);
+        let e = tree.leaf(g.actor_by_name("E").unwrap());
+        assert_eq!(tree.iterations(e), 2);
+    }
+
+    #[test]
+    fn least_parent() {
+        let (g, q, sas) = paper_example();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let name = |n: &str| tree.leaf(g.actor_by_name(n).unwrap());
+        let lp_ab = tree.least_parent(name("A"), name("B"));
+        assert_eq!(tree.dur(lp_ab), 2);
+        let lp_bc = tree.least_parent(name("B"), name("C"));
+        assert_eq!(tree.dur(lp_bc), 8); // v1
+        let lp_de = tree.least_parent(name("D"), name("E"));
+        assert_eq!(tree.dur(lp_de), 18); // v2
+        let lp_se = tree.least_parent(name("S"), name("E"));
+        assert_eq!(lp_se, tree.root());
+        assert!(tree.is_ancestor(tree.root(), name("C")));
+        assert!(!tree.is_ancestor(lp_ab, name("C")));
+    }
+
+    #[test]
+    fn render_shows_structure() {
+        let (g, q, sas) = paper_example();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let text = tree.render(&g);
+        assert!(text.contains("leaf S x1  [start 0, dur 1]"), "{text}");
+        assert!(text.contains("loop x2  [start 1, dur 8, iters 4]"), "{text}");
+        assert!(text.contains("leaf E x2"), "{text}");
+    }
+
+    #[test]
+    fn invalid_sas_rejected() {
+        let (g, q, _) = paper_example();
+        let a = g.actor_by_name("A").unwrap();
+        let bad = SasTree::new(SasNode::leaf(a, 1));
+        assert!(ScheduleTree::build(&g, &q, &bad).is_err());
+    }
+}

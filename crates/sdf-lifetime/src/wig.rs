@@ -1,0 +1,298 @@
+//! The weighted intersection graph (WIG) of buffer lifetimes (§9.1).
+//!
+//! Nodes are buffers (one per SDF edge) weighted by size; an edge joins two
+//! buffers whose lifetimes overlap in time.  Built with the sweep of
+//! Fig. 19: buffers sorted by earliest start, candidate pairs pruned by the
+//! envelope `[start, envelope_end)`, then tested precisely with the
+//! periodic intersection test.
+
+use sdf_core::error::SdfError;
+use sdf_core::graph::{EdgeId, SdfGraph};
+use sdf_core::repetitions::RepetitionsVector;
+
+use crate::interval::{buffer_lifetime, PeriodicLifetime};
+use crate::tree::ScheduleTree;
+
+/// A buffer (WIG node): the SDF edge it implements, its lifetime and size.
+#[derive(Clone, Debug)]
+pub struct Buffer {
+    /// The SDF edge this buffer implements.
+    pub edge: EdgeId,
+    /// Its lifetime under the analysed schedule.
+    pub lifetime: PeriodicLifetime,
+}
+
+/// The interface dynamic storage allocation needs from any intersection
+/// graph: per-node sizes, coarse timing (for enumeration orders) and
+/// conflict adjacency.
+///
+/// Implemented by the coarse-model [`IntersectionGraph`] and by the
+/// fine-grained [`crate::fine::FineIntersectionGraph`], so the allocator in
+/// `sdf-alloc` works with either buffer model.
+pub trait ConflictGraph {
+    /// Number of buffers.
+    fn len(&self) -> usize;
+
+    /// True if there are no buffers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory words buffer `index` needs whenever it is live.
+    fn size(&self, index: usize) -> u64;
+
+    /// Earliest time buffer `index` becomes live.
+    fn start(&self, index: usize) -> u64;
+
+    /// Envelope duration (first start to last end) of buffer `index`.
+    fn duration(&self, index: usize) -> u64;
+
+    /// Indices of buffers whose lifetimes overlap buffer `index`, sorted
+    /// ascending.
+    fn conflicts(&self, index: usize) -> &[usize];
+}
+
+impl ConflictGraph for IntersectionGraph {
+    fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn size(&self, index: usize) -> u64 {
+        self.buffers[index].lifetime.size()
+    }
+
+    fn start(&self, index: usize) -> u64 {
+        self.buffers[index].lifetime.start()
+    }
+
+    fn duration(&self, index: usize) -> u64 {
+        let lt = &self.buffers[index].lifetime;
+        lt.envelope_end() - lt.start()
+    }
+
+    fn conflicts(&self, index: usize) -> &[usize] {
+        &self.adjacency[index]
+    }
+}
+
+/// The weighted intersection graph of all buffers of a schedule.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, RepetitionsVector, SasNode, SasTree};
+/// use sdf_lifetime::{tree::ScheduleTree, wig::IntersectionGraph};
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig2");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 20, 10)?;
+/// g.add_edge(b, c, 20, 10)?;
+/// let q = RepetitionsVector::compute(&g)?;
+/// let sas = SasTree::new(SasNode::branch(
+///     1,
+///     SasNode::leaf(a, 1),
+///     SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+/// ));
+/// let tree = ScheduleTree::build(&g, &q, &sas)?;
+/// let wig = IntersectionGraph::build(&g, &q, &tree);
+/// assert_eq!(wig.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IntersectionGraph {
+    buffers: Vec<Buffer>,
+    /// Adjacency lists over buffer indices.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl IntersectionGraph {
+    /// Extracts all buffer lifetimes from `tree` and builds the WIG.
+    pub fn build(graph: &SdfGraph, q: &RepetitionsVector, tree: &ScheduleTree) -> Self {
+        let buffers: Vec<Buffer> = graph
+            .edges()
+            .map(|(id, _)| Buffer {
+                edge: id,
+                lifetime: buffer_lifetime(graph, q, tree, id),
+            })
+            .collect();
+        Self::from_buffers(buffers)
+    }
+
+    /// Builds the WIG from externally constructed buffers (used by tests
+    /// and by non-schedule instances, e.g. the random instances of \[20\]).
+    pub fn from_buffers(buffers: Vec<Buffer>) -> Self {
+        let n = buffers.len();
+        let mut adjacency = vec![Vec::new(); n];
+        // Sweep by earliest start (Fig. 19's buildIntersectionGraph).
+        let mut by_start: Vec<usize> = (0..n).collect();
+        by_start.sort_by_key(|&i| buffers[i].lifetime.start());
+        for (si, &i) in by_start.iter().enumerate() {
+            let end_i = buffers[i].lifetime.envelope_end();
+            for &j in &by_start[si + 1..] {
+                if buffers[j].lifetime.start() >= end_i {
+                    break;
+                }
+                if buffers[i].lifetime.intersects(&buffers[j].lifetime) {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        IntersectionGraph { buffers, adjacency }
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// True if there are no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// The buffer at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn buffer(&self, index: usize) -> &Buffer {
+        &self.buffers[index]
+    }
+
+    /// All buffers in construction order (SDF edge order).
+    pub fn buffers(&self) -> &[Buffer] {
+        &self.buffers
+    }
+
+    /// Indices of buffers whose lifetimes overlap buffer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn neighbours(&self, index: usize) -> &[usize] {
+        &self.adjacency[index]
+    }
+
+    /// True if buffers `i` and `j` overlap in time.
+    pub fn overlaps(&self, i: usize, j: usize) -> bool {
+        self.adjacency[i].binary_search(&j).is_ok()
+    }
+
+    /// Total size of all buffers — the non-shared memory requirement of
+    /// the schedule the WIG was extracted from.
+    pub fn total_size(&self) -> u64 {
+        self.buffers.iter().map(|b| b.lifetime.size()).sum()
+    }
+
+    /// Finds the buffer implementing `edge`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::UnknownEdge`] if no buffer implements `edge`.
+    pub fn buffer_of_edge(&self, edge: EdgeId) -> Result<usize, SdfError> {
+        self.buffers
+            .iter()
+            .position(|b| b.edge == edge)
+            .ok_or(SdfError::UnknownEdge(edge))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{Period, PeriodicLifetime};
+    use sdf_core::schedule::{SasNode, SasTree};
+
+    fn lt(start: u64, dur: u64, size: u64) -> PeriodicLifetime {
+        PeriodicLifetime::solid(start, dur, size)
+    }
+
+    fn wig_of(lifetimes: Vec<PeriodicLifetime>) -> IntersectionGraph {
+        IntersectionGraph::from_buffers(
+            lifetimes
+                .into_iter()
+                .enumerate()
+                .map(|(i, lifetime)| Buffer {
+                    edge: EdgeId::from_index(i),
+                    lifetime,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn solid_overlap_detection() {
+        let w = wig_of(vec![lt(0, 5, 1), lt(3, 4, 2), lt(5, 2, 3)]);
+        assert!(w.overlaps(0, 1));
+        assert!(!w.overlaps(0, 2)); // [0,5) vs [5,7): half-open, disjoint
+        assert!(w.overlaps(1, 2));
+        assert_eq!(w.neighbours(1), &[0, 2]);
+        assert_eq!(w.total_size(), 6);
+    }
+
+    #[test]
+    fn periodic_gaps_respected() {
+        // Interleaved periodic buffers (Fig. 17's AB vs CD).
+        let ab = PeriodicLifetime::periodic(
+            0,
+            2,
+            1,
+            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+        );
+        let cd = PeriodicLifetime::periodic(
+            2,
+            2,
+            1,
+            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+        );
+        let w = wig_of(vec![ab, cd]);
+        assert!(!w.overlaps(0, 1));
+    }
+
+    #[test]
+    fn built_from_schedule_tree() {
+        // A (2 B (2C)) on Fig. 2's graph: both buffers overlap.
+        let mut g = SdfGraph::new("fig2");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 20, 10).unwrap();
+        g.add_edge(b, c, 20, 10).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let sas = SasTree::new(SasNode::branch(
+            1,
+            SasNode::leaf(a, 1),
+            SasNode::branch(2, SasNode::leaf(b, 1), SasNode::leaf(c, 2)),
+        ));
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let w = IntersectionGraph::build(&g, &q, &tree);
+        assert_eq!(w.len(), 2);
+        assert!(w.overlaps(0, 1));
+        // Sizes: (A,B) holds 20 tokens, (B,C) holds 20 per outer iteration.
+        assert_eq!(w.buffer(0).lifetime.size(), 20);
+        assert_eq!(w.buffer(1).lifetime.size(), 20);
+        assert_eq!(w.total_size(), 40);
+    }
+
+    #[test]
+    fn buffer_of_edge_lookup() {
+        let w = wig_of(vec![lt(0, 1, 1)]);
+        assert_eq!(w.buffer_of_edge(EdgeId::from_index(0)).unwrap(), 0);
+        assert!(w.buffer_of_edge(EdgeId::from_index(9)).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let w = wig_of(vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.total_size(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! APGAN: Acyclic Pairwise Grouping of Adjacent Nodes (§7, from \[3\]).
+//!
+//! APGAN builds a lexical ordering bottom-up by repeatedly clustering the
+//! adjacent pair of (super)nodes with the largest repetition-count gcd
+//! `ρ(u, v) = gcd(q(u), q(v))`, subject to the merge not introducing a cycle
+//! in the clustered graph.  Heavily-communicating actors therefore end up
+//! deepest in the loop hierarchy.  The cluster tree's in-order traversal is
+//! the generated topological sort, which DPPO/SDPPO then re-parenthesise.
+
+use sdf_core::error::SdfError;
+use sdf_core::graph::{ActorId, SdfGraph};
+use sdf_core::math::gcd;
+use sdf_core::repetitions::RepetitionsVector;
+
+/// Runs APGAN and returns the generated lexical ordering (a topological
+/// sort of `graph`).
+///
+/// # Errors
+///
+/// * [`SdfError::EmptyGraph`] if the graph has no actors.
+/// * [`SdfError::Cyclic`] if the graph has a directed cycle (APGAN here
+///   targets acyclic graphs, matching the paper's flow).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, RepetitionsVector};
+/// use sdf_sched::apgan::apgan;
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fig2");
+/// let a = g.add_actor("A");
+/// let b = g.add_actor("B");
+/// let c = g.add_actor("C");
+/// g.add_edge(a, b, 20, 10)?;
+/// g.add_edge(b, c, 20, 10)?;
+/// let q = RepetitionsVector::compute(&g)?;
+/// assert_eq!(apgan(&g, &q)?, vec![a, b, c]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apgan(graph: &SdfGraph, q: &RepetitionsVector) -> Result<Vec<ActorId>, SdfError> {
+    let n = graph.actor_count();
+    if n == 0 {
+        return Err(SdfError::EmptyGraph);
+    }
+    if !graph.is_acyclic() {
+        return Err(SdfError::Cyclic);
+    }
+
+    let mut state = ClusterState::new(graph, q);
+    while state.active.len() > 1 {
+        if !state.merge_best_adjacent(graph) {
+            // No adjacent pair can merge without a cycle (or no edges remain
+            // between clusters, e.g. disconnected graphs): merge two
+            // clusters that are consecutive in a topological order of the
+            // cluster DAG — always legal, since anything strictly between
+            // them would appear between them in every topological order.
+            state.merge_topological_fallback(graph);
+        }
+    }
+    Ok(state.lexical_order(state.active[0]))
+}
+
+/// A node of the cluster hierarchy.
+enum ClusterNode {
+    Leaf(ActorId),
+    Merge(usize, usize),
+}
+
+struct ClusterState {
+    nodes: Vec<ClusterNode>,
+    /// Current root cluster of each actor.
+    cluster_of: Vec<usize>,
+    /// gcd of member repetition counts per cluster node.
+    rep_gcd: Vec<u64>,
+    /// Root clusters still alive.
+    active: Vec<usize>,
+}
+
+impl ClusterState {
+    fn new(graph: &SdfGraph, q: &RepetitionsVector) -> Self {
+        let n = graph.actor_count();
+        ClusterState {
+            nodes: graph.actors().map(ClusterNode::Leaf).collect(),
+            cluster_of: (0..n).collect(),
+            rep_gcd: graph.actors().map(|a| q.get(a)).collect(),
+            active: (0..n).collect(),
+        }
+    }
+
+    /// Directed deduplicated cluster-level adjacency as (src, snk) pairs.
+    fn cluster_edges(&self, graph: &SdfGraph) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = graph
+            .edges()
+            .map(|(_, e)| {
+                (
+                    self.cluster_of[e.src.index()],
+                    self.cluster_of[e.snk.index()],
+                )
+            })
+            .filter(|(u, v)| u != v)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Attempts the highest-ρ legal merge; returns false if none is legal.
+    fn merge_best_adjacent(&mut self, graph: &SdfGraph) -> bool {
+        let edges = self.cluster_edges(graph);
+        if edges.is_empty() {
+            return false;
+        }
+        // Candidates sorted by descending ρ, then by ids for determinism.
+        let mut candidates: Vec<(u64, usize, usize)> = edges
+            .iter()
+            .map(|&(u, v)| (gcd(self.rep_gcd[u], self.rep_gcd[v]), u, v))
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        for &(_, u, v) in &candidates {
+            if !self.merge_creates_cycle(&edges, u, v) {
+                self.merge(u, v);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Merging (u, v) with an edge u -> v creates a cycle iff some other
+    /// successor of u still reaches v.
+    fn merge_creates_cycle(&self, edges: &[(usize, usize)], u: usize, v: usize) -> bool {
+        let succ = |c: usize| edges.iter().filter(move |&&(s, _)| s == c).map(|&(_, t)| t);
+        let mut stack: Vec<usize> = succ(u).filter(|&s| s != v).collect();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = stack.pop() {
+            if c == v {
+                return true;
+            }
+            if seen.insert(c) {
+                stack.extend(succ(c));
+            }
+        }
+        false
+    }
+
+    /// Merges two clusters that are consecutive in a topological order of
+    /// the cluster DAG.
+    fn merge_topological_fallback(&mut self, graph: &SdfGraph) {
+        let edges = self.cluster_edges(graph);
+        let order = topo_order_of(&self.active, &edges);
+        self.merge(order[0], order[1]);
+    }
+
+    fn merge(&mut self, u: usize, v: usize) {
+        let id = self.nodes.len();
+        self.nodes.push(ClusterNode::Merge(u, v));
+        self.rep_gcd.push(gcd(self.rep_gcd[u], self.rep_gcd[v]));
+        for c in self.cluster_of.iter_mut() {
+            if *c == u || *c == v {
+                *c = id;
+            }
+        }
+        self.active.retain(|&c| c != u && c != v);
+        self.active.push(id);
+    }
+
+    fn lexical_order(&self, root: usize) -> Vec<ActorId> {
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        while let Some(c) = stack.pop() {
+            match self.nodes[c] {
+                ClusterNode::Leaf(a) => order.push(a),
+                ClusterNode::Merge(l, r) => {
+                    // Right pushed first so left is visited first.
+                    stack.push(r);
+                    stack.push(l);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Topological order of the given cluster ids under `edges` (Kahn,
+/// smallest-id-first for determinism).
+fn topo_order_of(active: &[usize], edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut indegree: std::collections::HashMap<usize, usize> =
+        active.iter().map(|&c| (c, 0)).collect();
+    for &(_, t) in edges {
+        *indegree.get_mut(&t).expect("edge endpoint must be active") += 1;
+    }
+    let mut ready: Vec<usize> = active
+        .iter()
+        .copied()
+        .filter(|c| indegree[c] == 0)
+        .collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order = Vec::with_capacity(active.len());
+    while let Some(c) = ready.pop() {
+        order.push(c);
+        for &(s, t) in edges {
+            if s == c {
+                let d = indegree.get_mut(&t).expect("active");
+                *d -= 1;
+                if *d == 0 {
+                    let pos = ready.partition_point(|&x| x > t);
+                    ready.insert(pos, t);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_is_topological(graph: &SdfGraph, order: &[ActorId]) -> bool {
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        graph
+            .edges()
+            .all(|(_, e)| pos[&e.src] < pos[&e.snk])
+            && order.len() == graph.actor_count()
+    }
+
+    #[test]
+    fn chain_order_preserved() {
+        let mut g = SdfGraph::new("chain");
+        let ids: Vec<_> = (0..5).map(|i| g.add_actor(format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 2, 3).unwrap();
+        }
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = apgan(&g, &q).unwrap();
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn clusters_high_gcd_pairs_first() {
+        // S feeds X (rate 1) and Y (rate 8); X -> T, Y -> T.
+        // q(S)=8? Set rates so q = (8, 8, 1, 8): X pairs with S at rho 8,
+        // Y at rho 1.
+        let mut g = SdfGraph::new("star");
+        let s = g.add_actor("S");
+        let x = g.add_actor("X");
+        let y = g.add_actor("Y");
+        let t = g.add_actor("T");
+        g.add_edge(s, x, 1, 1).unwrap(); // q(x) = q(s)
+        g.add_edge(s, y, 1, 8).unwrap(); // q(y) = q(s)/8
+        g.add_edge(x, t, 1, 1).unwrap();
+        g.add_edge(y, t, 8, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(q.as_slice(), &[8, 8, 1, 8]);
+        let order = apgan(&g, &q).unwrap();
+        assert!(order_is_topological(&g, &order));
+    }
+
+    #[test]
+    fn produces_topological_order_on_diamond() {
+        let mut g = SdfGraph::new("diamond");
+        let s = g.add_actor("S");
+        let x = g.add_actor("X");
+        let y = g.add_actor("Y");
+        let t = g.add_actor("T");
+        g.add_edge(s, x, 2, 1).unwrap();
+        g.add_edge(s, y, 3, 1).unwrap();
+        g.add_edge(x, t, 1, 2).unwrap();
+        g.add_edge(y, t, 1, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = apgan(&g, &q).unwrap();
+        assert!(order_is_topological(&g, &order));
+    }
+
+    #[test]
+    fn cycle_avoidance_during_clustering() {
+        // A -> B, A -> C, B -> C: clustering (A, C) first would create a
+        // cycle with B; APGAN must avoid it and still finish.
+        let mut g = SdfGraph::new("tri");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        // Make rho(A, C) the largest.
+        g.add_edge(a, b, 1, 7).unwrap(); // q(b) = q(a)/7
+        g.add_edge(a, c, 1, 1).unwrap(); // q(c) = q(a)
+        g.add_edge(b, c, 7, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(q.as_slice(), &[7, 1, 7]);
+        let order = apgan(&g, &q).unwrap();
+        assert!(order_is_topological(&g, &order));
+        assert_eq!(order, vec![a, b, c]); // only topological order of this DAG
+    }
+
+    #[test]
+    fn disconnected_graph_completes() {
+        let mut g = SdfGraph::new("disc");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 4, 2).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = apgan(&g, &q).unwrap();
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&c));
+        assert!(order_is_topological(&g, &order));
+    }
+
+    #[test]
+    fn single_actor() {
+        let mut g = SdfGraph::new("one");
+        let a = g.add_actor("A");
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(apgan(&g, &q).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut g = SdfGraph::new("cyc");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge_with_delay(b, a, 1, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        assert_eq!(apgan(&g, &q), Err(SdfError::Cyclic));
+    }
+}

@@ -1,0 +1,152 @@
+//! Scheduling consistent **cyclic** SDF graphs.
+//!
+//! The paper's SAS machinery targets acyclic graphs; real systems contain
+//! feedback loops whose initial tokens (delays) make them executable.  The
+//! standard reduction applies here: a feedback edge whose delay covers a
+//! whole period of its sink's consumption (`delay(e) >= cns(e) · q(snk)`)
+//! can never block any firing in a minimal period, so it imposes no
+//! precedence constraint.  Removing all such *non-blocking* edges yields
+//! an acyclic skeleton; if every cycle is broken this way, any SAS of the
+//! skeleton is a valid schedule of the full graph.
+//!
+//! The buffers of removed feedback edges are still allocated — the
+//! lifetime layer already treats delay-carrying edges as live for the
+//! whole period, which is exactly right for feedback.
+
+use sdf_core::error::SdfError;
+use sdf_core::graph::{EdgeId, SdfGraph};
+use sdf_core::repetitions::RepetitionsVector;
+
+/// Returns true if `e` can never block within one minimal schedule period.
+pub fn is_nonblocking(graph: &SdfGraph, q: &RepetitionsVector, e: EdgeId) -> bool {
+    let edge = graph.edge(e);
+    edge.delay >= edge.cons * q.get(edge.snk)
+}
+
+/// Splits the graph into an acyclic skeleton and the removed feedback
+/// edges.
+///
+/// The skeleton keeps every actor (same [`sdf_core::ActorId`]s) and every
+/// edge that is *not* non-blocking; returned feedback edge ids refer to
+/// the **original** graph.
+///
+/// # Errors
+///
+/// Returns [`SdfError::Cyclic`] if a cycle remains after removing all
+/// non-blocking edges (such graphs deadlock or need multi-period
+/// analysis).
+pub fn acyclic_skeleton(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+) -> Result<(SdfGraph, Vec<EdgeId>), SdfError> {
+    let mut skeleton = SdfGraph::new(format!("{}_skeleton", graph.name()));
+    for a in graph.actors() {
+        skeleton.add_actor(graph.actor_name(a));
+    }
+    let mut feedback = Vec::new();
+    for (id, e) in graph.edges() {
+        if is_nonblocking(graph, q, id) {
+            feedback.push(id);
+        } else {
+            skeleton
+                .add_edge_with_delay(e.src, e.snk, e.prod, e.cons, e.delay)
+                .expect("edges of a valid graph stay valid");
+        }
+    }
+    if !skeleton.is_acyclic() {
+        return Err(SdfError::Cyclic);
+    }
+    Ok((skeleton, feedback))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apgan::apgan, dppo::dppo, sdppo::sdppo};
+    use sdf_core::simulate::validate_schedule;
+
+    /// A -> B with feedback B -> A carrying a full period of delay.
+    fn feedback_pair() -> (SdfGraph, RepetitionsVector) {
+        let mut g = SdfGraph::new("fb");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 2, 3).unwrap(); // q = (3, 2)
+        g.add_edge_with_delay(b, a, 3, 2, 6).unwrap(); // q(A)*cons = 6
+        let q = RepetitionsVector::compute(&g).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn nonblocking_detection() {
+        let (g, q) = feedback_pair();
+        let edges: Vec<_> = g.edges().map(|(id, _)| id).collect();
+        assert!(!is_nonblocking(&g, &q, edges[0]));
+        assert!(is_nonblocking(&g, &q, edges[1]));
+    }
+
+    #[test]
+    fn skeleton_breaks_the_cycle() {
+        let (g, q) = feedback_pair();
+        let (skeleton, feedback) = acyclic_skeleton(&g, &q).unwrap();
+        assert!(skeleton.is_acyclic());
+        assert_eq!(skeleton.edge_count(), 1);
+        assert_eq!(feedback.len(), 1);
+        assert_eq!(skeleton.actor_count(), g.actor_count());
+    }
+
+    #[test]
+    fn skeleton_schedule_valid_on_full_graph() {
+        let (g, q) = feedback_pair();
+        let (skeleton, _) = acyclic_skeleton(&g, &q).unwrap();
+        let order = apgan(&skeleton, &q).unwrap();
+        for sas in [
+            dppo(&skeleton, &q, &order).unwrap().tree,
+            sdppo(&skeleton, &q, &order).unwrap().tree,
+        ] {
+            // Validate against the FULL graph, feedback edge included.
+            validate_schedule(&g, &sas.to_looped_schedule(), &q)
+                .expect("skeleton SAS must execute on the cyclic graph");
+        }
+    }
+
+    #[test]
+    fn insufficient_delay_rejected() {
+        let mut g = SdfGraph::new("tight");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge_with_delay(b, a, 1, 1, 1).unwrap(); // needs 1, q(A)=1 -> blocking? delay 1 >= 1*1: nonblocking!
+        let q = RepetitionsVector::compute(&g).unwrap();
+        // delay == cons * q(snk) exactly: still nonblocking.
+        let (skeleton, feedback) = acyclic_skeleton(&g, &q).unwrap();
+        assert_eq!(feedback.len(), 1);
+        assert!(skeleton.is_acyclic());
+
+        // But a delay of 0 on one cycle edge cannot be broken.
+        let mut g2 = SdfGraph::new("dead");
+        let a2 = g2.add_actor("A");
+        let b2 = g2.add_actor("B");
+        g2.add_edge(a2, b2, 1, 1).unwrap();
+        g2.add_edge(b2, a2, 1, 1).unwrap();
+        let q2 = RepetitionsVector::compute(&g2).unwrap();
+        assert_eq!(acyclic_skeleton(&g2, &q2).err(), Some(SdfError::Cyclic));
+    }
+
+    #[test]
+    fn multi_loop_graph() {
+        // Ring of three with enough delay on one edge.
+        let mut g = SdfGraph::new("ring");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge(b, c, 1, 1).unwrap();
+        g.add_edge_with_delay(c, a, 1, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let (skeleton, feedback) = acyclic_skeleton(&g, &q).unwrap();
+        assert_eq!(feedback.len(), 1);
+        let order = apgan(&skeleton, &q).unwrap();
+        let sas = dppo(&skeleton, &q, &order).unwrap().tree;
+        validate_schedule(&g, &sas.to_looped_schedule(), &q).unwrap();
+    }
+}

@@ -1,0 +1,270 @@
+//! Exhaustive search over all single appearance schedules of small
+//! graphs.
+//!
+//! §7 notes the class of SASs of a delayless acyclic graph is exactly
+//! {topological sorts} × {loop hierarchies}.  DPPO is *order-optimal*, so
+//! minimising DPPO's result over **every** topological sort yields the
+//! globally buffer-optimal SAS — feasible only for small graphs (the
+//! general problem is NP-complete), but invaluable as ground truth for
+//! measuring how close APGAN and RPMC get.
+
+use sdf_core::error::SdfError;
+use sdf_core::graph::{ActorId, SdfGraph};
+use sdf_core::repetitions::RepetitionsVector;
+use sdf_core::schedule::SasTree;
+
+use crate::dppo::dppo;
+use crate::sdppo::sdppo;
+
+/// Search limits for the exhaustive enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExhaustiveLimits {
+    /// Abort if more than this many topological sorts are visited.
+    pub max_orders: u64,
+}
+
+impl Default for ExhaustiveLimits {
+    fn default() -> Self {
+        ExhaustiveLimits { max_orders: 100_000 }
+    }
+}
+
+/// The result of an exhaustive search.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveResult {
+    /// The best schedule found.
+    pub tree: SasTree,
+    /// Its cost (non-shared `bufmem` or Eq. 5 shared cost, depending on
+    /// the entry point).
+    pub cost: u64,
+    /// Topological sorts examined.
+    pub orders_examined: u64,
+}
+
+/// Enumerates every topological sort, invoking `visit` on each.
+/// Returns the number of sorts visited, or `None` if the limit tripped.
+fn for_each_topological_sort(
+    graph: &SdfGraph,
+    limit: u64,
+    visit: &mut impl FnMut(&[ActorId]),
+) -> Option<u64> {
+    let n = graph.actor_count();
+    let mut indegree: Vec<usize> = vec![0; n];
+    for (_, e) in graph.edges() {
+        indegree[e.snk.index()] += 1;
+    }
+    let mut order: Vec<ActorId> = Vec::with_capacity(n);
+    let mut count = 0u64;
+
+    fn recurse(
+        graph: &SdfGraph,
+        indegree: &mut [usize],
+        order: &mut Vec<ActorId>,
+        count: &mut u64,
+        limit: u64,
+        visit: &mut impl FnMut(&[ActorId]),
+    ) -> bool {
+        let n = graph.actor_count();
+        if order.len() == n {
+            *count += 1;
+            visit(order);
+            return *count < limit;
+        }
+        for a in graph.actors() {
+            if indegree[a.index()] != 0 || order.contains(&a) {
+                continue;
+            }
+            order.push(a);
+            for &e in graph.out_edges(a) {
+                indegree[graph.edge(e).snk.index()] -= 1;
+            }
+            let keep_going = recurse(graph, indegree, order, count, limit, visit);
+            for &e in graph.out_edges(a) {
+                indegree[graph.edge(e).snk.index()] += 1;
+            }
+            order.pop();
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    let completed = recurse(graph, &mut indegree, &mut order, &mut count, limit, visit);
+    completed.then_some(count)
+}
+
+/// Finds the globally buffer-optimal SAS under the **non-shared** model by
+/// exhausting all topological sorts and applying (order-optimal) DPPO to
+/// each.
+///
+/// # Errors
+///
+/// * [`SdfError::Cyclic`] for cyclic graphs (no topological sort exists).
+/// * [`SdfError::InvalidSchedule`] if the order limit trips before the
+///   enumeration completes.
+pub fn optimal_sas_nonshared(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    limits: ExhaustiveLimits,
+) -> Result<ExhaustiveResult, SdfError> {
+    if !graph.is_acyclic() {
+        return Err(SdfError::Cyclic);
+    }
+    let mut best: Option<(u64, SasTree)> = None;
+    let visited = for_each_topological_sort(graph, limits.max_orders, &mut |order| {
+        let r = dppo(graph, q, order).expect("topological order is valid");
+        if best.as_ref().is_none_or(|(c, _)| r.bufmem < *c) {
+            best = Some((r.bufmem, r.tree));
+        }
+    })
+    .ok_or_else(|| {
+        SdfError::InvalidSchedule(format!(
+            "more than {} topological sorts; exhaustive search aborted",
+            limits.max_orders
+        ))
+    })?;
+    let (cost, tree) = best.expect("acyclic nonempty graph has a topological sort");
+    Ok(ExhaustiveResult {
+        tree,
+        cost,
+        orders_examined: visited,
+    })
+}
+
+/// Minimises the Eq. 5 **shared** cost over all topological sorts (SDPPO
+/// applied to each; still heuristic within one order, but exhaustive over
+/// orders).
+///
+/// # Errors
+///
+/// Same as [`optimal_sas_nonshared`].
+pub fn best_sas_shared(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    limits: ExhaustiveLimits,
+) -> Result<ExhaustiveResult, SdfError> {
+    if !graph.is_acyclic() {
+        return Err(SdfError::Cyclic);
+    }
+    let mut best: Option<(u64, SasTree)> = None;
+    let visited = for_each_topological_sort(graph, limits.max_orders, &mut |order| {
+        let r = sdppo(graph, q, order).expect("topological order is valid");
+        if best.as_ref().is_none_or(|(c, _)| r.shared_cost < *c) {
+            best = Some((r.shared_cost, r.tree));
+        }
+    })
+    .ok_or_else(|| {
+        SdfError::InvalidSchedule(format!(
+            "more than {} topological sorts; exhaustive search aborted",
+            limits.max_orders
+        ))
+    })?;
+    let (cost, tree) = best.expect("acyclic nonempty graph has a topological sort");
+    Ok(ExhaustiveResult {
+        tree,
+        cost,
+        orders_examined: visited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apgan::apgan;
+    use crate::rpmc::rpmc;
+
+    fn diamond() -> (SdfGraph, RepetitionsVector) {
+        let mut g = SdfGraph::new("diamond");
+        let s = g.add_actor("S");
+        let x = g.add_actor("X");
+        let y = g.add_actor("Y");
+        let t = g.add_actor("T");
+        g.add_edge(s, x, 2, 1).unwrap();
+        g.add_edge(s, y, 3, 1).unwrap();
+        g.add_edge(x, t, 1, 2).unwrap();
+        g.add_edge(y, t, 1, 3).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn enumerates_all_orders_of_diamond() {
+        let (g, q) = diamond();
+        let r = optimal_sas_nonshared(&g, &q, ExhaustiveLimits::default()).unwrap();
+        assert_eq!(r.orders_examined, 2); // S {X,Y} T
+        r.tree.validate(&g, &q).unwrap();
+    }
+
+    #[test]
+    fn heuristics_never_beat_exhaustive() {
+        let (g, q) = diamond();
+        let exhaustive = optimal_sas_nonshared(&g, &q, ExhaustiveLimits::default()).unwrap();
+        for order in [apgan(&g, &q).unwrap(), rpmc(&g, &q).unwrap()] {
+            let h = dppo(&g, &q, &order).unwrap();
+            assert!(h.bufmem >= exhaustive.cost);
+        }
+    }
+
+    #[test]
+    fn chain_has_single_order() {
+        let mut g = SdfGraph::new("chain");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 2, 3).unwrap();
+        g.add_edge(b, c, 1, 2).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let r = optimal_sas_nonshared(&g, &q, ExhaustiveLimits::default()).unwrap();
+        assert_eq!(r.orders_examined, 1);
+        // Must equal DPPO on the unique order.
+        let dp = dppo(&g, &q, &[a, b, c]).unwrap();
+        assert_eq!(r.cost, dp.bufmem);
+    }
+
+    #[test]
+    fn limit_trips_on_wide_graphs() {
+        // An antichain of 9 actors fed by one source: 9! = 362880 orders.
+        let mut g = SdfGraph::new("wide");
+        let s = g.add_actor("S");
+        for i in 0..9 {
+            let x = g.add_actor(format!("x{i}"));
+            g.add_edge(s, x, 1, 1).unwrap();
+        }
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let err = optimal_sas_nonshared(
+            &g,
+            &q,
+            ExhaustiveLimits { max_orders: 1000 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SdfError::InvalidSchedule(_)));
+    }
+
+    #[test]
+    fn shared_variant_runs() {
+        let (g, q) = diamond();
+        let r = best_sas_shared(&g, &q, ExhaustiveLimits::default()).unwrap();
+        r.tree.validate(&g, &q).unwrap();
+        assert!(r.cost > 0);
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let mut g = SdfGraph::new("cyc");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge(b, a, 1, 1).unwrap();
+        let q_fake = {
+            let mut g2 = SdfGraph::new("one");
+            g2.add_actor("A");
+            g2.add_actor("B");
+            RepetitionsVector::compute(&g2).unwrap()
+        };
+        assert_eq!(
+            optimal_sas_nonshared(&g, &q_fake, ExhaustiveLimits::default()).err(),
+            Some(SdfError::Cyclic)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Local search over topological orders.
+//!
+//! Ritz et al. (§11.1.2) pose flat-SAS memory minimisation as an integer
+//! program over the choice of topological sort; this module provides the
+//! practical alternative the paper's framework suggests: hill-climbing by
+//! adjacent transpositions, with a caller-supplied cost function (so the
+//! same search optimises the non-shared metric, the Eq. 5 estimate, a
+//! full first-fit allocation, or Ritz's flat-SAS objective).
+
+use sdf_core::graph::{ActorId, SdfGraph};
+
+/// Result of a local search.
+#[derive(Clone, Debug)]
+pub struct LocalSearchResult {
+    /// The best order found.
+    pub order: Vec<ActorId>,
+    /// Its cost.
+    pub cost: u64,
+    /// Cost evaluations spent.
+    pub evaluations: u64,
+}
+
+/// Hill-climbs from `init` by swapping adjacent actors whenever the swap
+/// keeps the order topological and strictly lowers `cost`.
+///
+/// Stops at a local optimum or after `max_evaluations` calls to `cost`.
+/// An adjacent swap `… x y … -> … y x …` is legal iff there is no edge
+/// `x -> y`.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, RepetitionsVector};
+/// use sdf_sched::local_search::improve_order;
+/// use sdf_sched::dppo::dppo;
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("diamond");
+/// let s = g.add_actor("S");
+/// let x = g.add_actor("X");
+/// let y = g.add_actor("Y");
+/// let t = g.add_actor("T");
+/// g.add_edge(s, x, 4, 1)?;
+/// g.add_edge(s, y, 1, 1)?;
+/// g.add_edge(x, t, 1, 4)?;
+/// g.add_edge(y, t, 1, 1)?;
+/// let q = RepetitionsVector::compute(&g)?;
+/// let r = improve_order(&g, vec![s, x, y, t], |o| {
+///     dppo(&g, &q, o).map(|d| d.bufmem).unwrap_or(u64::MAX)
+/// }, 1000);
+/// assert!(r.cost <= dppo(&g, &q, &[s, x, y, t])?.bufmem);
+/// # Ok(())
+/// # }
+/// ```
+pub fn improve_order(
+    graph: &SdfGraph,
+    init: Vec<ActorId>,
+    mut cost: impl FnMut(&[ActorId]) -> u64,
+    max_evaluations: u64,
+) -> LocalSearchResult {
+    let mut order = init;
+    let mut evaluations = 1u64;
+    let mut best = cost(&order);
+    let n = order.len();
+    let mut improved = true;
+    'outer: while improved {
+        improved = false;
+        for i in 0..n.saturating_sub(1) {
+            let (x, y) = (order[i], order[i + 1]);
+            // Swap is legal iff no edge x -> y.
+            let has_edge = graph
+                .out_edges(x)
+                .iter()
+                .any(|&e| graph.edge(e).snk == y);
+            if has_edge {
+                continue;
+            }
+            order.swap(i, i + 1);
+            if evaluations >= max_evaluations {
+                order.swap(i, i + 1);
+                break 'outer;
+            }
+            evaluations += 1;
+            let c = cost(&order);
+            if c < best {
+                best = c;
+                improved = true;
+            } else {
+                order.swap(i, i + 1);
+            }
+        }
+    }
+    LocalSearchResult {
+        order,
+        cost: best,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dppo::dppo;
+    use sdf_core::repetitions::RepetitionsVector;
+
+    /// Diamond where putting the heavy branch last is better.
+    fn skewed_diamond() -> (SdfGraph, Vec<ActorId>, RepetitionsVector) {
+        let mut g = SdfGraph::new("skew");
+        let s = g.add_actor("S");
+        let x = g.add_actor("X");
+        let y = g.add_actor("Y");
+        let t = g.add_actor("T");
+        g.add_edge(s, x, 8, 1).unwrap();
+        g.add_edge(s, y, 1, 1).unwrap();
+        g.add_edge(x, t, 1, 8).unwrap();
+        g.add_edge(y, t, 1, 1).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        (g, vec![s, x, y, t], q)
+    }
+
+    #[test]
+    fn search_never_worsens() {
+        let (g, init, q) = skewed_diamond();
+        let base = dppo(&g, &q, &init).unwrap().bufmem;
+        let r = improve_order(
+            &g,
+            init,
+            |o| dppo(&g, &q, o).map(|d| d.bufmem).unwrap_or(u64::MAX),
+            10_000,
+        );
+        assert!(r.cost <= base);
+        // Result order is still topological.
+        let pos: std::collections::HashMap<_, _> =
+            r.order.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        assert!(g.edges().all(|(_, e)| pos[&e.src] < pos[&e.snk]));
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let (g, init, q) = skewed_diamond();
+        let mut calls = 0u64;
+        let r = improve_order(
+            &g,
+            init,
+            |o| {
+                calls += 1;
+                dppo(&g, &q, o).map(|d| d.bufmem).unwrap_or(u64::MAX)
+            },
+            3,
+        );
+        assert!(calls <= 3);
+        assert!(r.evaluations <= 3);
+    }
+
+    #[test]
+    fn illegal_swaps_skipped() {
+        // Chain: no swap is legal; order unchanged.
+        let mut g = SdfGraph::new("chain");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge(b, c, 1, 1).unwrap();
+        let init = vec![a, b, c];
+        let r = improve_order(&g, init.clone(), |_| 7, 100);
+        assert_eq!(r.order, init);
+        assert_eq!(r.cost, 7);
+    }
+}

@@ -1,0 +1,270 @@
+//! Optimal loop compression of firing sequences (§12's regularity
+//! discussion; the dynamic programming algorithm of the paper's
+//! reference \[2\], CDPPO-style).
+//!
+//! Given an arbitrary firing sequence — e.g. one produced by the
+//! demand-driven scheduler, or the fine-grained FIR expansion of §12 —
+//! find the looped schedule with the **fewest actor appearances** that
+//! generates exactly that sequence.  The recurrence over subsequences
+//! `s[i..=j]`:
+//!
+//! ```text
+//! cost[i][j] = min( min_k cost[i][k] + cost[k+1][j],          // split
+//!                   cost[i][i+p−1] + loop_cost                // loop:
+//!                       if s[i..=j] is len/p ≥ 2 copies of s[i..=i+p−1] )
+//! ```
+//!
+//! With `loop_cost = 0` this matches the paper's convention of neglecting
+//! loop-control overhead (§3).  The schedule `G A G A G A` compresses to
+//! `(3 G A)` — the §12 FIR example.
+
+use sdf_core::graph::ActorId;
+use sdf_core::schedule::{LoopedSchedule, ScheduleNode};
+
+/// The result of loop compression.
+#[derive(Clone, Debug)]
+pub struct LoopifyResult {
+    /// The minimal-appearance looped schedule.
+    pub schedule: LoopedSchedule,
+    /// Its code size: number of actor appearances plus `loop_cost` per
+    /// loop.
+    pub code_size: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Choice {
+    Leaf,
+    Split(usize),
+    Loop { period: usize },
+}
+
+/// Compresses `sequence` into the looped schedule with minimal code size.
+///
+/// `loop_cost` is the code-size charge per schedule loop (0 reproduces
+/// the paper's cost model).  Runs in O(n³) time and O(n²) space; intended
+/// for sequences up to a few thousand firings.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::{SdfGraph, LoopedSchedule};
+/// use sdf_sched::loopify::compress;
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fir");
+/// let gain = g.add_actor("G");
+/// let add = g.add_actor("A");
+/// let seq = vec![gain, add, gain, add, gain, add];
+/// let r = compress(&seq, 0);
+/// assert_eq!(r.code_size, 2);
+/// assert_eq!(r.schedule.display(&g).to_string(), "(3G A)");
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress(sequence: &[ActorId], loop_cost: u64) -> LoopifyResult {
+    let n = sequence.len();
+    if n == 0 {
+        return LoopifyResult {
+            schedule: LoopedSchedule::default(),
+            code_size: 0,
+        };
+    }
+    // cost and choice tables, row-major upper triangle.
+    let mut cost = vec![0u64; n * n];
+    let mut choice = vec![Choice::Leaf; n * n];
+    for i in 0..n {
+        cost[i * n + i] = 1;
+    }
+    for span in 1..n {
+        for i in 0..(n - span) {
+            let j = i + span;
+            let len = span + 1;
+            let mut best = u64::MAX;
+            let mut best_choice = Choice::Leaf;
+            for k in i..j {
+                let c = cost[i * n + k] + cost[(k + 1) * n + j];
+                if c < best {
+                    best = c;
+                    best_choice = Choice::Split(k);
+                }
+            }
+            // Loop candidates: every proper divisor period of len.
+            for period in 1..=(len / 2) {
+                if !len.is_multiple_of(period) {
+                    continue;
+                }
+                if (i..=(j - period)).all(|x| sequence[x] == sequence[x + period]) {
+                    let c = cost[i * n + (i + period - 1)] + loop_cost;
+                    if c < best {
+                        best = c;
+                        best_choice = Choice::Loop { period };
+                    }
+                }
+            }
+            cost[i * n + j] = best;
+            choice[i * n + j] = best_choice;
+        }
+    }
+
+    let body = build(sequence, &choice, n, 0, n - 1);
+    LoopifyResult {
+        schedule: LoopedSchedule::new(body),
+        code_size: cost[n - 1], // row 0, column n-1
+    }
+}
+
+fn build(
+    sequence: &[ActorId],
+    choice: &[Choice],
+    n: usize,
+    i: usize,
+    j: usize,
+) -> Vec<ScheduleNode> {
+    match choice[i * n + j] {
+        Choice::Leaf => vec![ScheduleNode::fire_n(sequence[i], (j - i + 1) as u64)],
+        Choice::Split(k) => {
+            let mut body = build(sequence, choice, n, i, k);
+            let tail = build(sequence, choice, n, k + 1, j);
+            // Coalesce adjacent firings of the same actor across the split.
+            for node in tail {
+                match (body.last_mut(), &node) {
+                    (
+                        Some(ScheduleNode::Fire { actor: a, count: c }),
+                        ScheduleNode::Fire { actor: b, count: d },
+                    ) if a == b => *c += d,
+                    _ => body.push(node),
+                }
+            }
+            body
+        }
+        Choice::Loop { period } => {
+            let count = ((j - i + 1) / period) as u64;
+            let inner = build(sequence, choice, n, i, i + period - 1);
+            if inner.len() == 1 {
+                if let ScheduleNode::Fire { actor, count: c } = inner[0] {
+                    return vec![ScheduleNode::fire_n(actor, c * count)];
+                }
+            }
+            vec![ScheduleNode::loop_of(count, inner)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdf_core::graph::SdfGraph;
+
+    fn ids(n: usize) -> (SdfGraph, Vec<ActorId>) {
+        let mut g = SdfGraph::new("t");
+        let ids = (0..n)
+            .map(|i| g.add_actor(format!("{}", (b'A' + i as u8) as char)))
+            .collect();
+        (g, ids)
+    }
+
+    fn roundtrip(seq: &[ActorId], r: &LoopifyResult) {
+        let expanded: Vec<ActorId> = r.schedule.firings().collect();
+        assert_eq!(expanded, seq, "compression must preserve the sequence");
+    }
+
+    #[test]
+    fn fir_pattern_from_section_12() {
+        // G0 G1 A0 G2 A1 ... Gn An-1 compresses to G (n(G A)).
+        let (g, a) = ids(2);
+        let (gain, add) = (a[0], a[1]);
+        let mut seq = vec![gain];
+        for _ in 0..5 {
+            seq.push(gain);
+            seq.push(add);
+        }
+        let r = compress(&seq, 0);
+        roundtrip(&seq, &r);
+        assert_eq!(r.code_size, 3); // G (5(G A))
+        assert_eq!(r.schedule.display(&g).to_string(), "A(5A B)");
+    }
+
+    #[test]
+    fn runs_collapse_to_counted_firings() {
+        let (g, a) = ids(1);
+        let seq = vec![a[0]; 17];
+        let r = compress(&seq, 0);
+        roundtrip(&seq, &r);
+        assert_eq!(r.code_size, 1);
+        assert_eq!(r.schedule.display(&g).to_string(), "(17A)");
+    }
+
+    #[test]
+    fn paper_fig2_sequence() {
+        // A BCC BCC compresses to A (2 B (2C)) with 3 appearances.
+        let (g, a) = ids(3);
+        let (x, b, c) = (a[0], a[1], a[2]);
+        let seq = vec![x, b, c, c, b, c, c];
+        let r = compress(&seq, 0);
+        roundtrip(&seq, &r);
+        assert_eq!(r.code_size, 3);
+        assert_eq!(r.schedule.display(&g).to_string(), "A(2B(2C))");
+    }
+
+    #[test]
+    fn nested_periods_found() {
+        // ((AB)(AB)C) twice: ABABC ABABC -> (2(2AB)C), 2 appearances...
+        let (g, a) = ids(3);
+        let (x, y, z) = (a[0], a[1], a[2]);
+        let seq = vec![x, y, x, y, z, x, y, x, y, z];
+        let r = compress(&seq, 0);
+        roundtrip(&seq, &r);
+        assert_eq!(r.code_size, 3);
+        assert_eq!(r.schedule.display(&g).to_string(), "(2(2A B)C)");
+    }
+
+    #[test]
+    fn loop_cost_discourages_small_loops() {
+        // With loop_cost 2, looping "ABAB" (saves 2 appearances) is a
+        // wash; the tie goes to the split-free encoding.
+        let (_, a) = ids(2);
+        let seq = vec![a[0], a[1], a[0], a[1]];
+        let free = compress(&seq, 0);
+        assert_eq!(free.code_size, 2);
+        let costly = compress(&seq, 3);
+        roundtrip(&seq, &costly);
+        assert_eq!(costly.code_size, 4); // plain A B A B
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (_, a) = ids(1);
+        let r0 = compress(&[], 0);
+        assert_eq!(r0.code_size, 0);
+        let r1 = compress(&[a[0]], 0);
+        assert_eq!(r1.code_size, 1);
+        roundtrip(&[a[0]], &r1);
+    }
+
+    #[test]
+    fn irregular_sequence_stays_flat() {
+        let (_, a) = ids(4);
+        let seq = vec![a[0], a[1], a[2], a[3]];
+        let r = compress(&seq, 0);
+        roundtrip(&seq, &r);
+        assert_eq!(r.code_size, 4);
+    }
+
+    #[test]
+    fn compresses_demand_driven_schedule() {
+        // The greedy CD-DAT-style schedule of a two-stage chain has a
+        // regular interleave the compressor should find.
+        use crate::demand::demand_driven_schedule;
+        use sdf_core::repetitions::RepetitionsVector;
+        let mut g = SdfGraph::new("chain");
+        let s = g.add_actor("S");
+        let t = g.add_actor("T");
+        g.add_edge(s, t, 2, 3).unwrap(); // q = (3, 2)
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let sched = demand_driven_schedule(&g, &q).unwrap();
+        let seq: Vec<ActorId> = sched.firings().collect();
+        let r = compress(&seq, 0);
+        roundtrip(&seq, &r);
+        assert!(r.code_size <= seq.len() as u64);
+    }
+}

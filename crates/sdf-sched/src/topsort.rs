@@ -1,0 +1,133 @@
+//! Random topological sorts — the unintelligent baseline of §10.1.
+//!
+//! The paper compares APGAN/RPMC against the best schedule found over many
+//! uniformly sampled topological sorts; this module provides the sampler.
+
+use rand::Rng;
+use sdf_core::error::SdfError;
+use sdf_core::graph::{ActorId, SdfGraph};
+
+/// Samples a topological sort of `graph`, choosing uniformly from the ready
+/// set at each step.
+///
+/// # Errors
+///
+/// * [`SdfError::EmptyGraph`] if the graph has no actors.
+/// * [`SdfError::Cyclic`] if the graph has a directed cycle.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_core::SdfGraph;
+/// use sdf_sched::topsort::random_topological_sort;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sdf_core::SdfError> {
+/// let mut g = SdfGraph::new("fork");
+/// let s = g.add_actor("S");
+/// let x = g.add_actor("X");
+/// let y = g.add_actor("Y");
+/// g.add_edge(s, x, 1, 1)?;
+/// g.add_edge(s, y, 1, 1)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let order = random_topological_sort(&g, &mut rng)?;
+/// assert_eq!(order[0], s);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_topological_sort<R: Rng + ?Sized>(
+    graph: &SdfGraph,
+    rng: &mut R,
+) -> Result<Vec<ActorId>, SdfError> {
+    let n = graph.actor_count();
+    if n == 0 {
+        return Err(SdfError::EmptyGraph);
+    }
+    let mut indegree = vec![0usize; n];
+    for (_, e) in graph.edges() {
+        indegree[e.snk.index()] += 1;
+    }
+    let mut ready: Vec<ActorId> = graph.actors().filter(|a| indegree[a.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick = rng.gen_range(0..ready.len());
+        let a = ready.swap_remove(pick);
+        order.push(a);
+        for &e in graph.out_edges(a) {
+            let t = graph.edge(e).snk;
+            indegree[t.index()] -= 1;
+            if indegree[t.index()] == 0 {
+                ready.push(t);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(SdfError::Cyclic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn diamond() -> SdfGraph {
+        let mut g = SdfGraph::new("diamond");
+        let s = g.add_actor("S");
+        let x = g.add_actor("X");
+        let y = g.add_actor("Y");
+        let t = g.add_actor("T");
+        g.add_edge(s, x, 1, 1).unwrap();
+        g.add_edge(s, y, 1, 1).unwrap();
+        g.add_edge(x, t, 1, 1).unwrap();
+        g.add_edge(y, t, 1, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn always_topological() {
+        let g = diamond();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let order = random_topological_sort(&g, &mut rng).unwrap();
+            let pos: std::collections::HashMap<_, _> =
+                order.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+            assert!(g.edges().all(|(_, e)| pos[&e.src] < pos[&e.snk]));
+        }
+    }
+
+    #[test]
+    fn explores_both_middle_orders() {
+        let g = diamond();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let order = random_topological_sort(&g, &mut rng).unwrap();
+            seen.insert(order);
+        }
+        assert_eq!(seen.len(), 2, "diamond has exactly two topological sorts");
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = SdfGraph::new("cyc");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 1, 1).unwrap();
+        g.add_edge(b, a, 1, 1).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(random_topological_sort(&g, &mut rng), Err(SdfError::Cyclic));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let g = SdfGraph::new("e");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(
+            random_topological_sort(&g, &mut rng),
+            Err(SdfError::EmptyGraph)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! A tour of the filterbank family (Figs. 22–23): how buffer sharing pays
+//! off more and more as the analysis/synthesis tree deepens, because the
+//! two sides of the tree are never live simultaneously.
+//!
+//! Run with `cargo run --example filterbank_tour --release`.
+
+use sdfmem::apps::filterbank::{one_sided_filterbank, two_sided_filterbank, FilterbankRates};
+use sdfmem::core::SdfError;
+
+fn main() -> Result<(), SdfError> {
+    println!(
+        "{:>12} {:>7} {:>12} {:>10} {:>8}",
+        "bank", "actors", "non-shared", "shared", "saving"
+    );
+    for rates in [
+        FilterbankRates::HALVES,
+        FilterbankRates::THIRDS,
+        FilterbankRates::FIFTHS,
+    ] {
+        for depth in 1..=4 {
+            let graph = two_sided_filterbank(depth, rates);
+            report(&graph)?;
+        }
+    }
+    for depth in 2..=4 {
+        let graph = one_sided_filterbank(depth, FilterbankRates::THIRDS);
+        report(&graph)?;
+    }
+    println!(
+        "\nThe deepest 1/2-1/2 bank is where the paper sees its best result \
+         (83% at depth 5) — the two subtrees overlay almost perfectly."
+    );
+    Ok(())
+}
+
+fn report(graph: &sdfmem::core::SdfGraph) -> Result<(), SdfError> {
+    let row = sdf_bench_row(graph)?;
+    println!(
+        "{:>12} {:>7} {:>12} {:>10} {:>7.0}%",
+        graph.name(),
+        graph.actor_count(),
+        row.0,
+        row.1,
+        (row.0 as f64 - row.1 as f64) / row.0 as f64 * 100.0
+    );
+    Ok(())
+}
+
+/// Runs the two-heuristic pipeline and returns (best non-shared, best
+/// shared).
+fn sdf_bench_row(graph: &sdfmem::core::SdfGraph) -> Result<(u64, u64), SdfError> {
+    use sdfmem::alloc::{allocate_both_orders, validate_allocation};
+    use sdfmem::core::RepetitionsVector;
+    use sdfmem::lifetime::{tree::ScheduleTree, wig::IntersectionGraph};
+    use sdfmem::sched::{apgan::apgan, dppo::dppo, rpmc::rpmc, sdppo::sdppo};
+
+    let q = RepetitionsVector::compute(graph)?;
+    let mut best_nonshared = u64::MAX;
+    let mut best_shared = u64::MAX;
+    for order in [rpmc(graph, &q)?, apgan(graph, &q)?] {
+        best_nonshared = best_nonshared.min(dppo(graph, &q, &order)?.bufmem);
+        let shared = sdppo(graph, &q, &order)?;
+        let tree = ScheduleTree::build(graph, &q, &shared.tree)?;
+        let wig = IntersectionGraph::build(graph, &q, &tree);
+        let (ffdur, ffstart) = allocate_both_orders(&wig);
+        validate_allocation(&wig, &ffdur.allocation)?;
+        validate_allocation(&wig, &ffstart.allocation)?;
+        best_shared = best_shared
+            .min(ffdur.allocation.total())
+            .min(ffstart.allocation.total());
+    }
+    Ok((best_nonshared, best_shared))
+}

@@ -1,0 +1,174 @@
+//! One-call convenience API over the full synthesis pipeline.
+//!
+//! [`Analysis::run`] takes a graph and produces everything the paper's
+//! flow (Fig. 21) computes — repetitions vector, both heuristic orders,
+//! non-shared and shared schedules, lifetimes, clique estimates, the
+//! first-fit allocation and generated C — picking the best combination
+//! the way Table 1's bold entries do.
+
+use sdf_alloc::{allocate_both_orders, validate_allocation, Allocation};
+use sdf_core::error::SdfError;
+use sdf_core::graph::SdfGraph;
+use sdf_core::repetitions::RepetitionsVector;
+use sdf_core::schedule::SasTree;
+use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, dppo, rpmc, sdppo};
+
+/// The complete result of analysing one SDF graph.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The repetitions vector.
+    pub repetitions: RepetitionsVector,
+    /// Which heuristic produced the winning shared implementation
+    /// (`"apgan"` or `"rpmc"`).
+    pub winner: &'static str,
+    /// Best non-shared `bufmem` over both heuristics (the baseline).
+    pub nonshared_bufmem: u64,
+    /// The winning shared schedule.
+    pub schedule: SasTree,
+    /// The winning schedule's intersection graph.
+    pub wig: IntersectionGraph,
+    /// The winning first-fit allocation.
+    pub allocation: Allocation,
+    /// Optimistic clique estimate for the winning schedule.
+    pub mco: u64,
+    /// Pessimistic clique estimate for the winning schedule.
+    pub mcp: u64,
+}
+
+impl Analysis {
+    /// Runs the full pipeline on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates consistency and scheduling errors ([`SdfError`]); the
+    /// graph must be consistent and acyclic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sdfmem::pipeline::Analysis;
+    /// use sdfmem::apps::satrec::satellite_receiver;
+    ///
+    /// # fn main() -> Result<(), sdfmem::core::SdfError> {
+    /// let analysis = Analysis::run(&satellite_receiver())?;
+    /// assert!(analysis.shared_total() < analysis.nonshared_bufmem);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn run(graph: &SdfGraph) -> Result<Analysis, SdfError> {
+        let q = RepetitionsVector::compute(graph)?;
+        let mut best: Option<Analysis> = None;
+        let mut best_nonshared = u64::MAX;
+        for (label, order) in [("rpmc", rpmc(graph, &q)?), ("apgan", apgan(graph, &q)?)] {
+            best_nonshared = best_nonshared.min(dppo(graph, &q, &order)?.bufmem);
+            let shared = sdppo(graph, &q, &order)?;
+            let tree = ScheduleTree::build(graph, &q, &shared.tree)?;
+            let wig = IntersectionGraph::build(graph, &q, &tree);
+            let (ffdur, ffstart) = allocate_both_orders(&wig);
+            validate_allocation(&wig, &ffdur.allocation)?;
+            validate_allocation(&wig, &ffstart.allocation)?;
+            let allocation = if ffdur.allocation.total() <= ffstart.allocation.total() {
+                ffdur.allocation
+            } else {
+                ffstart.allocation
+            };
+            let candidate = Analysis {
+                repetitions: q.clone(),
+                winner: label,
+                nonshared_bufmem: 0, // patched below
+                mco: mcw_optimistic(&wig),
+                mcp: mcw_pessimistic(&wig),
+                schedule: shared.tree,
+                wig,
+                allocation,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.allocation.total() < b.allocation.total(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let mut analysis = best.expect("both heuristics ran");
+        analysis.nonshared_bufmem = best_nonshared;
+        Ok(analysis)
+    }
+
+    /// The shared memory pool size achieved.
+    pub fn shared_total(&self) -> u64 {
+        self.allocation.total()
+    }
+
+    /// The headline saving: `(nonshared − shared) / nonshared × 100`.
+    pub fn saving_percent(&self) -> f64 {
+        if self.nonshared_bufmem == 0 {
+            return 0.0;
+        }
+        (self.nonshared_bufmem as f64 - self.shared_total() as f64)
+            / self.nonshared_bufmem as f64
+            * 100.0
+    }
+
+    /// Generates the shared-pool C implementation of the winning schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-generation errors (cannot occur for an `Analysis`
+    /// produced by [`Analysis::run`] on the same graph).
+    pub fn generate_c(&self, graph: &SdfGraph) -> Result<String, SdfError> {
+        sdf_codegen::generate_shared_c(
+            graph,
+            &self.repetitions,
+            &self.schedule,
+            &self.wig,
+            &self.allocation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_on_fig2() {
+        let mut g = SdfGraph::new("fig2");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        g.add_edge(a, b, 20, 10).unwrap();
+        g.add_edge(b, c, 20, 10).unwrap();
+        let an = Analysis::run(&g).unwrap();
+        assert_eq!(an.nonshared_bufmem, 40);
+        assert!(an.shared_total() <= 40);
+        assert!(an.mco <= an.mcp);
+        assert!(an.winner == "apgan" || an.winner == "rpmc");
+        let code = an.generate_c(&g).unwrap();
+        assert!(code.contains("float mem["));
+    }
+
+    #[test]
+    fn saving_percent_consistent() {
+        let g = sdf_apps::satrec::satellite_receiver();
+        let an = Analysis::run(&g).unwrap();
+        let expect = (an.nonshared_bufmem as f64 - an.shared_total() as f64)
+            / an.nonshared_bufmem as f64
+            * 100.0;
+        assert!((an.saving_percent() - expect).abs() < 1e-9);
+        assert!(an.saving_percent() > 30.0);
+    }
+
+    #[test]
+    fn inconsistent_graph_rejected() {
+        let mut g = SdfGraph::new("bad");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        g.add_edge(a, b, 2, 1).unwrap();
+        g.add_edge(a, b, 1, 1).unwrap();
+        assert!(Analysis::run(&g).is_err());
+    }
+}

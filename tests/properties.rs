@@ -1,0 +1,256 @@
+//! Property-based tests over random SDF graphs and random periodic
+//! lifetimes: invariants the whole stack must maintain no matter the
+//! input.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use sdfmem::alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
+use sdfmem::apps::random::{random_sdf_graph, RandomGraphConfig};
+use sdfmem::core::simulate::validate_schedule;
+use sdfmem::core::RepetitionsVector;
+use sdfmem::lifetime::interval::{Period, PeriodicLifetime};
+use sdfmem::lifetime::{tree::ScheduleTree, wig::IntersectionGraph};
+use sdfmem::sched::topsort::random_topological_sort;
+use sdfmem::sched::{apgan::apgan, dppo::dppo, rpmc::rpmc, sdppo::sdppo};
+
+/// A strategy for structurally valid periodic lifetimes: nesting strides,
+/// occurrence length within the innermost stride.
+fn lifetime_strategy() -> impl Strategy<Value = PeriodicLifetime> {
+    (
+        0u64..50,                      // start
+        1u64..8,                       // dur
+        prop::collection::vec((2u64..5, 2u64..4), 0..3), // (stride factor, count)
+        1u64..100,                     // size
+    )
+        .prop_map(|(start, dur, levels, size)| {
+            let mut periods = Vec::new();
+            let mut stride = dur; // innermost stride >= dur
+            for (factor, count) in levels {
+                stride *= factor;
+                periods.push(Period { stride, count });
+                stride *= count;
+            }
+            PeriodicLifetime::periodic(start, dur, size, periods)
+        })
+}
+
+/// Brute-force liveness by expanding all occurrences.
+fn live_brute(lt: &PeriodicLifetime, t: u64) -> bool {
+    let mut starts = vec![lt.start()];
+    for p in lt.periods() {
+        let mut next = Vec::new();
+        for s in &starts {
+            for k in 0..p.count {
+                next.push(s + k * p.stride);
+            }
+        }
+        starts = next;
+    }
+    starts.iter().any(|&s| s <= t && t < s + lt.dur())
+}
+
+proptest! {
+    #[test]
+    fn liveness_query_matches_brute_force(lt in lifetime_strategy(), t in 0u64..400) {
+        prop_assert_eq!(lt.live_at(t), live_brute(&lt, t));
+    }
+
+    #[test]
+    fn next_occurrence_is_correct(lt in lifetime_strategy(), t in 0u64..400) {
+        // The reported next occurrence start is >= t, is a real occurrence
+        // start, and no occurrence start lies in [t, reported).
+        match lt.next_occurrence_at_or_after(t) {
+            Some(s) => {
+                prop_assert!(s >= t);
+                prop_assert!(lt.live_at(s));
+                prop_assert!(s == lt.start() || !lt.live_at(s.saturating_sub(1)) || lt.dur() > 1);
+                for x in t..s {
+                    // No occurrence may *start* strictly before s in [t, s).
+                    if lt.live_at(x) {
+                        // x can only be live as the tail of an occurrence
+                        // that started before t.
+                        prop_assert!(x < t + lt.dur());
+                    }
+                }
+            }
+            None => {
+                // All occurrence starts are before t.
+                prop_assert!(t > lt.start());
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_symmetric_and_conservative(
+        a in lifetime_strategy(),
+        b in lifetime_strategy()
+    ) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        // Brute-force ground truth over the shared horizon.
+        let horizon = a.envelope_end().max(b.envelope_end());
+        let truth = (0..horizon).any(|t| live_brute(&a, t) && live_brute(&b, t));
+        // The exact test matches truth whenever enumeration is feasible
+        // (always, for these small strategies).
+        prop_assert_eq!(a.intersects(&b), truth);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_invariants_on_random_graphs(seed in 0u64..500, size in 3usize..24) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent by construction");
+
+        for order in [
+            rpmc(&graph, &q).expect("acyclic"),
+            apgan(&graph, &q).expect("acyclic"),
+            random_topological_sort(&graph, &mut rng).expect("acyclic"),
+        ] {
+            // DPPO: estimate equals simulated bufmem.
+            let nonshared = dppo(&graph, &q, &order).expect("dppo");
+            let sim = validate_schedule(&graph, &nonshared.tree.to_looped_schedule(), &q)
+                .expect("dppo schedule must be valid");
+            prop_assert_eq!(sim.bufmem(), nonshared.bufmem);
+
+            // SDPPO: schedule valid; allocation conflict-free and no worse
+            // than the non-shared total of its own schedule.
+            let shared = sdppo(&graph, &q, &order).expect("sdppo");
+            validate_schedule(&graph, &shared.tree.to_looped_schedule(), &q)
+                .expect("sdppo schedule must be valid");
+            let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree");
+            let wig = IntersectionGraph::build(&graph, &q, &tree);
+            for (ord, pol) in [
+                (AllocationOrder::DurationDescending, PlacementPolicy::FirstFit),
+                (AllocationOrder::StartAscending, PlacementPolicy::FirstFit),
+                (AllocationOrder::Insertion, PlacementPolicy::FirstFit),
+                (AllocationOrder::DurationDescending, PlacementPolicy::BestFit),
+            ] {
+                let alloc = allocate(&wig, ord, pol);
+                validate_allocation(&wig, &alloc).expect("allocation must be conflict-free");
+                prop_assert!(alloc.total() <= wig.total_size());
+            }
+        }
+    }
+
+    #[test]
+    fn loopify_round_trips_and_never_grows(seq_spec in prop::collection::vec(0u8..4, 1..40)) {
+        use sdfmem::core::ActorId;
+        use sdfmem::sched::loopify::compress;
+        let seq: Vec<ActorId> = seq_spec.iter().map(|&i| ActorId::from_index(i as usize)).collect();
+        let r = compress(&seq, 0);
+        let expanded: Vec<ActorId> = r.schedule.firings().collect();
+        prop_assert_eq!(&expanded, &seq);
+        // Code size never exceeds the flat encoding (runs coalesced).
+        let mut runs = 1u64;
+        for w in seq.windows(2) {
+            if w[0] != w[1] {
+                runs += 1;
+            }
+        }
+        prop_assert!(r.code_size <= runs);
+    }
+
+    #[test]
+    fn graph_io_round_trips_random_graphs(seed in 0u64..300) {
+        use sdfmem::core::io::{parse_graph, to_text};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = RandomGraphConfig {
+            actors: 10,
+            edges: 16,
+            max_rate_multiplier: 3,
+            delay_probability: 0.3,
+        };
+        let g = random_sdf_graph(&cfg, &mut rng);
+        let back = parse_graph(&to_text(&g)).expect("serialised graphs parse");
+        prop_assert_eq!(back.actor_count(), g.actor_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        let orig: Vec<_> = g.edges().map(|(_, e)| *e).collect();
+        let round: Vec<_> = back.edges().map(|(_, e)| *e).collect();
+        prop_assert_eq!(orig, round);
+    }
+
+    #[test]
+    fn schedule_display_round_trips(seed in 0u64..200, size in 2usize..10) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let order = apgan(&graph, &q).expect("acyclic");
+        let sas = sdppo(&graph, &q, &order).expect("sdppo").tree;
+        let schedule = sas.to_looped_schedule();
+        let text = schedule.display(&graph).to_string();
+        let back = sdfmem::core::LoopedSchedule::parse(&text, &graph)
+            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
+        let a: Vec<_> = schedule.firings().collect();
+        let b: Vec<_> = back.firings().collect();
+        prop_assert_eq!(a, b, "{}", text);
+    }
+
+    #[test]
+    fn fact1_factoring_preserves_validity_and_nonshared_bufmem(seed in 0u64..200, size in 2usize..12) {
+        // Fact 1: fully factoring a valid SAS keeps it valid and never
+        // increases bufmem under the non-shared model.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let order = rpmc(&graph, &q).expect("acyclic");
+        // Use an sdppo schedule: its heuristic leaves some loops
+        // unfactored, giving the transformation something to do.
+        let s = sdppo(&graph, &q, &order).expect("sdppo").tree.to_looped_schedule();
+        let f = s.fully_factored();
+        let before = validate_schedule(&graph, &s, &q).expect("valid").bufmem();
+        let after = validate_schedule(&graph, &f, &q)
+            .expect("factored schedule must stay valid")
+            .bufmem();
+        prop_assert!(after <= before, "factoring increased bufmem: {after} > {before}");
+    }
+
+    #[test]
+    fn input_buffer_requirement_bounded(seed in 0u64..100) {
+        use sdfmem::core::timing::{source_buffer_requirement, ExecutionTimes};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(8), &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let Some(source) = graph.actors().find(|&a| graph.in_edges(a).is_empty()) else {
+            return Ok(());
+        };
+        let order = apgan(&graph, &q).expect("acyclic");
+        let sas = dppo(&graph, &q, &order).expect("dppo").tree;
+        let exec = ExecutionTimes::uniform(&graph, 3);
+        let req = source_buffer_requirement(
+            &graph,
+            &q,
+            &sas.to_looped_schedule(),
+            &exec,
+            source,
+        )
+        .expect("valid schedule");
+        // At least one slot, at most the whole period's worth of samples.
+        prop_assert!(req >= 1);
+        prop_assert!(req <= q.get(source));
+    }
+
+    #[test]
+    fn random_graphs_with_delays_still_allocate_safely(seed in 0u64..200) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = RandomGraphConfig {
+            actors: 12,
+            edges: 18,
+            max_rate_multiplier: 2,
+            delay_probability: 0.3,
+        };
+        let graph = random_sdf_graph(&cfg, &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let order = apgan(&graph, &q).expect("acyclic");
+        let shared = sdppo(&graph, &q, &order).expect("sdppo");
+        validate_schedule(&graph, &shared.tree.to_looped_schedule(), &q)
+            .expect("schedule must respect delays");
+        let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree");
+        let wig = IntersectionGraph::build(&graph, &q, &tree);
+        let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        validate_allocation(&wig, &alloc).expect("conflict-free");
+    }
+}
