@@ -24,10 +24,16 @@ fn main() {
             let tree = ScheduleTree::build(&graph, &q, &s.tree).expect("valid SAS");
             let wig = IntersectionGraph::build(&graph, &q, &tree);
             let variants = [
-                (AllocationOrder::DurationDescending, PlacementPolicy::FirstFit),
+                (
+                    AllocationOrder::DurationDescending,
+                    PlacementPolicy::FirstFit,
+                ),
                 (AllocationOrder::StartAscending, PlacementPolicy::FirstFit),
                 (AllocationOrder::Insertion, PlacementPolicy::FirstFit),
-                (AllocationOrder::DurationDescending, PlacementPolicy::BestFit),
+                (
+                    AllocationOrder::DurationDescending,
+                    PlacementPolicy::BestFit,
+                ),
             ];
             for (slot, (ord, pol)) in variants.into_iter().enumerate() {
                 best[slot] = best[slot].min(allocate(&wig, ord, pol).total());

@@ -27,7 +27,10 @@ fn main() {
             let tree = ScheduleTree::build(&graph, &q, &sas).expect("tree");
             let wig = IntersectionGraph::build(&graph, &q, &tree);
             let merged = MergedGraph::build(&graph, &wig, &spec);
-            for ord in [AllocationOrder::DurationDescending, AllocationOrder::StartAscending] {
+            for ord in [
+                AllocationOrder::DurationDescending,
+                AllocationOrder::StartAscending,
+            ] {
                 let a = allocate(&wig, ord, PlacementPolicy::FirstFit);
                 validate_allocation(&wig, &a).expect("valid");
                 shared_best = shared_best.min(a.total());

@@ -52,7 +52,11 @@ fn main() {
         "{:>12} {:>14} {:>16}",
         "system", "alloc (sdppo)", "alloc (precise)"
     );
-    for graph in [cd_to_dat(), by_name("16qamModem").unwrap(), by_name("4pamxmitrec").unwrap()] {
+    for graph in [
+        cd_to_dat(),
+        by_name("16qamModem").unwrap(),
+        by_name("4pamxmitrec").unwrap(),
+    ] {
         let q = RepetitionsVector::compute(&graph).expect("consistent");
         let order = graph.chain_order().expect("chain");
         let heuristic = sdf_sched::sdppo(&graph, &q, &order).expect("sdppo");
@@ -62,8 +66,16 @@ fn main() {
             use sdf_lifetime::{tree::ScheduleTree, wig::IntersectionGraph};
             let tree = ScheduleTree::build(&graph, &q, sas).expect("valid");
             let wig = IntersectionGraph::build(&graph, &q, &tree);
-            let d = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-            let s = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+            let d = allocate(
+                &wig,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
+            let s = allocate(
+                &wig,
+                AllocationOrder::StartAscending,
+                PlacementPolicy::FirstFit,
+            );
             d.total().min(s.total())
         };
         println!(

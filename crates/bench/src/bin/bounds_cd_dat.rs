@@ -27,8 +27,14 @@ fn main() {
     println!("greedy demand-driven schedule:        {greedy_mem} (optimal on chains)");
 
     let row = run_table1_row(&graph).expect("pipeline");
-    println!("best non-shared SAS (DPPO):           {}", row.best_nonshared());
-    println!("best shared SAS allocation:           {}", row.best_shared());
+    println!(
+        "best non-shared SAS (DPPO):           {}",
+        row.best_nonshared()
+    );
+    println!(
+        "best shared SAS allocation:           {}",
+        row.best_shared()
+    );
     println!(
         "\nShape check: all-schedules bound ({all_sched_bound}) << BMLB ({sas_bound}) \
          <= SAS results; sharing closes part of the gap without giving up \

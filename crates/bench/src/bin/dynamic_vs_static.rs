@@ -38,7 +38,11 @@ fn main() {
             .expect("valid")
             .bufmem();
         let fine = FineIntersectionGraph::from_firings(&graph, greedy.firings());
-        let ga = allocate(&fine, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let ga = allocate(
+            &fine,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
         validate_allocation(&fine, &ga).expect("valid allocation");
 
         // Static SAS: best of RPMC/APGAN, coarse shared model.
@@ -51,7 +55,10 @@ fn main() {
             let shared = sdppo(&graph, &q, &order).expect("sdppo");
             let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree");
             let wig = IntersectionGraph::build(&graph, &q, &tree);
-            for ord in [AllocationOrder::DurationDescending, AllocationOrder::StartAscending] {
+            for ord in [
+                AllocationOrder::DurationDescending,
+                AllocationOrder::StartAscending,
+            ] {
                 sas_shared = sas_shared.min(allocate(&wig, ord, PlacementPolicy::FirstFit).total());
             }
         }

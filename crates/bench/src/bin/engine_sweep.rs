@@ -1,0 +1,102 @@
+//! Benchmarks the synthesis engine's parallel candidate evaluation
+//! against the serial baseline on the paper's systems plus large
+//! homogeneous grids, printing each run's per-stage timing report as JSON
+//! and a serial/parallel speedup summary.
+//!
+//! ```text
+//! cargo run --release --bin engine_sweep [-- --min-actors N]
+//! ```
+
+use sdf_apps::homogeneous::homogeneous_grid;
+use sdf_apps::registry::table1_systems;
+use sdf_core::SdfGraph;
+use sdfmem::engine::AnalysisBuilder;
+use sdfmem::sched::LoopVariant;
+
+/// Wall times of one serial-vs-parallel comparison.
+struct Sample {
+    name: String,
+    serial_ns: u64,
+    parallel_ns: u64,
+}
+
+fn measure(graph: &SdfGraph, repeats: u32) -> Sample {
+    let serial = AnalysisBuilder::new()
+        .loop_opts(LoopVariant::ALL)
+        .parallel(false);
+    let parallel = serial.clone().parallel(true);
+    // Warm-up run of each, then keep the fastest of `repeats` to damp
+    // scheduler noise.
+    let mut serial_ns = u64::MAX;
+    let mut parallel_ns = u64::MAX;
+    let mut last_json = String::new();
+    serial.run_full(graph).expect("serial engine");
+    parallel.run_full(graph).expect("parallel engine");
+    for _ in 0..repeats {
+        let s = serial.run_full(graph).expect("serial engine");
+        serial_ns = serial_ns.min(s.report.total_ns);
+        let p = parallel.run_full(graph).expect("parallel engine");
+        parallel_ns = parallel_ns.min(p.report.total_ns);
+        assert_eq!(
+            s.analysis.shared_total(),
+            p.analysis.shared_total(),
+            "{}: serial and parallel winners diverge",
+            graph.name()
+        );
+        last_json = p.report.to_json();
+    }
+    println!("{last_json}");
+    Sample {
+        name: graph.name().to_string(),
+        serial_ns,
+        parallel_ns,
+    }
+}
+
+fn main() {
+    let min_actors: usize = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--min-actors")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--min-actors takes a number"))
+            .unwrap_or(0)
+    };
+
+    let mut graphs: Vec<SdfGraph> = table1_systems();
+    // Grids give the parallel path enough per-candidate work to amortise
+    // thread spawns.
+    graphs.push(homogeneous_grid(12, 12));
+    graphs.push(homogeneous_grid(16, 16));
+    graphs.retain(|g| g.actor_count() >= min_actors);
+
+    let mut samples = Vec::new();
+    for graph in &graphs {
+        samples.push(measure(graph, 5));
+    }
+
+    eprintln!();
+    eprintln!(
+        "{:>14} {:>12} {:>12} {:>8}",
+        "system", "serial µs", "parallel µs", "speedup"
+    );
+    let (mut total_s, mut total_p) = (0u64, 0u64);
+    for s in &samples {
+        total_s += s.serial_ns;
+        total_p += s.parallel_ns;
+        eprintln!(
+            "{:>14} {:>12.1} {:>12.1} {:>7.2}x",
+            s.name,
+            s.serial_ns as f64 / 1e3,
+            s.parallel_ns as f64 / 1e3,
+            s.serial_ns as f64 / s.parallel_ns as f64
+        );
+    }
+    eprintln!(
+        "{:>14} {:>12.1} {:>12.1} {:>7.2}x",
+        "TOTAL",
+        total_s as f64 / 1e3,
+        total_p as f64 / 1e3,
+        total_s as f64 / total_p as f64
+    );
+}

@@ -38,13 +38,21 @@ fn main() {
     let nonshared = dppo(&skeleton, &q, &order).expect("dppo").bufmem
         + graph
             .edges()
-            .filter(|(_, e)| !skeleton.edges().any(|(_, s)| s.src == e.src && s.snk == e.snk))
+            .filter(|(_, e)| {
+                !skeleton
+                    .edges()
+                    .any(|(_, s)| s.src == e.src && s.snk == e.snk)
+            })
             .map(|(_, e)| e.delay + e.prod * q.get(e.src))
             .sum::<u64>();
     let shared = sdppo(&skeleton, &q, &order).expect("sdppo");
     let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree on full graph");
     let wig = IntersectionGraph::build(&graph, &q, &tree);
-    let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    let alloc = allocate(
+        &wig,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
     validate_allocation(&wig, &alloc).expect("valid");
     println!(
         "{:>14} {:>4} {:>12} {:>10}   (cyclic; feedback buffer resident)",

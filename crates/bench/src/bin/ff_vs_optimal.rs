@@ -32,8 +32,16 @@ fn main() {
         let sas = sdppo(&g, &q, &order).expect("sdppo").tree;
         let tree = ScheduleTree::build(&g, &q, &sas).expect("tree");
         let wig = IntersectionGraph::build(&g, &q, &tree);
-        let ffdur = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-        let ffstart = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let ffdur = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
+        let ffstart = allocate(
+            &wig,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         let ff = ffdur.total().min(ffstart.total());
         let Some(exact) = optimal_allocation(&wig, 5_000_000) else {
             continue;
@@ -60,9 +68,7 @@ fn main() {
     );
     println!("average first-fit gap:             {avg_gap:.1}%");
     println!("worst first-fit gap:               {max_gap:.1}%");
-    println!(
-        "worst optimal/MCW ratio observed:  {max_ratio:.3} (theory allows up to 1.25)"
-    );
+    println!("worst optimal/MCW ratio observed:  {max_ratio:.3} (theory allows up to 1.25)");
     println!(
         "\nPaper context (§9.1): first-fit \"comes within 7% on average of the\n\
          MCW\" on random instances, and the chromatic number in practice is\n\

@@ -18,5 +18,9 @@ fn main() {
         println!("{name:>12} {:>6.1}% |{}", pct, ascii_bar(*pct, 100.0, 50));
     }
     let avg = rows.iter().map(|(_, p)| p).sum::<f64>() / rows.len().max(1) as f64;
-    println!("{:>12} {avg:>6.1}% |{}", "AVERAGE", ascii_bar(avg, 100.0, 50));
+    println!(
+        "{:>12} {avg:>6.1}% |{}",
+        "AVERAGE",
+        ascii_bar(avg, 100.0, 50)
+    );
 }

@@ -11,10 +11,16 @@ fn main() {
     println!(
         "{}",
         fmt_row(
-            &["graph", "shared", "expect M+1", "non-shared", "expect M(N+1)"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>(),
+            &[
+                "graph",
+                "shared",
+                "expect M+1",
+                "non-shared",
+                "expect M(N+1)"
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
             &widths
         )
     );

@@ -32,7 +32,10 @@ fn main() {
             let coarse = IntersectionGraph::build(&graph, &q, &tree);
             let fine = FineIntersectionGraph::build(&graph, &q, &shared.tree);
             nonshared = nonshared.min(coarse.total_size());
-            for ord in [AllocationOrder::DurationDescending, AllocationOrder::StartAscending] {
+            for ord in [
+                AllocationOrder::DurationDescending,
+                AllocationOrder::StartAscending,
+            ] {
                 let ac = allocate(&coarse, ord, PlacementPolicy::FirstFit);
                 validate_allocation(&coarse, &ac).expect("coarse allocation valid");
                 coarse_best = coarse_best.min(ac.total());

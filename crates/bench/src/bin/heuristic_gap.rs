@@ -16,9 +16,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(50);
-    println!(
-        "heuristic vs exhaustive optimum (non-shared bufmem), {trials} graphs per size\n"
-    );
+    println!("heuristic vs exhaustive optimum (non-shared bufmem), {trials} graphs per size\n");
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12}",
         "size", "apgan gap%", "rpmc gap%", "apgan opt", "rpmc opt"
@@ -31,9 +29,13 @@ fn main() {
         for _ in 0..trials {
             let g = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
             let q = RepetitionsVector::compute(&g).expect("consistent");
-            let Ok(exact) =
-                optimal_sas_nonshared(&g, &q, ExhaustiveLimits { max_orders: 200_000 })
-            else {
+            let Ok(exact) = optimal_sas_nonshared(
+                &g,
+                &q,
+                ExhaustiveLimits {
+                    max_orders: 200_000,
+                },
+            ) else {
                 continue; // too many orders; skip
             };
             counted += 1;

@@ -26,10 +26,13 @@ fn main() {
 
         let order = apgan(&graph, &q).expect("acyclic");
         let flat = LoopedSchedule::flat_sas(&order, &q);
-        let nested = dppo(&graph, &q, &order).expect("dppo").tree.to_looped_schedule();
+        let nested = dppo(&graph, &q, &order)
+            .expect("dppo")
+            .tree
+            .to_looped_schedule();
 
-        let flat_req = source_buffer_requirement(&graph, &q, &flat, &exec, source)
-            .expect("valid flat SAS");
+        let flat_req =
+            source_buffer_requirement(&graph, &q, &flat, &exec, source).expect("valid flat SAS");
         let nested_req = source_buffer_requirement(&graph, &q, &nested, &exec, source)
             .expect("valid nested SAS");
         let period = schedule_makespan(&graph, &flat, &exec).expect("makespan");

@@ -14,7 +14,10 @@ use sdf_sched::sdppo::FactoringPolicy;
 use sdf_sched::topsort::random_topological_sort;
 
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
     let small_trials = args.first().copied().unwrap_or(1000);
     let big_trials = args.get(1).copied().unwrap_or(100);
 

@@ -39,8 +39,16 @@ fn main() {
         let sas = flat_sas_tree(order, &q);
         let tree = ScheduleTree::build(&graph, &q, &sas).expect("valid flat SAS");
         let wig = IntersectionGraph::build(&graph, &q, &tree);
-        let d = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-        let s = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let d = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
+        let s = allocate(
+            &wig,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         d.total().min(s.total())
     };
     let mut flat_best = u64::MAX;
@@ -53,7 +61,10 @@ fn main() {
     let nested = run_table1_row(&graph).expect("pipeline");
     println!("satellite receiver, shared-buffer allocation:");
     println!("  flat SAS (Ritz-style schedule class): {flat_best}");
-    println!("  nested SDPPO schedule:                {}", nested.best_shared());
+    println!(
+        "  nested SDPPO schedule:                {}",
+        nested.best_shared()
+    );
     println!(
         "  ratio: {:.2}x  (paper: Ritz >2000 vs lifetime-analysis 991, >2x)",
         flat_best as f64 / nested.best_shared().max(1) as f64

@@ -10,11 +10,23 @@ use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::IntersectionGraph;
 use sdf_sched::{apgan, dppo, rpmc, sdppo};
 
-fn best_alloc_of(graph: &sdf_core::SdfGraph, q: &RepetitionsVector, sas: &sdf_core::SasTree) -> u64 {
+fn best_alloc_of(
+    graph: &sdf_core::SdfGraph,
+    q: &RepetitionsVector,
+    sas: &sdf_core::SasTree,
+) -> u64 {
     let tree = ScheduleTree::build(graph, q, sas).expect("valid SAS");
     let wig = IntersectionGraph::build(graph, q, &tree);
-    let d = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-    let s = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+    let d = allocate(
+        &wig,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
+    let s = allocate(
+        &wig,
+        AllocationOrder::StartAscending,
+        PlacementPolicy::FirstFit,
+    );
     d.total().min(s.total())
 }
 
@@ -37,7 +49,10 @@ fn main() {
         }
         let gain = (on_dppo as f64 - on_sdppo as f64) / on_dppo.max(1) as f64 * 100.0;
         gains.push(gain);
-        println!("{:>12} {on_dppo:>16} {on_sdppo:>16} {gain:>7.1}%", graph.name());
+        println!(
+            "{:>12} {on_dppo:>16} {on_sdppo:>16} {gain:>7.1}%",
+            graph.name()
+        );
     }
     let avg = gains.iter().sum::<f64>() / gains.len().max(1) as f64;
     println!(

@@ -10,8 +10,22 @@ use sdf_bench::{fmt_row, run_table1_row};
 
 fn main() {
     let headers = [
-        "system", "n", "dppo(R)", "sdppo(R)", "mco(R)", "mcp(R)", "ffdur(R)", "ffstart(R)",
-        "bmlb", "dppo(A)", "sdppo(A)", "mco(A)", "mcp(A)", "ffdur(A)", "ffstart(A)", "%impr",
+        "system",
+        "n",
+        "dppo(R)",
+        "sdppo(R)",
+        "mco(R)",
+        "mcp(R)",
+        "ffdur(R)",
+        "ffstart(R)",
+        "bmlb",
+        "dppo(A)",
+        "sdppo(A)",
+        "mco(A)",
+        "mcp(A)",
+        "ffdur(A)",
+        "ffstart(A)",
+        "%impr",
     ];
     let widths = [12, 4, 8, 8, 8, 8, 8, 10, 8, 8, 8, 8, 8, 8, 10, 7];
     println!(

@@ -63,9 +63,17 @@ pub fn run_pipeline(
     let shared = sdppo_with_policy(graph, q, order, policy)?;
     let tree = ScheduleTree::build(graph, q, &shared.tree)?;
     let wig = IntersectionGraph::build(graph, q, &tree);
-    let ffdur = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    let ffdur = allocate(
+        &wig,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
     validate_allocation(&wig, &ffdur)?;
-    let ffstart = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+    let ffstart = allocate(
+        &wig,
+        AllocationOrder::StartAscending,
+        PlacementPolicy::FirstFit,
+    );
     validate_allocation(&wig, &ffstart)?;
     Ok(PipelineResult {
         dppo: nonshared.bufmem,
@@ -181,7 +189,10 @@ mod tests {
             // above max clique weight), but never the non-shared total of
             // its own schedule.
             assert!(r.best_alloc() <= r.total_size, "{r:?}");
-            assert!(r.best_alloc() >= r.mco.min(r.mcp) / 2, "implausibly small: {r:?}");
+            assert!(
+                r.best_alloc() >= r.mco.min(r.mcp) / 2,
+                "implausibly small: {r:?}"
+            );
         }
     }
 

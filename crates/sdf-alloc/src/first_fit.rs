@@ -24,6 +24,45 @@ pub enum AllocationOrder {
     Insertion,
 }
 
+impl AllocationOrder {
+    /// The two orders the paper evaluates (Table 1's `ffdur`/`ffstart`),
+    /// in the engine's canonical lattice order.
+    pub const PAPER: [AllocationOrder; 2] = [
+        AllocationOrder::DurationDescending,
+        AllocationOrder::StartAscending,
+    ];
+
+    /// The paper's short name: `ffdur`, `ffstart` or `insertion`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllocationOrder::DurationDescending => "ffdur",
+            AllocationOrder::StartAscending => "ffstart",
+            AllocationOrder::Insertion => "insertion",
+        }
+    }
+}
+
+impl std::fmt::Display for AllocationOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for AllocationOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "ffdur" => Ok(AllocationOrder::DurationDescending),
+            "ffstart" => Ok(AllocationOrder::StartAscending),
+            "insertion" => Ok(AllocationOrder::Insertion),
+            other => Err(format!(
+                "unknown allocation order `{other}` (expected ffdur, ffstart or insertion)"
+            )),
+        }
+    }
+}
+
 /// The placement policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PlacementPolicy {
@@ -207,7 +246,9 @@ pub struct AllocationReport {
 
 /// Runs `ffdur` and `ffstart` and returns both reports (the paper reports
 /// both columns in Table 1).
-pub fn allocate_both_orders<G: ConflictGraph + ?Sized>(wig: &G) -> (AllocationReport, AllocationReport) {
+pub fn allocate_both_orders<G: ConflictGraph + ?Sized>(
+    wig: &G,
+) -> (AllocationReport, AllocationReport) {
     let ffdur = AllocationReport {
         allocation: allocate(
             wig,
@@ -288,7 +329,11 @@ mod tests {
             PeriodicLifetime::solid(1, 4, 5),
             PeriodicLifetime::solid(2, 4, 7),
         ]);
-        let a = allocate(&w, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let a = allocate(
+            &w,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         assert_eq!(a.total(), 15);
         validate_allocation(&w, &a).unwrap();
     }
@@ -339,22 +384,53 @@ mod tests {
             0,
             2,
             1,
-            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+            vec![
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 9,
+                    count: 2,
+                },
+            ],
         );
         let cd = PeriodicLifetime::periodic(
             2,
             2,
             1,
-            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+            vec![
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 9,
+                    count: 2,
+                },
+            ],
         );
         let bc = PeriodicLifetime::periodic(
             1,
             2,
             1,
-            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+            vec![
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 9,
+                    count: 2,
+                },
+            ],
         );
         let w = wig_of(vec![ab, bc, cd]);
-        let a = allocate(&w, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let a = allocate(
+            &w,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         assert_eq!(a.total(), 2); // AB and CD overlay; BC stacked above.
         assert_eq!(a.offset(0), a.offset(2));
         validate_allocation(&w, &a).unwrap();
@@ -390,7 +466,10 @@ mod tests {
     fn range_of_edge_lookup() {
         let w = wig_of(vec![PeriodicLifetime::solid(0, 4, 3)]);
         let a = allocate(&w, AllocationOrder::Insertion, PlacementPolicy::FirstFit);
-        assert_eq!(range_of_edge(&w, &a, EdgeId::from_index(0)).unwrap(), (0, 3));
+        assert_eq!(
+            range_of_edge(&w, &a, EdgeId::from_index(0)).unwrap(),
+            (0, 3)
+        );
         assert!(range_of_edge(&w, &a, EdgeId::from_index(7)).is_err());
     }
 

@@ -206,7 +206,11 @@ mod tests {
             PeriodicLifetime::solid(6, 3, 5),
             PeriodicLifetime::solid(2, 6, 1),
         ]);
-        let ff = allocate(&w, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let ff = allocate(
+            &w,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
         let r = optimal_allocation(&w, 10_000_000).unwrap();
         validate_allocation(&w, &r.allocation).unwrap();
         assert!(r.allocation.total() <= ff.total());

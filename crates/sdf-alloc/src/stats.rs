@@ -114,7 +114,11 @@ mod tests {
             PeriodicLifetime::solid(0, 4, 3),
             PeriodicLifetime::solid(1, 4, 5),
         ]);
-        let a = allocate(&w, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let a = allocate(
+            &w,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         let s = allocation_stats(&w, &a);
         assert_eq!(s.total, 8);
         assert_eq!(s.nonshared_total, 8);
@@ -130,7 +134,11 @@ mod tests {
             PeriodicLifetime::solid(1, 1, 4),
             PeriodicLifetime::solid(2, 1, 4),
         ]);
-        let a = allocate(&w, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let a = allocate(
+            &w,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         let s = allocation_stats(&w, &a);
         assert_eq!(s.total, 4);
         assert_eq!(s.packing_factor, 3.0);

@@ -15,12 +15,8 @@ pub fn block_vocoder() -> SdfGraph {
     let mut g = SdfGraph::new("blockVox");
     let chain = |g: &mut SdfGraph, edges: &[(&str, &str, u64, u64)]| {
         for &(s, t, p, c) in edges {
-            let sid = g
-                .actor_by_name(s)
-                .unwrap_or_else(|| g.add_actor(s));
-            let tid = g
-                .actor_by_name(t)
-                .unwrap_or_else(|| g.add_actor(t));
+            let sid = g.actor_by_name(s).unwrap_or_else(|| g.add_actor(s));
+            let tid = g.actor_by_name(t).unwrap_or_else(|| g.add_actor(t));
             g.add_edge(sid, tid, p, c).expect("valid rates");
         }
     };
@@ -57,7 +53,6 @@ pub fn block_vocoder() -> SdfGraph {
             ("synthFilter", "deemph", 80, 80),
             ("deemph", "overlapAdd", 80, 80),
             ("overlapAdd", "dcBlock", 64, 1), // frame in, samples out
-
             ("dcBlock", "agc", 1, 1),
             ("agc", "limiter", 1, 1),
             ("limiter", "dac", 1, 1),

@@ -59,7 +59,8 @@ pub fn lms_adaptive() -> SdfGraph {
     g.add_edge(err, out, 1, 1).expect("valid rates");
     g.add_edge(err, upd, 1, 1).expect("valid rates");
     // Feedback: updated coefficients reach the FIR one iteration later.
-    g.add_edge_with_delay(upd, fir, 8, 8, 8).expect("valid rates");
+    g.add_edge_with_delay(upd, fir, 8, 8, 8)
+        .expect("valid rates");
     g
 }
 

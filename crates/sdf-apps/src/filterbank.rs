@@ -32,11 +32,23 @@ pub struct FilterbankRates {
 
 impl FilterbankRates {
     /// The 1/2, 1/2 rate change of the most common QMF bank.
-    pub const HALVES: FilterbankRates = FilterbankRates { lo: 1, hi: 1, den: 2 };
+    pub const HALVES: FilterbankRates = FilterbankRates {
+        lo: 1,
+        hi: 1,
+        den: 2,
+    };
     /// The 1/3, 2/3 rate change.
-    pub const THIRDS: FilterbankRates = FilterbankRates { lo: 1, hi: 2, den: 3 };
+    pub const THIRDS: FilterbankRates = FilterbankRates {
+        lo: 1,
+        hi: 2,
+        den: 3,
+    };
     /// The 2/5, 3/5 rate change.
-    pub const FIFTHS: FilterbankRates = FilterbankRates { lo: 2, hi: 3, den: 5 };
+    pub const FIFTHS: FilterbankRates = FilterbankRates {
+        lo: 2,
+        hi: 3,
+        den: 5,
+    };
 
     /// The paper's name tag for the rate change: `12` for 1/2-1/2, `23`
     /// for 1/3-2/3, `235` for 2/5-3/5, `<lo><hi><den>` otherwise.
@@ -137,9 +149,11 @@ fn build_block(
     // with the high band (hi -> den) into the block output.
     let (lo_out, lo_prod) = low.output;
     let (hi_out, hi_prod) = high.output;
-    g.add_edge(lo_out, slp, lo_prod, lo).expect("positive rates");
+    g.add_edge(lo_out, slp, lo_prod, lo)
+        .expect("positive rates");
     g.add_edge(slp, shp, den, den).expect("positive rates");
-    g.add_edge(hi_out, shp, hi_prod, hi).expect("positive rates");
+    g.add_edge(hi_out, shp, hi_prod, hi)
+        .expect("positive rates");
 
     Block {
         inputs: vec![(alp, den), (ahp, den)],

@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod comms;
-pub mod extended;
 pub mod dsp;
+pub mod extended;
 pub mod filterbank;
 pub mod homogeneous;
 pub mod random;

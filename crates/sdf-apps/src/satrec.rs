@@ -37,10 +37,8 @@ pub fn satellite_receiver() -> SdfGraph {
         "Q", "R", "V", // control section
         "W", // output
     ];
-    let id: std::collections::HashMap<&str, _> = names
-        .iter()
-        .map(|&n| (n, g.add_actor(n)))
-        .collect();
+    let id: std::collections::HashMap<&str, _> =
+        names.iter().map(|&n| (n, g.add_actor(n))).collect();
     let mut edge = |s: &str, t: &str, p: u64, c: u64| {
         g.add_edge(id[s], id[t], p, c).expect("valid rates");
     };

@@ -20,7 +20,8 @@ use sdf_core::SdfError;
 use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
 use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::{ConflictGraph, IntersectionGraph};
-use sdf_sched::{apgan, dppo, rpmc, sdppo};
+use sdf_sched::{apgan, dppo, rpmc, sdppo, LoopVariant};
+use sdfmem::engine::AnalysisBuilder;
 
 /// Which topological-sort heuristic to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -42,6 +43,16 @@ pub enum Model {
     NonShared,
 }
 
+/// Output format of `sdfmem analyze`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Human-readable scoreboard.
+    #[default]
+    Text,
+    /// Machine-readable [`sdfmem::engine::EngineReport::to_json`] object.
+    Json,
+}
+
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
@@ -49,6 +60,18 @@ pub enum Command {
     Info {
         /// Graph file path.
         file: String,
+    },
+    /// `sdfmem analyze <file> [--report FMT] [--serial] [--full]` — sweep
+    /// the engine's candidate lattice and report the scoreboard.
+    Analyze {
+        /// Graph file path.
+        file: String,
+        /// Output format.
+        report: ReportFormat,
+        /// Evaluate candidates serially instead of in parallel.
+        serial: bool,
+        /// Sweep every loop-optimizer variant, not just SDPPO.
+        full: bool,
     },
     /// `sdfmem bounds <file>`.
     Bounds {
@@ -106,6 +129,7 @@ USAGE:
 COMMANDS:
     info      graph statistics and the repetitions vector
     bounds    buffer-memory lower bounds (BMLB, all-schedules)
+    analyze   sweep the candidate lattice, report the winner + scoreboard
     schedule  construct a single appearance schedule
     allocate  pack all buffers into one shared pool
     codegen   emit the C implementation
@@ -116,6 +140,9 @@ COMMANDS:
 OPTIONS:
     --method apgan|rpmc      topological-sort heuristic (default apgan)
     --model  shared|nonshared  buffer model (default shared)
+    --report text|json       analyze output format (default text)
+    --serial                 analyze: evaluate candidates serially
+    --full                   analyze: sweep every loop-optimizer variant
 
 GRAPH FILE FORMAT:
     graph NAME
@@ -141,6 +168,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         .ok_or_else(|| format!("missing graph file for `{cmd}`"))?;
     let mut method = Method::default();
     let mut model = Model::default();
+    let mut report = ReportFormat::default();
+    let mut serial = false;
+    let mut full = false;
     while let Some(opt) = it.next() {
         match opt.as_str() {
             "--method" => {
@@ -157,15 +187,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("bad --model value: {other:?}")),
                 }
             }
+            "--report" => {
+                report = match it.next().map(String::as_str) {
+                    Some("text") => ReportFormat::Text,
+                    Some("json") => ReportFormat::Json,
+                    other => return Err(format!("bad --report value: {other:?}")),
+                }
+            }
+            "--serial" => serial = true,
+            "--full" => full = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     match cmd {
         "info" => Ok(Command::Info { file }),
         "bounds" => Ok(Command::Bounds { file }),
-        "schedule" => Ok(Command::Schedule { file, method, model }),
+        "analyze" => Ok(Command::Analyze {
+            file,
+            report,
+            serial,
+            full,
+        }),
+        "schedule" => Ok(Command::Schedule {
+            file,
+            method,
+            model,
+        }),
         "allocate" => Ok(Command::Allocate { file, method }),
-        "codegen" => Ok(Command::Codegen { file, method, model }),
+        "codegen" => Ok(Command::Codegen {
+            file,
+            method,
+            model,
+        }),
         "gantt" => Ok(Command::Gantt { file, method }),
         "dot" => Ok(Command::Dot { file }),
         other => Err(format!("unknown command `{other}`")),
@@ -177,7 +230,11 @@ fn load(file: &str) -> Result<SdfGraph, String> {
     sdf_core::io::parse_graph(&text).map_err(|e| format!("{file}: {e}"))
 }
 
-fn order_for(graph: &SdfGraph, q: &RepetitionsVector, method: Method) -> Result<Vec<sdf_core::ActorId>, SdfError> {
+fn order_for(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    method: Method,
+) -> Result<Vec<sdf_core::ActorId>, SdfError> {
     match method {
         Method::Apgan => apgan(graph, q),
         Method::Rpmc => rpmc(graph, q),
@@ -208,13 +265,55 @@ pub fn run(command: &Command) -> Result<String, String> {
                 }
             }
         }
+        Command::Analyze {
+            file,
+            report,
+            serial,
+            full,
+        } => {
+            let g = load(file)?;
+            let mut builder = AnalysisBuilder::new().parallel(!serial);
+            if *full {
+                builder = builder.loop_opts(LoopVariant::ALL);
+            }
+            let synthesis = builder.run_full(&g).map_err(|e| e.to_string())?;
+            match report {
+                ReportFormat::Json => {
+                    let _ = writeln!(out, "{}", synthesis.report.to_json());
+                }
+                ReportFormat::Text => {
+                    let an = &synthesis.analysis;
+                    let _ = writeln!(
+                        out,
+                        "schedule: {}",
+                        an.schedule.to_looped_schedule().display(&g)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "shared pool: {} words ({}% saved over non-shared {})",
+                        an.shared_total(),
+                        an.saving_percent().round(),
+                        an.nonshared_bufmem
+                    );
+                    let _ = writeln!(out, "{}", synthesis.report);
+                }
+            }
+        }
         Command::Bounds { file } => {
             let g = load(file)?;
             RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
             let _ = writeln!(out, "BMLB (over all SASs):           {}", bmlb(&g));
-            let _ = writeln!(out, "bound over all valid schedules: {}", min_buffer_bound(&g));
+            let _ = writeln!(
+                out,
+                "bound over all valid schedules: {}",
+                min_buffer_bound(&g)
+            );
         }
-        Command::Schedule { file, method, model } => {
+        Command::Schedule {
+            file,
+            method,
+            model,
+        } => {
             let g = load(file)?;
             let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
             let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
@@ -238,9 +337,17 @@ pub fn run(command: &Command) -> Result<String, String> {
             let shared = sdppo(&g, &q, &order).map_err(|e| e.to_string())?;
             let tree = ScheduleTree::build(&g, &q, &shared.tree).map_err(|e| e.to_string())?;
             let wig = IntersectionGraph::build(&g, &q, &tree);
-            let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+            let alloc = allocate(
+                &wig,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
             validate_allocation(&wig, &alloc).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "schedule: {}", shared.tree.to_looped_schedule().display(&g));
+            let _ = writeln!(
+                out,
+                "schedule: {}",
+                shared.tree.to_looped_schedule().display(&g)
+            );
             let stats = sdf_alloc::allocation_stats(&wig, &alloc);
             let _ = writeln!(
                 out,
@@ -286,7 +393,11 @@ pub fn run(command: &Command) -> Result<String, String> {
             );
             out.push_str(&sdf_lifetime::gantt::render_gantt(&g, &tree, &wig, 96));
         }
-        Command::Codegen { file, method, model } => {
+        Command::Codegen {
+            file,
+            method,
+            model,
+        } => {
             let g = load(file)?;
             let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
             let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
@@ -333,11 +444,20 @@ mod tests {
     fn parse_commands_with_options() {
         assert_eq!(
             parse_args(&args(&["info", "g.sdf"])).unwrap(),
-            Command::Info { file: "g.sdf".into() }
+            Command::Info {
+                file: "g.sdf".into()
+            }
         );
         assert_eq!(
-            parse_args(&args(&["schedule", "g.sdf", "--method", "rpmc", "--model", "nonshared"]))
-                .unwrap(),
+            parse_args(&args(&[
+                "schedule",
+                "g.sdf",
+                "--method",
+                "rpmc",
+                "--model",
+                "nonshared"
+            ]))
+            .unwrap(),
             Command::Schedule {
                 file: "g.sdf".into(),
                 method: Method::Rpmc,
@@ -366,11 +486,8 @@ mod tests {
         let dir = std::env::temp_dir().join("sdfmem-cli-tests");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join(format!("fig2-{}.sdf", std::process::id()));
-        std::fs::write(
-            &path,
-            "graph fig2\nedge A B 20 10\nedge B C 20 10\n",
-        )
-        .expect("write temp graph");
+        std::fs::write(&path, "graph fig2\nedge A B 20 10\nedge B C 20 10\n")
+            .expect("write temp graph");
         path
     }
 
@@ -447,8 +564,62 @@ mod tests {
         );
         assert_eq!(
             parse_args(&args(&["dot", "g.sdf"])).unwrap(),
-            Command::Dot { file: "g.sdf".into() }
+            Command::Dot {
+                file: "g.sdf".into()
+            }
         );
+    }
+
+    #[test]
+    fn parse_analyze_command() {
+        assert_eq!(
+            parse_args(&args(&["analyze", "g.sdf"])).unwrap(),
+            Command::Analyze {
+                file: "g.sdf".into(),
+                report: ReportFormat::Text,
+                serial: false,
+                full: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "analyze", "g.sdf", "--report", "json", "--serial", "--full"
+            ]))
+            .unwrap(),
+            Command::Analyze {
+                file: "g.sdf".into(),
+                report: ReportFormat::Json,
+                serial: true,
+                full: true
+            }
+        );
+        assert!(parse_args(&args(&["analyze", "g.sdf", "--report", "xml"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_analyze() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let text = run(&Command::Analyze {
+            file: file.clone(),
+            report: ReportFormat::Text,
+            serial: false,
+            full: true,
+        })
+        .unwrap();
+        assert!(text.contains("shared pool:"), "{text}");
+        assert!(text.contains("rationale:"), "{text}");
+        assert!(text.contains("chain_precise"), "{text}");
+        let json = run(&Command::Analyze {
+            file,
+            report: ReportFormat::Json,
+            serial: true,
+            full: false,
+        })
+        .unwrap();
+        assert!(json.trim_end().starts_with('{'), "{json}");
+        assert!(json.contains("\"candidates\":["), "{json}");
+        assert!(json.contains("\"parallel\":false"), "{json}");
     }
 
     #[test]

@@ -81,7 +81,12 @@ fn emit_actor_decls(graph: &SdfGraph, out: &mut String) {
         } else {
             params.join(", ")
         };
-        let _ = writeln!(out, "extern void fire_{}({});", c_ident(graph.actor_name(a)), params);
+        let _ = writeln!(
+            out,
+            "extern void fire_{}({});",
+            c_ident(graph.actor_name(a)),
+            params
+        );
     }
 }
 
@@ -104,7 +109,13 @@ fn emit_fire(graph: &SdfGraph, actor: ActorId, indent: usize, out: &mut String) 
     );
 }
 
-fn emit_body(graph: &SdfGraph, body: &[ScheduleNode], indent: usize, depth: usize, out: &mut String) {
+fn emit_body(
+    graph: &SdfGraph,
+    body: &[ScheduleNode],
+    indent: usize,
+    depth: usize,
+    out: &mut String,
+) {
     for node in body {
         match node {
             ScheduleNode::Fire { actor, count } => {
@@ -278,9 +289,16 @@ mod tests {
         let (g, q, sas) = fig2();
         let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
         let wig = IntersectionGraph::build(&g, &q, &tree);
-        let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let alloc = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
         let code = generate_shared_c(&g, &q, &sas, &wig, &alloc).unwrap();
-        assert!(code.contains(&format!("float mem[{}];", alloc.total())), "{code}");
+        assert!(
+            code.contains(&format!("float mem[{}];", alloc.total())),
+            "{code}"
+        );
         assert!(code.contains("#define buf_e0 (mem + "), "{code}");
         assert!(code.contains("#define buf_e1 (mem + "), "{code}");
         balanced(&code);

@@ -58,13 +58,22 @@ impl fmt::Display for SdfError {
             SdfError::UnknownActor(a) => write!(f, "actor {a} does not belong to this graph"),
             SdfError::UnknownEdge(e) => write!(f, "edge {e} does not belong to this graph"),
             SdfError::ZeroRate { src, snk } => {
-                write!(f, "edge {src} -> {snk} has a zero production or consumption rate")
+                write!(
+                    f,
+                    "edge {src} -> {snk} has a zero production or consumption rate"
+                )
             }
             SdfError::Inconsistent { edge } => {
-                write!(f, "balance equation violated on edge {edge}: graph is inconsistent")
+                write!(
+                    f,
+                    "balance equation violated on edge {edge}: graph is inconsistent"
+                )
             }
             SdfError::Deadlock { actor } => {
-                write!(f, "actor {actor} cannot fire: insufficient input tokens (deadlock)")
+                write!(
+                    f,
+                    "actor {actor} cannot fire: insufficient input tokens (deadlock)"
+                )
             }
             SdfError::Cyclic => write!(f, "operation requires an acyclic graph"),
             SdfError::Disconnected => write!(f, "operation requires a connected graph"),

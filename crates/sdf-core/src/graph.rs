@@ -15,7 +15,6 @@ use crate::error::SdfError;
 ///
 /// Ids are dense indices assigned in insertion order; they are only
 /// meaningful relative to the graph that created them.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ActorId(u32);
 
@@ -39,7 +38,6 @@ impl fmt::Display for ActorId {
 }
 
 /// Identifies an edge within one [`SdfGraph`].
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EdgeId(u32);
 
@@ -62,7 +60,6 @@ impl fmt::Display for EdgeId {
 }
 
 /// One FIFO edge of an SDF graph.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Edge {
     /// Source actor (producer).
@@ -103,7 +100,6 @@ pub struct Edge {
 /// # Ok(())
 /// # }
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, Default)]
 pub struct SdfGraph {
     name: String,
@@ -262,7 +258,11 @@ impl SdfGraph {
     /// Distinct successors of `a` (an actor appears once even across
     /// multi-edges).
     pub fn successors(&self, a: ActorId) -> Vec<ActorId> {
-        let mut out: Vec<ActorId> = self.out_edges(a).iter().map(|&e| self.edge(e).snk).collect();
+        let mut out: Vec<ActorId> = self
+            .out_edges(a)
+            .iter()
+            .map(|&e| self.edge(e).snk)
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -509,7 +509,10 @@ mod tests {
         let mut g = SdfGraph::new("t");
         let a = g.add_actor("A");
         let ghost = ActorId::from_index(5);
-        assert_eq!(g.add_edge(a, ghost, 1, 1), Err(SdfError::UnknownActor(ghost)));
+        assert_eq!(
+            g.add_edge(a, ghost, 1, 1),
+            Err(SdfError::UnknownActor(ghost))
+        );
     }
 
     #[test]

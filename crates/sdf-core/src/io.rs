@@ -83,12 +83,13 @@ pub fn parse_graph(text: &str) -> Result<SdfGraph, SdfError> {
         }
         let mut words = line.split_whitespace();
         let keyword = words.next().expect("nonempty line has a first word");
-        let parse_err = |msg: &str| {
-            SdfError::InvalidSchedule(format!("line {}: {msg}: {raw:?}", lineno + 1))
-        };
+        let parse_err =
+            |msg: &str| SdfError::InvalidSchedule(format!("line {}: {msg}: {raw:?}", lineno + 1));
         match keyword {
             "graph" => {
-                let name = words.next().ok_or_else(|| parse_err("missing graph name"))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| parse_err("missing graph name"))?;
                 if named {
                     return Err(parse_err("duplicate graph declaration"));
                 }
@@ -96,7 +97,9 @@ pub fn parse_graph(text: &str) -> Result<SdfGraph, SdfError> {
                 named = true;
             }
             "actor" => {
-                let name = words.next().ok_or_else(|| parse_err("missing actor name"))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| parse_err("missing actor name"))?;
                 if graph.actor_by_name(name).is_some() {
                     return Err(parse_err("duplicate actor"));
                 }

@@ -109,7 +109,10 @@ impl Default for Rational {
 
 impl From<u64> for Rational {
     fn from(value: u64) -> Self {
-        Rational { numer: value, denom: 1 }
+        Rational {
+            numer: value,
+            denom: 1,
+        }
     }
 }
 

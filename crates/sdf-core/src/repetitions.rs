@@ -36,7 +36,6 @@ use crate::rational::Rational;
 /// # Ok(())
 /// # }
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RepetitionsVector {
     q: Vec<u64>,
@@ -134,7 +133,11 @@ impl RepetitionsVector {
     fn normalise(component: &[ActorId], rate: &[Option<Rational>], q: &mut [u64]) {
         let scale = component
             .iter()
-            .map(|a| rate[a.index()].expect("component actor must have a rate").denom())
+            .map(|a| {
+                rate[a.index()]
+                    .expect("component actor must have a rate")
+                    .denom()
+            })
             .fold(1u64, lcm);
         for &a in component {
             let r = rate[a.index()].expect("component actor must have a rate");

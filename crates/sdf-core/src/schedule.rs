@@ -169,10 +169,7 @@ impl LoopedSchedule {
     /// Returns true if every actor that appears, appears exactly once.
     pub fn is_single_appearance(&self) -> bool {
         let mut seen = std::collections::HashSet::new();
-        fn walk(
-            nodes: &[ScheduleNode],
-            seen: &mut std::collections::HashSet<ActorId>,
-        ) -> bool {
+        fn walk(nodes: &[ScheduleNode], seen: &mut std::collections::HashSet<ActorId>) -> bool {
             for node in nodes {
                 match node {
                     ScheduleNode::Fire { actor, .. } => {
@@ -293,10 +290,7 @@ impl LoopedSchedule {
                     }
                 })
                 .collect();
-            let g = new_body
-                .iter()
-                .map(count_of)
-                .fold(0, crate::math::gcd);
+            let g = new_body.iter().map(count_of).fold(0, crate::math::gcd);
             if g > 1 {
                 for n in &mut new_body {
                     divide(n, g);
@@ -867,11 +861,7 @@ mod tests {
     fn sas_tree_validation_catches_missing_actor() {
         let (g, [a, b, _]) = fig2();
         let q = RepetitionsVector::compute(&g).unwrap();
-        let tree = SasTree::new(SasNode::branch(
-            1,
-            SasNode::leaf(a, 1),
-            SasNode::leaf(b, 2),
-        ));
+        let tree = SasTree::new(SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 2)));
         assert!(matches!(
             tree.validate(&g, &q),
             Err(SdfError::NotSingleAppearance(_))
@@ -962,12 +952,10 @@ mod tests {
         g.add_edge(a, b, 1, 4).unwrap();
         let s = LoopedSchedule::new(vec![ScheduleNode::loop_of(
             24,
-            vec![
-                ScheduleNode::loop_of(
-                    11,
-                    vec![ScheduleNode::fire_n(a, 4), ScheduleNode::fire(b)],
-                ),
-            ],
+            vec![ScheduleNode::loop_of(
+                11,
+                vec![ScheduleNode::fire_n(a, 4), ScheduleNode::fire(b)],
+            )],
         )]);
         assert_eq!(s.display(&g).to_string(), "(24(11(4A)B))");
     }

@@ -240,10 +240,7 @@ mod tests {
         let (g, _) = fig1();
         // C before B: no tokens on (B,C).
         let s = LoopedSchedule::parse("C (3A) (6B) C", &g).unwrap();
-        assert!(matches!(
-            simulate(&g, &s),
-            Err(SdfError::Deadlock { .. })
-        ));
+        assert!(matches!(simulate(&g, &s), Err(SdfError::Deadlock { .. })));
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl ExecutionTimes {
     /// time is zero (zero-time firings break the arrival model).
     pub fn new(graph: &SdfGraph, times: Vec<u64>) -> Self {
         assert_eq!(times.len(), graph.actor_count(), "one time per actor");
-        assert!(times.iter().all(|&t| t > 0), "execution times must be positive");
+        assert!(
+            times.iter().all(|&t| t > 0),
+            "execution times must be positive"
+        );
         ExecutionTimes { times }
     }
 
@@ -169,10 +172,7 @@ mod tests {
         let q = RepetitionsVector::compute(&g).unwrap();
         let s = LoopedSchedule::parse("A B", &g).unwrap();
         let exec = ExecutionTimes::uniform(&g, 5);
-        assert_eq!(
-            source_buffer_requirement(&g, &q, &s, &exec, a).unwrap(),
-            1
-        );
+        assert_eq!(source_buffer_requirement(&g, &q, &s, &exec, a).unwrap(), 1);
     }
 
     #[test]
@@ -209,10 +209,7 @@ mod tests {
         let flat = LoopedSchedule::flat_sas(&ids, &q);
         let flat_req = source_buffer_requirement(&g, &q, &flat, &exec, ids[0]).unwrap();
         // A deeply interleaved (non-SAS) schedule: fire on demand.
-        let nested = LoopedSchedule::parse(
-            "(7(7(3A)(3B)(2C))(4D))(32E)(160F)",
-            &g,
-        );
+        let nested = LoopedSchedule::parse("(7(7(3A)(3B)(2C))(4D))(32E)(160F)", &g);
         // If that particular nesting is invalid fall back to a 2-way split.
         let nested = match nested {
             Ok(s) if crate::simulate::validate_schedule(&g, &s, &q).is_ok() => s,

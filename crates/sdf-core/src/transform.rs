@@ -130,7 +130,13 @@ pub fn cluster(graph: &SdfGraph, members: &[ActorId], name: &str) -> Result<Clus
 
     let internal_repetitions = graph
         .actors()
-        .map(|a| if is_member[a.index()] { q.get(a) / g } else { 0 })
+        .map(|a| {
+            if is_member[a.index()] {
+                q.get(a) / g
+            } else {
+                0
+            }
+        })
         .collect();
 
     Ok(Clustering {
@@ -178,7 +184,7 @@ mod tests {
         let new_a = r.mapping[a.index()].unwrap();
         assert_eq!(q.get(new_a), 1); // unchanged
         assert_eq!(q.get(r.cluster), 2); // gcd(2, 4)
-        // Internal repetitions: B once, C twice per cluster firing.
+                                         // Internal repetitions: B once, C twice per cluster firing.
         assert_eq!(r.internal_repetitions[b.index()], 1);
         assert_eq!(r.internal_repetitions[c.index()], 2);
         // The edge A -> W consumes 10 per W firing (B consumed 10).
@@ -239,8 +245,14 @@ mod tests {
         assert_eq!(q1.as_slice(), q2.as_slice());
         // Double transpose restores edge directions.
         let tt = transpose(&t);
-        let orig: Vec<_> = g.edges().map(|(_, e)| (e.src, e.snk, e.prod, e.cons)).collect();
-        let back: Vec<_> = tt.edges().map(|(_, e)| (e.src, e.snk, e.prod, e.cons)).collect();
+        let orig: Vec<_> = g
+            .edges()
+            .map(|(_, e)| (e.src, e.snk, e.prod, e.cons))
+            .collect();
+        let back: Vec<_> = tt
+            .edges()
+            .map(|(_, e)| (e.src, e.snk, e.prod, e.cons))
+            .collect();
         assert_eq!(orig, back);
     }
 

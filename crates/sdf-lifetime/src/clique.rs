@@ -141,8 +141,24 @@ mod tests {
     #[test]
     fn optimistic_le_pessimistic() {
         let w = wig_of(vec![
-            PeriodicLifetime::periodic(0, 2, 4, vec![Period { stride: 6, count: 3 }]),
-            PeriodicLifetime::periodic(2, 2, 7, vec![Period { stride: 6, count: 3 }]),
+            PeriodicLifetime::periodic(
+                0,
+                2,
+                4,
+                vec![Period {
+                    stride: 6,
+                    count: 3,
+                }],
+            ),
+            PeriodicLifetime::periodic(
+                2,
+                2,
+                7,
+                vec![Period {
+                    stride: 6,
+                    count: 3,
+                }],
+            ),
             PeriodicLifetime::solid(0, 18, 2),
         ]);
         assert!(mcw_optimistic(&w) <= mcw_pessimistic(&w));
@@ -152,8 +168,24 @@ mod tests {
     fn periodic_gaps_lower_the_optimistic_estimate() {
         // Two interleaved periodic buffers never live together; a solid
         // third overlaps both.
-        let a = PeriodicLifetime::periodic(0, 2, 10, vec![Period { stride: 4, count: 2 }]);
-        let b = PeriodicLifetime::periodic(2, 2, 20, vec![Period { stride: 4, count: 2 }]);
+        let a = PeriodicLifetime::periodic(
+            0,
+            2,
+            10,
+            vec![Period {
+                stride: 4,
+                count: 2,
+            }],
+        );
+        let b = PeriodicLifetime::periodic(
+            2,
+            2,
+            20,
+            vec![Period {
+                stride: 4,
+                count: 2,
+            }],
+        );
         let c = PeriodicLifetime::solid(0, 8, 1);
         let w = wig_of(vec![a, b, c]);
         // Optimistic: at t=2 (b's start) b + c = 21.
@@ -167,7 +199,15 @@ mod tests {
         // A periodic buffer whose second occurrence overlaps a late solid
         // buffer: the true MCW occurs at the second occurrence's start,
         // which the optimistic scan never visits.
-        let p = PeriodicLifetime::periodic(0, 3, 10, vec![Period { stride: 10, count: 2 }]);
+        let p = PeriodicLifetime::periodic(
+            0,
+            3,
+            10,
+            vec![Period {
+                stride: 10,
+                count: 2,
+            }],
+        );
         // Solid buffer live only during [11, 13): overlaps occurrence 2.
         let s = PeriodicLifetime::solid(11, 2, 10);
         // A second solid buffer at p's start, smaller.
@@ -179,8 +219,24 @@ mod tests {
         // Here the start of `s` happens to catch it; shift s to start at 10
         // with p's occurrence [10,13): still caught. To build a true miss,
         // make the overlap interior-only:
-        let p2 = PeriodicLifetime::periodic(0, 5, 10, vec![Period { stride: 10, count: 2 }]);
-        let q2 = PeriodicLifetime::periodic(3, 5, 10, vec![Period { stride: 13, count: 2 }]);
+        let p2 = PeriodicLifetime::periodic(
+            0,
+            5,
+            10,
+            vec![Period {
+                stride: 10,
+                count: 2,
+            }],
+        );
+        let q2 = PeriodicLifetime::periodic(
+            3,
+            5,
+            10,
+            vec![Period {
+                stride: 13,
+                count: 2,
+            }],
+        );
         // p2 occurrences [0,5), [10,15); q2 occurrences [3,8), [16,21).
         // At t=3: both live -> caught. The optimistic scan examines only
         // earliest starts, so interior maxima of *later* occurrences are
@@ -193,8 +249,24 @@ mod tests {
     #[test]
     fn exact_mcw_brackets_the_estimates() {
         let w = wig_of(vec![
-            PeriodicLifetime::periodic(0, 2, 10, vec![Period { stride: 4, count: 2 }]),
-            PeriodicLifetime::periodic(2, 2, 20, vec![Period { stride: 4, count: 2 }]),
+            PeriodicLifetime::periodic(
+                0,
+                2,
+                10,
+                vec![Period {
+                    stride: 4,
+                    count: 2,
+                }],
+            ),
+            PeriodicLifetime::periodic(
+                2,
+                2,
+                20,
+                vec![Period {
+                    stride: 4,
+                    count: 2,
+                }],
+            ),
             PeriodicLifetime::solid(0, 8, 1),
         ]);
         let exact = mcw_exact(&w, 1000).expect("small instance");
@@ -207,7 +279,15 @@ mod tests {
     fn exact_mcw_finds_interior_maximum_fig20() {
         // A maximum that occurs only at a *later* occurrence of a periodic
         // buffer (Fig. 20's situation): exact sees it, optimistic may not.
-        let p = PeriodicLifetime::periodic(0, 3, 10, vec![Period { stride: 10, count: 2 }]);
+        let p = PeriodicLifetime::periodic(
+            0,
+            3,
+            10,
+            vec![Period {
+                stride: 10,
+                count: 2,
+            }],
+        );
         let s = PeriodicLifetime::solid(11, 2, 10);
         let w = wig_of(vec![p, s]);
         assert_eq!(mcw_exact(&w, 100), Some(20));
@@ -219,7 +299,10 @@ mod tests {
             0,
             1,
             1,
-            vec![Period { stride: 2, count: 100 }],
+            vec![Period {
+                stride: 2,
+                count: 100,
+            }],
         )]);
         assert_eq!(mcw_exact(&w, 10), None);
         assert_eq!(mcw_exact(&w, 1000), Some(1));

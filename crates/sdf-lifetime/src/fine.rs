@@ -265,7 +265,15 @@ impl FineIntersectionGraph {
                 }
             }
         }
-        walk(sas.root(), graph, &mut step, &mut tokens, &mut peak, &mut open, &mut done);
+        walk(
+            sas.root(),
+            graph,
+            &mut step,
+            &mut tokens,
+            &mut peak,
+            &mut open,
+            &mut done,
+        );
 
         // Close intervals still open at the period boundary (delay edges).
         for (idx, o) in open.iter_mut().enumerate() {
@@ -413,11 +421,7 @@ mod tests {
         let b = g.add_actor("B");
         g.add_edge_with_delay(a, b, 1, 1, 2).unwrap();
         let q = RepetitionsVector::compute(&g).unwrap();
-        let sas = SasTree::new(SasNode::branch(
-            1,
-            SasNode::leaf(a, 1),
-            SasNode::leaf(b, 1),
-        ));
+        let sas = SasTree::new(SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 1)));
         let fine = FineIntersectionGraph::build(&g, &q, &sas);
         let lt = &fine.buffers()[0].lifetime;
         assert_eq!(lt.start(), 0);
@@ -438,11 +442,7 @@ mod tests {
         let q = RepetitionsVector::compute(&g).unwrap();
         let _ = q;
         // Minimal q = (1,1); schedule A B: single interval [0, 2).
-        let sas = SasTree::new(SasNode::branch(
-            1,
-            SasNode::leaf(a, 1),
-            SasNode::leaf(b, 1),
-        ));
+        let sas = SasTree::new(SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 1)));
         let fine = FineIntersectionGraph::build(&g, &q, &sas);
         assert_eq!(fine.buffers()[0].lifetime.intervals(), &[(0, 2)]);
     }

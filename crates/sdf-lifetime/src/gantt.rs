@@ -55,11 +55,7 @@ pub fn render_gantt(
     );
     for b in wig.buffers() {
         let e = graph.edge(b.edge);
-        let label = format!(
-            "({},{})",
-            graph.actor_name(e.src),
-            graph.actor_name(e.snk)
-        );
+        let label = format!("({},{})", graph.actor_name(e.src), graph.actor_name(e.snk));
         let _ = write!(out, "{label:label_width$}  {:>4}  |", b.lifetime.size());
         for col in 0..cols {
             let lo = col as u64 * stride;

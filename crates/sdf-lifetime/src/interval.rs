@@ -73,7 +73,9 @@ impl PeriodicLifetime {
     pub fn periodic(start: u64, dur: u64, size: u64, periods: Vec<Period>) -> Self {
         let periods: Vec<Period> = periods.into_iter().filter(|p| p.count > 1).collect();
         debug_assert!(
-            periods.windows(2).all(|w| w[0].stride * w[0].count <= w[1].stride),
+            periods
+                .windows(2)
+                .all(|w| w[0].stride * w[0].count <= w[1].stride),
             "periods must nest: {periods:?}"
         );
         debug_assert!(
@@ -424,8 +426,14 @@ mod tests {
         assert_eq!(
             b.periods(),
             &[
-                Period { stride: 4, count: 2 },
-                Period { stride: 9, count: 2 }
+                Period {
+                    stride: 4,
+                    count: 2
+                },
+                Period {
+                    stride: 9,
+                    count: 2
+                }
             ]
         );
         // Fig. 17's live intervals, shifted by S's step:
@@ -453,8 +461,14 @@ mod tests {
         assert_eq!(
             b.periods(),
             &[
-                Period { stride: 4, count: 2 },
-                Period { stride: 9, count: 2 }
+                Period {
+                    stride: 4,
+                    count: 2
+                },
+                Period {
+                    stride: 9,
+                    count: 2
+                }
             ]
         );
     }
@@ -472,7 +486,13 @@ mod tests {
         assert_eq!(b.start(), 4);
         // D's production is drained by (2E) at step [9,10): dur = 10 - 4.
         assert_eq!(b.dur(), 6);
-        assert_eq!(b.periods(), &[Period { stride: 9, count: 2 }]);
+        assert_eq!(
+            b.periods(),
+            &[Period {
+                stride: 9,
+                count: 2
+            }]
+        );
         // Size: TNSE = 4 tokens over 2 v2 iterations = 2 per occurrence.
         assert_eq!(b.size(), 2);
     }
@@ -484,11 +504,7 @@ mod tests {
         let b = g.add_actor("B");
         let e = g.add_edge_with_delay(a, b, 1, 1, 3).unwrap();
         let q = RepetitionsVector::compute(&g).unwrap();
-        let sas = SasTree::new(SasNode::branch(
-            1,
-            SasNode::leaf(a, 1),
-            SasNode::leaf(b, 1),
-        ));
+        let sas = SasTree::new(SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 1)));
         let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
         let lt = buffer_lifetime(&g, &q, &tree, e);
         assert!(lt.is_solid());
@@ -526,8 +542,14 @@ mod tests {
             2,
             1,
             vec![
-                Period { stride: 4, count: 2 },
-                Period { stride: 9, count: 2 },
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 9,
+                    count: 2,
+                },
             ],
         );
         assert_eq!(b.next_occurrence_at_or_after(0), Some(0));
@@ -548,9 +570,18 @@ mod tests {
             3,
             1,
             vec![
-                Period { stride: 4, count: 2 },
-                Period { stride: 13, count: 2 },
-                Period { stride: 28, count: 2 },
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 13,
+                    count: 2,
+                },
+                Period {
+                    stride: 28,
+                    count: 2,
+                },
             ],
         );
         assert_eq!(b.next_occurrence_at_or_after(18), Some(28));
@@ -576,7 +607,10 @@ mod tests {
             0,
             2,
             1,
-            vec![Period { stride: 4, count: 3 }],
+            vec![Period {
+                stride: 4,
+                count: 3,
+            }],
         ); // [0,2), [4,6), [8,10)
         assert!(!solid.intersects(&periodic));
         let solid2 = PeriodicLifetime::solid(3, 3, 1); // [3, 6)
@@ -585,8 +619,24 @@ mod tests {
 
     #[test]
     fn envelope_fallback_is_conservative() {
-        let a = PeriodicLifetime::periodic(0, 1, 1, vec![Period { stride: 2, count: 100 }]);
-        let b = PeriodicLifetime::periodic(1, 1, 1, vec![Period { stride: 2, count: 100 }]);
+        let a = PeriodicLifetime::periodic(
+            0,
+            1,
+            1,
+            vec![Period {
+                stride: 2,
+                count: 100,
+            }],
+        );
+        let b = PeriodicLifetime::periodic(
+            1,
+            1,
+            1,
+            vec![Period {
+                stride: 2,
+                count: 100,
+            }],
+        );
         // Truly disjoint (even/odd), exact test sees it...
         assert!(!a.intersects(&b));
         // ...but with a tiny cap the conservative fallback reports overlap.
@@ -601,11 +651,7 @@ mod tests {
         g.add_edge(a, b, 1, 1).unwrap();
         let e = g.add_edge_with_delay(a, a, 1, 1, 1).unwrap();
         let q = RepetitionsVector::compute(&g).unwrap();
-        let sas = SasTree::new(SasNode::branch(
-            1,
-            SasNode::leaf(a, 1),
-            SasNode::leaf(b, 1),
-        ));
+        let sas = SasTree::new(SasNode::branch(1, SasNode::leaf(a, 1), SasNode::leaf(b, 1)));
         let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
         let lt = buffer_lifetime(&g, &q, &tree, e);
         assert!(lt.is_solid());

@@ -100,11 +100,7 @@ impl ScheduleTree {
     ///
     /// Returns the error from [`SasTree::validate`] if the SAS does not
     /// match the graph and repetitions vector.
-    pub fn build(
-        graph: &SdfGraph,
-        q: &RepetitionsVector,
-        sas: &SasTree,
-    ) -> Result<Self, SdfError> {
+    pub fn build(graph: &SdfGraph, q: &RepetitionsVector, sas: &SasTree) -> Result<Self, SdfError> {
         sas.validate(graph, q)?;
         let mut tree = ScheduleTree {
             nodes: Vec::new(),
@@ -483,7 +479,10 @@ mod tests {
         let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
         let text = tree.render(&g);
         assert!(text.contains("leaf S x1  [start 0, dur 1]"), "{text}");
-        assert!(text.contains("loop x2  [start 1, dur 8, iters 4]"), "{text}");
+        assert!(
+            text.contains("loop x2  [start 1, dur 8, iters 4]"),
+            "{text}"
+        );
         assert!(text.contains("leaf E x2"), "{text}");
     }
 

@@ -192,6 +192,12 @@ impl IntersectionGraph {
         self.buffers.iter().map(|b| b.lifetime.size()).sum()
     }
 
+    /// Number of overlapping buffer pairs (edges of the intersection
+    /// graph) — a density measure of how constrained allocation is.
+    pub fn conflict_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
     /// Finds the buffer implementing `edge`.
     ///
     /// # Errors
@@ -245,13 +251,31 @@ mod tests {
             0,
             2,
             1,
-            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+            vec![
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 9,
+                    count: 2,
+                },
+            ],
         );
         let cd = PeriodicLifetime::periodic(
             2,
             2,
             1,
-            vec![Period { stride: 4, count: 2 }, Period { stride: 9, count: 2 }],
+            vec![
+                Period {
+                    stride: 4,
+                    count: 2,
+                },
+                Period {
+                    stride: 9,
+                    count: 2,
+                },
+            ],
         );
         let w = wig_of(vec![ab, cd]);
         assert!(!w.overlaps(0, 1));

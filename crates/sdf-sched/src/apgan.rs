@@ -220,10 +220,7 @@ mod tests {
     fn order_is_topological(graph: &SdfGraph, order: &[ActorId]) -> bool {
         let pos: std::collections::HashMap<_, _> =
             order.iter().enumerate().map(|(i, &a)| (a, i)).collect();
-        graph
-            .edges()
-            .all(|(_, e)| pos[&e.src] < pos[&e.snk])
-            && order.len() == graph.actor_count()
+        graph.edges().all(|(_, e)| pos[&e.src] < pos[&e.snk]) && order.len() == graph.actor_count()
     }
 
     #[test]

@@ -346,8 +346,16 @@ mod tests {
     #[test]
     fn combine_case_one_matches_paper() {
         // Case I (m_L = m_R = 1): t2 = max(l2, l3+c, r1+c, r2).
-        let l = CostTriple { left: 3, center: 10, right: 7 };
-        let r = CostTriple { left: 6, center: 9, right: 2 };
+        let l = CostTriple {
+            left: 3,
+            center: 10,
+            right: 7,
+        };
+        let r = CostTriple {
+            left: 6,
+            center: 9,
+            right: 2,
+        };
         let t = combine(l, r, 4, 1, 1);
         assert_eq!(t.left, 3);
         assert_eq!(t.right, 2);
@@ -357,8 +365,16 @@ mod tests {
     #[test]
     fn combine_case_two_matches_paper() {
         // Case II (m_L = 2, m_R = 1): t1 = max(l1+c, l2), t2 >= max(l2+c, r1+c).
-        let l = CostTriple { left: 3, center: 10, right: 7 };
-        let r = CostTriple { left: 6, center: 9, right: 2 };
+        let l = CostTriple {
+            left: 3,
+            center: 10,
+            right: 7,
+        };
+        let r = CostTriple {
+            left: 6,
+            center: 9,
+            right: 2,
+        };
         let t = combine(l, r, 4, 2, 1);
         assert_eq!(t.left, 10); // max(l1+c, l2) = max(7, 10)
         assert_eq!(t.right, 2);
@@ -368,8 +384,16 @@ mod tests {
     #[test]
     fn combine_case_three_matches_paper() {
         // Case III (m_L >= 3): t1 = l2 + c.
-        let l = CostTriple { left: 3, center: 10, right: 7 };
-        let r = CostTriple { left: 6, center: 9, right: 2 };
+        let l = CostTriple {
+            left: 3,
+            center: 10,
+            right: 7,
+        };
+        let r = CostTriple {
+            left: 6,
+            center: 9,
+            right: 2,
+        };
         let t = combine(l, r, 4, 3, 1);
         assert_eq!(t.left, 10 + 4);
         assert!(t.center >= 14);
@@ -378,12 +402,28 @@ mod tests {
     #[test]
     fn combine_mirror_symmetry() {
         // Mirroring both inputs and the m-classes mirrors the output.
-        let l = CostTriple { left: 3, center: 10, right: 7 };
-        let r = CostTriple { left: 6, center: 9, right: 2 };
+        let l = CostTriple {
+            left: 3,
+            center: 10,
+            right: 7,
+        };
+        let r = CostTriple {
+            left: 6,
+            center: 9,
+            right: 2,
+        };
         for (ml, mr) in [(1, 1), (2, 1), (1, 2), (3, 2), (2, 3), (3, 3)] {
             let t = combine(l, r, 4, ml, mr);
-            let lm = CostTriple { left: r.right, center: r.center, right: r.left };
-            let rm = CostTriple { left: l.right, center: l.center, right: l.left };
+            let lm = CostTriple {
+                left: r.right,
+                center: r.center,
+                right: r.left,
+            };
+            let rm = CostTriple {
+                left: l.right,
+                center: l.center,
+                right: l.left,
+            };
             let tm = combine(lm, rm, 4, mr, ml);
             assert_eq!(t.left, tm.right, "mirror failed for ({ml},{mr})");
             assert_eq!(t.center, tm.center);

@@ -25,7 +25,9 @@ pub struct ExhaustiveLimits {
 
 impl Default for ExhaustiveLimits {
     fn default() -> Self {
-        ExhaustiveLimits { max_orders: 100_000 }
+        ExhaustiveLimits {
+            max_orders: 100_000,
+        }
     }
 }
 
@@ -232,12 +234,7 @@ mod tests {
             g.add_edge(s, x, 1, 1).unwrap();
         }
         let q = RepetitionsVector::compute(&g).unwrap();
-        let err = optimal_sas_nonshared(
-            &g,
-            &q,
-            ExhaustiveLimits { max_orders: 1000 },
-        )
-        .unwrap_err();
+        let err = optimal_sas_nonshared(&g, &q, ExhaustiveLimits { max_orders: 1000 }).unwrap_err();
         assert!(matches!(err, SdfError::InvalidSchedule(_)));
     }
 

@@ -54,6 +54,7 @@ pub mod rpmc;
 pub mod sdppo;
 pub mod topsort;
 pub mod treebuild;
+pub mod variant;
 
 pub use apgan::apgan;
 pub use chain_precise::{chain_precise, ChainPreciseResult, CostTriple};
@@ -62,3 +63,4 @@ pub use dppo::{dppo, DppoResult};
 pub use rpmc::rpmc;
 pub use sdppo::{sdppo, sdppo_with_policy, FactoringPolicy, SdppoResult};
 pub use topsort::random_topological_sort;
+pub use variant::{schedule_variant, LoopVariant, ScheduledVariant};

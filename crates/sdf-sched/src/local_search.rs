@@ -68,10 +68,7 @@ pub fn improve_order(
         for i in 0..n.saturating_sub(1) {
             let (x, y) = (order[i], order[i + 1]);
             // Swap is legal iff no edge x -> y.
-            let has_edge = graph
-                .out_edges(x)
-                .iter()
-                .any(|&e| graph.edge(e).snk == y);
+            let has_edge = graph.out_edges(x).iter().any(|&e| graph.edge(e).snk == y);
             if has_edge {
                 continue;
             }

@@ -53,7 +53,12 @@ pub fn rpmc(graph: &SdfGraph, q: &RepetitionsVector) -> Result<Vec<ActorId>, Sdf
 
 /// Recursively orders `subset` (given in a topological order of the induced
 /// subgraph), appending to `out`.
-fn partition(graph: &SdfGraph, q: &RepetitionsVector, subset: Vec<ActorId>, out: &mut Vec<ActorId>) {
+fn partition(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    subset: Vec<ActorId>,
+    out: &mut Vec<ActorId>,
+) {
     let n = subset.len();
     if n <= 1 {
         out.extend(subset);
@@ -217,8 +222,7 @@ mod tests {
     fn order_is_topological(graph: &SdfGraph, order: &[ActorId]) -> bool {
         let pos: std::collections::HashMap<_, _> =
             order.iter().enumerate().map(|(i, &a)| (a, i)).collect();
-        graph.edges().all(|(_, e)| pos[&e.src] < pos[&e.snk])
-            && order.len() == graph.actor_count()
+        graph.edges().all(|(_, e)| pos[&e.src] < pos[&e.snk]) && order.len() == graph.actor_count()
     }
 
     #[test]

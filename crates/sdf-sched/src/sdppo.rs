@@ -116,7 +116,10 @@ pub fn sdppo_with_policy(
         for i in 0..(n - span) {
             let j = i + span;
             let mut best = u64::MAX;
-            let mut best_split = SplitDecision { k: i, factored: false };
+            let mut best_split = SplitDecision {
+                k: i,
+                factored: false,
+            };
             for k in i..j {
                 let edges = ct.crossing_count(i, k, j);
                 let factored = policy.factors(edges);

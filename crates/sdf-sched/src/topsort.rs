@@ -47,7 +47,10 @@ pub fn random_topological_sort<R: Rng + ?Sized>(
     for (_, e) in graph.edges() {
         indegree[e.snk.index()] += 1;
     }
-    let mut ready: Vec<ActorId> = graph.actors().filter(|a| indegree[a.index()] == 0).collect();
+    let mut ready: Vec<ActorId> = graph
+        .actors()
+        .filter(|a| indegree[a.index()] == 0)
+        .collect();
     let mut order = Vec::with_capacity(n);
     while !ready.is_empty() {
         let pick = rng.gen_range(0..ready.len());

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (i, buf) in wig.buffers().iter().enumerate() {
         let e = graph.edge(buf.edge);
-        let marker = if feedback.contains(&buf.edge) { "  <- feedback" } else { "" };
+        let marker = if feedback.contains(&buf.edge) {
+            "  <- feedback"
+        } else {
+            ""
+        };
         println!(
             "  {:>3}..{:<3} {} -> {}{marker}",
             alloc.offset(i),

@@ -24,7 +24,10 @@ fn main() -> Result<(), SdfError> {
     let nested = dppo(&graph, &q, &order)?;
     let precise = chain_precise(&graph, &q, 8)?;
 
-    println!("all-schedules lower bound:        {}", min_buffer_bound(&graph));
+    println!(
+        "all-schedules lower bound:        {}",
+        min_buffer_bound(&graph)
+    );
     println!("greedy demand-driven (non-SAS):   {greedy_mem}");
     println!("BMLB (lower bound over SASs):     {}", bmlb(&graph));
     println!("DPPO nested SAS (non-shared):     {}", nested.bufmem);

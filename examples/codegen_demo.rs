@@ -32,6 +32,9 @@ fn main() -> Result<(), SdfError> {
         AllocationOrder::DurationDescending,
         PlacementPolicy::FirstFit,
     );
-    println!("{}", generate_shared_c(&graph, &q, &shared.tree, &wig, &alloc)?);
+    println!(
+        "{}",
+        generate_shared_c(&graph, &q, &shared.tree, &wig, &alloc)?
+    );
     Ok(())
 }

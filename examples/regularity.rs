@@ -67,9 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         folded.code_size,
         folded.schedule.display(&labels)
     );
-    println!(
-        "(the paper's §12 FIR example: G0 G1 A0 G2 A1 … becomes G0 (n(G A)))\n"
-    );
+    println!("(the paper's §12 FIR example: G0 G1 A0 G2 A1 … becomes G0 (n(G A)))\n");
 
     // The inline C for reference (non-shared buffers).
     let code = generate_nonshared_c(&graph, &q, &inline.schedule)?;

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Provides the subset of the `criterion` 0.5 API this workspace uses —
+//! [`Criterion::benchmark_group`], [`Criterion::bench_function`],
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! timed with a short fixed wall-clock budget and the median iteration
+//! time is printed as plain text; there is no statistical analysis,
+//! plotting or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(40);
+/// Minimum timed iterations per benchmark.
+const MIN_ITERS: u32 = 5;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of just a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the iteration loop of one benchmark.
+pub struct Bencher {
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters = u32::try_from(MEASURE_BUDGET.as_nanos() / estimate.as_nanos())
+            .unwrap_or(u32::MAX)
+            .clamp(MIN_ITERS, 10_000);
+        let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(t.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher { median_ns: 0 };
+    f(&mut bencher);
+    let ns = bencher.median_ns;
+    if ns >= 1_000_000 {
+        println!("{label:<50} {:>12.3} ms", ns as f64 / 1e6);
+    } else {
+        println!("{label:<50} {:>12.3} µs", ns as f64 / 1e3);
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups, ignoring harness flags
+/// (`--bench`, `--test`, filters) passed by cargo.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.bench_with_input(BenchmarkId::new("sum", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("param"), &3u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+}

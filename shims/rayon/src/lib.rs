@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rayon` crate (see `shims/README.md`).
+//!
+//! Provides the subset of the `rayon` 1.x API this workspace uses:
+//! [`join`], [`current_num_threads`] and the
+//! `prelude::{IntoParallelIterator, ParallelIterator}` `map`/`collect`
+//! chain. Parallelism comes from a scoped pool of
+//! `min(available_parallelism, items)` OS threads pulling items off a
+//! shared atomic cursor — adequate for this workspace's coarse-grained
+//! candidate evaluation (a dozen tasks, each milliseconds or more);
+//! there is no work stealing. On a single-core machine the map adapter
+//! falls back to a plain serial loop, so enabling parallelism never
+//! costs more than thread-free execution.
+
+#![warn(missing_docs)]
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: joined task panicked"))
+    })
+}
+
+/// Number of threads the "pool" would use (the machine's parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parallel iterator traits and adapters.
+pub mod iter {
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// The concrete parallel iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A value whose elements can be processed in parallel.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Consumes the iterator, returning its items in order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Maps each element through `op` in parallel.
+        fn map<U, F>(self, op: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync + Send,
+        {
+            Map { base: self, op }
+        }
+
+        /// Collects the results. Only `Vec<Item>` is supported.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_iter(self.drive())
+        }
+    }
+
+    /// Collection from an evaluated parallel iterator.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from in-order items.
+        fn from_par_iter(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T, E, C: FromParallelIterator<T>> FromParallelIterator<Result<T, E>> for Result<C, E> {
+        fn from_par_iter(items: Vec<Result<T, E>>) -> Self {
+            items
+                .into_iter()
+                .collect::<Result<Vec<T>, E>>()
+                .map(C::from_par_iter)
+        }
+    }
+
+    /// Root parallel iterator over an owned `Vec`.
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// The parallel `map` adapter; evaluation runs on a scoped pool of
+    /// `min(available_parallelism, items)` threads sharing an atomic
+    /// cursor over the items (plain serial execution on one core).
+    pub struct Map<B, F> {
+        base: B,
+        op: F,
+    }
+
+    impl<B, U, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        U: Send,
+        F: Fn(B::Item) -> U + Sync + Send,
+    {
+        type Item = U;
+        fn drive(self) -> Vec<U> {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+
+            let op = &self.op;
+            let items = self.base.drive();
+            let n = items.len();
+            let workers = super::current_num_threads().min(n);
+            if workers <= 1 {
+                return items.into_iter().map(op).collect();
+            }
+            let inputs: Vec<Mutex<Option<B::Item>>> =
+                items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+            let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = inputs[i]
+                            .lock()
+                            .expect("rayon shim: input lock poisoned")
+                            .take()
+                            .expect("rayon shim: item taken twice");
+                        let result = op(item);
+                        *outputs[i].lock().expect("rayon shim: output lock poisoned") =
+                            Some(result);
+                    });
+                }
+            });
+            outputs
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("rayon shim: output lock poisoned")
+                        .expect("rayon shim: parallel task produced no result")
+                })
+                .collect()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..50)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(v, (0u64..50).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fallible_collect_short_circuits_to_err() {
+        let r: Result<Vec<u64>, String> = vec![1u64, 2, 3]
+            .into_par_iter()
+            .map(|x| {
+                if x == 2 {
+                    Err("two".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("two".to_string()));
+    }
+
+    #[test]
+    fn threads_reported() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -17,9 +17,30 @@
 //! | [`codegen`] | C emission under both memory models |
 //! | [`apps`] | every benchmark graph of the paper's evaluation |
 //!
+//! On top of the members, the crate hosts the synthesis drivers:
+//! [`engine`] sweeps the candidate lattice (heuristic × loop optimizer ×
+//! allocation order, optionally in parallel) behind the
+//! [`AnalysisBuilder`] seam, and [`pipeline`] keeps the classic one-call
+//! [`Analysis`](pipeline::Analysis) wrapper over it.
+//!
 //! # Examples
 //!
-//! The whole pipeline on the satellite receiver:
+//! The engine on the satellite receiver:
+//!
+//! ```
+//! use sdfmem::{AnalysisBuilder, Heuristic};
+//! use sdfmem::apps::satrec::satellite_receiver;
+//!
+//! # fn main() -> Result<(), sdfmem::core::SdfError> {
+//! let analysis = AnalysisBuilder::new()
+//!     .heuristics([Heuristic::Rpmc, Heuristic::Apgan])
+//!     .run(&satellite_receiver())?;
+//! assert!(analysis.shared_total() < analysis.nonshared_bufmem);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The same flow written out by hand:
 //!
 //! ```
 //! use sdfmem::core::RepetitionsVector;
@@ -41,7 +62,13 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod pipeline;
+
+pub use engine::{
+    AnalysisBuilder, Candidate, EngineReport, Heuristic, StageTimings, Synthesis, SynthesisOptions,
+};
+pub use pipeline::Analysis;
 
 pub use sdf_alloc as alloc;
 pub use sdf_apps as apps;

@@ -5,25 +5,30 @@
 //! non-shared and shared schedules, lifetimes, clique estimates, the
 //! first-fit allocation and generated C — picking the best combination
 //! the way Table 1's bold entries do.
+//!
+//! It is a thin wrapper over the candidate-lattice engine in
+//! [`crate::engine`]: `Analysis::run(g)` is exactly
+//! `AnalysisBuilder::default().run(g)`. Use the builder directly to
+//! select heuristics, loop optimizers or allocation orders, or to get
+//! per-candidate timings and the full scoreboard.
 
-use sdf_alloc::{allocate_both_orders, validate_allocation, Allocation};
+use sdf_alloc::Allocation;
 use sdf_core::error::SdfError;
 use sdf_core::graph::SdfGraph;
 use sdf_core::repetitions::RepetitionsVector;
 use sdf_core::schedule::SasTree;
-use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
-use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::IntersectionGraph;
-use sdf_sched::{apgan, dppo, rpmc, sdppo};
+
+use crate::engine::{AnalysisBuilder, Heuristic};
 
 /// The complete result of analysing one SDF graph.
 #[derive(Clone, Debug)]
 pub struct Analysis {
     /// The repetitions vector.
     pub repetitions: RepetitionsVector,
-    /// Which heuristic produced the winning shared implementation
-    /// (`"apgan"` or `"rpmc"`).
-    pub winner: &'static str,
+    /// Which heuristic produced the winning shared implementation.
+    /// Compares against `"apgan"`/`"rpmc"` strings for back-compat.
+    pub winner: Heuristic,
     /// Best non-shared `bufmem` over both heuristics (the baseline).
     pub nonshared_bufmem: u64,
     /// The winning shared schedule.
@@ -59,43 +64,7 @@ impl Analysis {
     /// # }
     /// ```
     pub fn run(graph: &SdfGraph) -> Result<Analysis, SdfError> {
-        let q = RepetitionsVector::compute(graph)?;
-        let mut best: Option<Analysis> = None;
-        let mut best_nonshared = u64::MAX;
-        for (label, order) in [("rpmc", rpmc(graph, &q)?), ("apgan", apgan(graph, &q)?)] {
-            best_nonshared = best_nonshared.min(dppo(graph, &q, &order)?.bufmem);
-            let shared = sdppo(graph, &q, &order)?;
-            let tree = ScheduleTree::build(graph, &q, &shared.tree)?;
-            let wig = IntersectionGraph::build(graph, &q, &tree);
-            let (ffdur, ffstart) = allocate_both_orders(&wig);
-            validate_allocation(&wig, &ffdur.allocation)?;
-            validate_allocation(&wig, &ffstart.allocation)?;
-            let allocation = if ffdur.allocation.total() <= ffstart.allocation.total() {
-                ffdur.allocation
-            } else {
-                ffstart.allocation
-            };
-            let candidate = Analysis {
-                repetitions: q.clone(),
-                winner: label,
-                nonshared_bufmem: 0, // patched below
-                mco: mcw_optimistic(&wig),
-                mcp: mcw_pessimistic(&wig),
-                schedule: shared.tree,
-                wig,
-                allocation,
-            };
-            let better = match &best {
-                None => true,
-                Some(b) => candidate.allocation.total() < b.allocation.total(),
-            };
-            if better {
-                best = Some(candidate);
-            }
-        }
-        let mut analysis = best.expect("both heuristics ran");
-        analysis.nonshared_bufmem = best_nonshared;
-        Ok(analysis)
+        AnalysisBuilder::default().run(graph)
     }
 
     /// The shared memory pool size achieved.
@@ -108,8 +77,7 @@ impl Analysis {
         if self.nonshared_bufmem == 0 {
             return 0.0;
         }
-        (self.nonshared_bufmem as f64 - self.shared_total() as f64)
-            / self.nonshared_bufmem as f64
+        (self.nonshared_bufmem as f64 - self.shared_total() as f64) / self.nonshared_bufmem as f64
             * 100.0
     }
 

@@ -1,0 +1,157 @@
+//! Deterministic-equivalence tests for the synthesis engine: on every
+//! application graph the workspace ships, the engine's default
+//! configuration must reproduce the classic serial pipeline bit-for-bit,
+//! and parallel evaluation must change nothing but wall time.
+
+use sdfmem::alloc::{allocate_both_orders, validate_allocation, Allocation};
+use sdfmem::apps::extended::extended_systems;
+use sdfmem::apps::homogeneous::homogeneous_grid;
+use sdfmem::apps::registry::table1_systems;
+use sdfmem::core::{RepetitionsVector, SdfGraph};
+use sdfmem::lifetime::clique::{mcw_optimistic, mcw_pessimistic};
+use sdfmem::lifetime::tree::ScheduleTree;
+use sdfmem::lifetime::wig::IntersectionGraph;
+use sdfmem::pipeline::Analysis;
+use sdfmem::sched::{apgan, rpmc, sdppo, LoopVariant};
+use sdfmem::{AnalysisBuilder, Heuristic};
+
+fn all_app_graphs() -> Vec<SdfGraph> {
+    let mut graphs = table1_systems();
+    graphs.extend(extended_systems());
+    graphs.push(homogeneous_grid(4, 4));
+    graphs.push(homogeneous_grid(7, 5));
+    graphs
+}
+
+/// The pre-engine pipeline, transliterated: per heuristic take SDPPO,
+/// prefer ffdur on ties, then keep the strictly better heuristic.
+fn classic_baseline(graph: &SdfGraph) -> (Heuristic, u64, u64, Allocation, u64, u64) {
+    let q = RepetitionsVector::compute(graph).expect("consistent");
+    let mut best: Option<(Heuristic, Allocation, u64, u64)> = None;
+    let mut best_nonshared = u64::MAX;
+    for (heuristic, order) in [
+        (Heuristic::Rpmc, rpmc(graph, &q).expect("acyclic")),
+        (Heuristic::Apgan, apgan(graph, &q).expect("acyclic")),
+    ] {
+        best_nonshared =
+            best_nonshared.min(sdfmem::sched::dppo(graph, &q, &order).expect("dppo").bufmem);
+        let shared = sdppo(graph, &q, &order).expect("sdppo");
+        let tree = ScheduleTree::build(graph, &q, &shared.tree).expect("tree");
+        let wig = IntersectionGraph::build(graph, &q, &tree);
+        let (ffdur, ffstart) = allocate_both_orders(&wig);
+        validate_allocation(&wig, &ffdur.allocation).expect("ffdur valid");
+        validate_allocation(&wig, &ffstart.allocation).expect("ffstart valid");
+        let allocation = if ffdur.allocation.total() <= ffstart.allocation.total() {
+            ffdur.allocation
+        } else {
+            ffstart.allocation
+        };
+        let better = match &best {
+            None => true,
+            Some((_, alloc, _, _)) => allocation.total() < alloc.total(),
+        };
+        if better {
+            best = Some((
+                heuristic,
+                allocation,
+                mcw_optimistic(&wig),
+                mcw_pessimistic(&wig),
+            ));
+        }
+    }
+    let (winner, allocation, mco, mcp) = best.expect("both heuristics ran");
+    let total = allocation.total();
+    (winner, best_nonshared, total, allocation, mco, mcp)
+}
+
+#[test]
+fn default_engine_reproduces_classic_pipeline_on_every_app() {
+    for graph in all_app_graphs() {
+        let (winner, nonshared, total, allocation, mco, mcp) = classic_baseline(&graph);
+        let an = AnalysisBuilder::default().run(&graph).expect("engine");
+        assert_eq!(an.winner, winner, "{}", graph.name());
+        assert_eq!(an.nonshared_bufmem, nonshared, "{}", graph.name());
+        assert_eq!(an.shared_total(), total, "{}", graph.name());
+        assert_eq!(an.allocation, allocation, "{}", graph.name());
+        assert_eq!(an.mco, mco, "{}", graph.name());
+        assert_eq!(an.mcp, mcp, "{}", graph.name());
+    }
+}
+
+#[test]
+fn analysis_run_is_the_default_builder() {
+    for graph in all_app_graphs() {
+        let wrapped = Analysis::run(&graph).expect("pipeline");
+        let direct = AnalysisBuilder::default().run(&graph).expect("engine");
+        assert_eq!(wrapped.winner, direct.winner, "{}", graph.name());
+        assert_eq!(wrapped.allocation, direct.allocation, "{}", graph.name());
+        assert_eq!(
+            wrapped.nonshared_bufmem,
+            direct.nonshared_bufmem,
+            "{}",
+            graph.name()
+        );
+        assert_eq!(wrapped.mco, direct.mco, "{}", graph.name());
+        assert_eq!(wrapped.mcp, direct.mcp, "{}", graph.name());
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_every_app() {
+    for graph in all_app_graphs() {
+        let serial = AnalysisBuilder::new()
+            .loop_opts(LoopVariant::ALL)
+            .parallel(false)
+            .run_full(&graph)
+            .expect("serial engine");
+        let parallel = AnalysisBuilder::new()
+            .loop_opts(LoopVariant::ALL)
+            .parallel(true)
+            .run_full(&graph)
+            .expect("parallel engine");
+        assert_eq!(
+            serial.candidates.len(),
+            parallel.candidates.len(),
+            "{}",
+            graph.name()
+        );
+        for (s, p) in serial.candidates.iter().zip(&parallel.candidates) {
+            assert_eq!(s.heuristic, p.heuristic, "{}", graph.name());
+            assert_eq!(s.loop_opt, p.loop_opt, "{}", graph.name());
+            assert_eq!(s.allocation_order, p.allocation_order, "{}", graph.name());
+            assert_eq!(s.shared_total, p.shared_total, "{}", graph.name());
+            assert_eq!(s.allocation, p.allocation, "{}", graph.name());
+        }
+        assert_eq!(
+            serial.report.winner,
+            parallel.report.winner,
+            "{}",
+            graph.name()
+        );
+        assert_eq!(
+            serial.analysis.shared_total(),
+            parallel.analysis.shared_total(),
+            "{}",
+            graph.name()
+        );
+    }
+}
+
+#[test]
+fn widening_the_lattice_never_regresses() {
+    // Widening the lattice can only improve (or match) the winning pool.
+    for graph in all_app_graphs() {
+        let narrow = AnalysisBuilder::default().run(&graph).expect("default");
+        let wide = AnalysisBuilder::new()
+            .loop_opts(LoopVariant::ALL)
+            .run(&graph)
+            .expect("full lattice");
+        assert!(
+            wide.shared_total() <= narrow.shared_total(),
+            "{}: widened lattice regressed {} -> {}",
+            graph.name(),
+            narrow.shared_total(),
+            wide.shared_total()
+        );
+    }
+}

@@ -27,8 +27,16 @@ fn fine_model_never_worse_than_coarse_on_random_graphs() {
             let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
             let coarse = IntersectionGraph::build(&g, &q, &tree);
             let fine = FineIntersectionGraph::build(&g, &q, &sas);
-            let ac = allocate(&coarse, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-            let af = allocate(&fine, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+            let ac = allocate(
+                &coarse,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
+            let af = allocate(
+                &fine,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
             validate_allocation(&fine, &af).unwrap();
             assert!(
                 af.total() <= ac.total(),
@@ -67,8 +75,16 @@ fn fine_model_strictly_helps_on_feedback_ring() {
     let fine = FineIntersectionGraph::build(&g, &q, &sas);
     // Feedback buffer (edge 3): live [0,1) and [3,4) only.
     assert_eq!(fine.buffers()[3].lifetime.intervals(), &[(0, 1), (3, 4)]);
-    let ac = allocate(&coarse, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-    let af = allocate(&fine, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    let ac = allocate(
+        &coarse,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
+    let af = allocate(
+        &fine,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
     validate_allocation(&fine, &af).unwrap();
     assert!(
         af.total() < ac.total(),
@@ -87,8 +103,16 @@ fn merging_never_hurts_on_practical_systems() {
         let tree = ScheduleTree::build(&graph, &q, &sas).unwrap();
         let wig = IntersectionGraph::build(&graph, &q, &tree);
         let merged = MergedGraph::build(&graph, &wig, &CbpSpec::all_in_place(&graph));
-        let plain = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-        let packed = allocate(&merged, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let plain = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
+        let packed = allocate(
+            &merged,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
         validate_allocation(&merged, &packed).unwrap();
         assert!(
             packed.total() <= plain.total(),
@@ -120,7 +144,11 @@ fn cyclic_graph_scheduled_through_skeleton() {
     // feedback buffer is solid whole-period.
     let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
     let wig = IntersectionGraph::build(&g, &q, &tree);
-    let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    let alloc = allocate(
+        &wig,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
     validate_allocation(&wig, &alloc).unwrap();
     // The feedback pool adds at least its delay to the footprint.
     assert!(alloc.total() >= 1056);
@@ -141,14 +169,8 @@ fn exact_mcw_brackets_estimates_on_benchmarks() {
         let Some(exact) = mcw_exact(&wig, 1 << 20) else {
             continue;
         };
-        assert!(
-            mcw_optimistic(&wig) <= exact,
-            "{name}: mco above exact"
-        );
-        assert!(
-            exact <= mcw_pessimistic(&wig),
-            "{name}: exact above mcp"
-        );
+        assert!(mcw_optimistic(&wig) <= exact, "{name}: mco above exact");
+        assert!(exact <= mcw_pessimistic(&wig), "{name}: exact above mcp");
     }
 }
 
@@ -175,7 +197,11 @@ fn generated_c_has_balanced_braces_for_every_benchmark() {
         let sas = sdppo(&graph, &q, &order).unwrap().tree;
         let tree = ScheduleTree::build(&graph, &q, &sas).unwrap();
         let wig = IntersectionGraph::build(&graph, &q, &tree);
-        let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let alloc = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
         let code = generate_shared_c(&graph, &q, &sas, &wig, &alloc).unwrap();
         let opens = code.matches('{').count();
         let closes = code.matches('}').count();
@@ -188,9 +214,12 @@ fn generated_c_has_balanced_braces_for_every_benchmark() {
 fn generated_c_compiles_if_cc_available() {
     // Syntax-check the generated C with a real compiler when one exists;
     // silently skip otherwise (CI containers may lack cc).
-    let cc = ["cc", "gcc", "clang"]
-        .into_iter()
-        .find(|c| std::process::Command::new(c).arg("--version").output().is_ok());
+    let cc = ["cc", "gcc", "clang"].into_iter().find(|c| {
+        std::process::Command::new(c)
+            .arg("--version")
+            .output()
+            .is_ok()
+    });
     let Some(cc) = cc else { return };
 
     let graph = by_name("satrec").unwrap();
@@ -199,7 +228,11 @@ fn generated_c_compiles_if_cc_available() {
     let sas = sdppo(&graph, &q, &order).unwrap().tree;
     let tree = ScheduleTree::build(&graph, &q, &sas).unwrap();
     let wig = IntersectionGraph::build(&graph, &q, &tree);
-    let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+    let alloc = allocate(
+        &wig,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
     let code = sdfmem::codegen::generate_shared_c(&graph, &q, &sas, &wig, &alloc).unwrap();
 
     let dir = std::env::temp_dir().join("sdfmem-cc-test");

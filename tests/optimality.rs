@@ -62,8 +62,16 @@ fn brute_force_best_shared(graph: &SdfGraph, q: &RepetitionsVector, order: &[Act
             let sas = SasTree::new(root);
             let tree = ScheduleTree::build(graph, q, &sas).expect("valid");
             let wig = IntersectionGraph::build(graph, q, &tree);
-            let d = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-            let s = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+            let d = allocate(
+                &wig,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
+            let s = allocate(
+                &wig,
+                AllocationOrder::StartAscending,
+                PlacementPolicy::FirstFit,
+            );
             d.total().min(s.total())
         })
         .min()
@@ -129,8 +137,16 @@ fn sdppo_allocation_close_to_brute_force_shared_optimum() {
         let shared = sdppo(&g, &q, &order).unwrap();
         let tree = ScheduleTree::build(&g, &q, &shared.tree).unwrap();
         let wig = IntersectionGraph::build(&g, &q, &tree);
-        let d = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
-        let s = allocate(&wig, AllocationOrder::StartAscending, PlacementPolicy::FirstFit);
+        let d = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
+        let s = allocate(
+            &wig,
+            AllocationOrder::StartAscending,
+            PlacementPolicy::FirstFit,
+        );
         let achieved = d.total().min(s.total());
         let brute = brute_force_best_shared(&g, &q, &order);
         assert!(

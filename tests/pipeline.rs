@@ -12,8 +12,8 @@ use sdfmem::sched::{apgan::apgan, dppo::dppo, rpmc::rpmc, sdppo::sdppo};
 #[test]
 fn full_pipeline_on_every_practical_system() {
     for graph in table1_systems() {
-        let q = RepetitionsVector::compute(&graph)
-            .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+        let q =
+            RepetitionsVector::compute(&graph).unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
         for (label, order) in [
             ("rpmc", rpmc(&graph, &q).unwrap()),
             ("apgan", apgan(&graph, &q).unwrap()),

@@ -18,10 +18,10 @@ use sdfmem::sched::{apgan::apgan, dppo::dppo, rpmc::rpmc, sdppo::sdppo};
 /// occurrence length within the innermost stride.
 fn lifetime_strategy() -> impl Strategy<Value = PeriodicLifetime> {
     (
-        0u64..50,                      // start
-        1u64..8,                       // dur
+        0u64..50,                                        // start
+        1u64..8,                                         // dur
         prop::collection::vec((2u64..5, 2u64..4), 0..3), // (stride factor, count)
-        1u64..100,                     // size
+        1u64..100,                                       // size
     )
         .prop_map(|(start, dur, levels, size)| {
             let mut periods = Vec::new();
@@ -231,6 +231,35 @@ proptest! {
         // At least one slot, at most the whole period's worth of samples.
         prop_assert!(req >= 1);
         prop_assert!(req <= q.get(source));
+    }
+
+    #[test]
+    fn engine_invariants_on_random_graphs(seed in 0u64..400, size in 2usize..9) {
+        use sdfmem::sched::LoopVariant;
+        use sdfmem::AnalysisBuilder;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+        let synthesis = AnalysisBuilder::new()
+            .loop_opts(LoopVariant::ALL)
+            .run_full(&graph)
+            .expect("engine on consistent random graph");
+        let an = &synthesis.analysis;
+        // Sharing never loses to the per-edge baseline.
+        prop_assert!(an.shared_total() <= an.nonshared_bufmem);
+        // Clique estimates bracket correctly.
+        prop_assert!(an.mco <= an.mcp);
+        // Every candidate's allocation is conflict-free and consistent
+        // with its own WIG.
+        for c in &synthesis.candidates {
+            validate_allocation(&c.wig, &c.allocation)
+                .expect("every lattice candidate must allocate conflict-free");
+            prop_assert_eq!(c.shared_total, c.allocation.total());
+            prop_assert!(c.mco <= c.mcp);
+            prop_assert!(c.shared_total <= c.wig.total_size());
+        }
+        // The recorded winner really is the lattice minimum.
+        let min = synthesis.candidates.iter().map(|c| c.shared_total).min().unwrap();
+        prop_assert_eq!(an.shared_total(), min);
     }
 
     #[test]
