@@ -1,11 +1,15 @@
 //! Benchmarks the synthesis engine's parallel candidate evaluation
 //! against the serial baseline on the paper's systems plus large
 //! homogeneous grids, printing each run's per-stage timing report as JSON
-//! and a serial/parallel speedup summary.
+//! and a serial/parallel speedup summary, and writing the whole sweep —
+//! timings plus a traced run's algorithm counters per system — to a
+//! `BENCH_2.json` machine-readable artifact.
 //!
 //! ```text
-//! cargo run --release --bin engine_sweep [-- --min-actors N]
+//! cargo run --release --bin engine_sweep [-- --min-actors N] [--repeats N] [--out FILE]
 //! ```
+
+use std::sync::Arc;
 
 use sdf_apps::homogeneous::homogeneous_grid;
 use sdf_apps::registry::table1_systems;
@@ -13,11 +17,15 @@ use sdf_core::SdfGraph;
 use sdfmem::engine::AnalysisBuilder;
 use sdfmem::sched::LoopVariant;
 
-/// Wall times of one serial-vs-parallel comparison.
+/// Wall times of one serial-vs-parallel comparison, plus the traced
+/// (untimed) run's full engine report with counters.
 struct Sample {
     name: String,
     serial_ns: u64,
     parallel_ns: u64,
+    /// `EngineReport::to_json` of a run under an installed recorder, so
+    /// its `counters` section is populated.
+    traced_report_json: String,
 }
 
 fn measure(graph: &SdfGraph, repeats: u32) -> Sample {
@@ -46,22 +54,58 @@ fn measure(graph: &SdfGraph, repeats: u32) -> Sample {
         last_json = p.report.to_json();
     }
     println!("{last_json}");
+    // One extra run under a recorder, outside the timing loop so tracing
+    // overhead never contaminates the serial/parallel comparison.
+    let recorder = Arc::new(sdf_trace::Recorder::new());
+    let traced = sdf_trace::scoped(&recorder, || parallel.run_full(graph)).expect("traced engine");
     Sample {
         name: graph.name().to_string(),
         serial_ns,
         parallel_ns,
+        traced_report_json: traced.report.to_json(),
     }
 }
 
+/// Renders the sweep as the `BENCH_2.json` artifact: schema version, the
+/// serial/parallel minima in microseconds and each system's traced report
+/// (embedded verbatim — it is already JSON).
+fn bench_json(samples: &[Sample]) -> String {
+    let us = |ns: u64| format!("{}.{:03}", ns / 1_000, ns % 1_000);
+    let mut s = String::from("{\"schema_version\":");
+    s.push_str(&sdf_trace::SCHEMA_VERSION.to_string());
+    s.push_str(",\"bench\":\"engine_sweep\",\"systems\":[");
+    for (i, sample) in samples.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"name\":\"");
+        s.push_str(&sdf_trace::json::escape(&sample.name));
+        s.push_str("\",\"serial_us\":");
+        s.push_str(&us(sample.serial_ns));
+        s.push_str(",\"parallel_us\":");
+        s.push_str(&us(sample.parallel_ns));
+        s.push_str(",\"report\":");
+        s.push_str(&sample.traced_report_json);
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
 fn main() {
-    let min_actors: usize = {
-        let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
         args.iter()
-            .position(|a| a == "--min-actors")
+            .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
-            .map(|v| v.parse().expect("--min-actors takes a number"))
-            .unwrap_or(0)
     };
+    let min_actors: usize = flag("--min-actors")
+        .map(|v| v.parse().expect("--min-actors takes a number"))
+        .unwrap_or(0);
+    let repeats: u32 = flag("--repeats")
+        .map(|v| v.parse().expect("--repeats takes a number"))
+        .unwrap_or(5);
+    let out_path = flag("--out").cloned().unwrap_or("BENCH_2.json".to_string());
 
     let mut graphs: Vec<SdfGraph> = table1_systems();
     // Grids give the parallel path enough per-candidate work to amortise
@@ -72,8 +116,11 @@ fn main() {
 
     let mut samples = Vec::new();
     for graph in &graphs {
-        samples.push(measure(graph, 5));
+        samples.push(measure(graph, repeats));
     }
+
+    std::fs::write(&out_path, bench_json(&samples)).expect("write bench artifact");
+    eprintln!("wrote {out_path}");
 
     eprintln!();
     eprintln!(

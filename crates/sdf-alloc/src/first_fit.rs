@@ -143,6 +143,12 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
         AllocationOrder::Insertion => {}
     }
 
+    let _span = sdf_trace::span!("alloc.allocate", order = order, buffers = n);
+    let traced = sdf_trace::enabled();
+    let mut probes = 0u64;
+    let mut failures = 0u64;
+    let mut fragmentation = 0u64;
+
     let mut offsets = vec![0u64; n];
     let mut placed = vec![false; n];
     let mut total = 0u64;
@@ -160,9 +166,33 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
             PlacementPolicy::FirstFit => first_fit_offset(&ranges, size),
             PlacementPolicy::BestFit => best_fit_offset(&ranges, size),
         };
+        if traced {
+            // One probe per conflicting range inspected plus the final
+            // placement; a range starting below the chosen offset is a
+            // candidate position the buffer could not take. The words in
+            // [0, offset) not covered by any conflicting range are gaps
+            // this placement skipped over (fragmentation).
+            probes += ranges.len() as u64 + 1;
+            failures += ranges.iter().filter(|&&(s, _)| s < offset).count() as u64;
+            let mut covered = 0u64;
+            let mut cursor = 0u64;
+            for &(s, e) in &ranges {
+                let (s, e) = (s.min(offset).max(cursor), e.min(offset).max(cursor));
+                covered += e - s;
+                cursor = cursor.max(e);
+            }
+            fragmentation += offset - covered;
+            sdf_trace::histogram_record("alloc.buffer_words", size);
+        }
         offsets[i] = offset;
         placed[i] = true;
         total = total.max(offset + size);
+    }
+    if traced {
+        sdf_trace::counter_inc("alloc.first_fit.runs");
+        sdf_trace::counter_add("alloc.first_fit.probes", probes);
+        sdf_trace::counter_add("alloc.first_fit.placement_failures", failures);
+        sdf_trace::gauge_set("alloc.fragmentation_words", fragmentation);
     }
     Allocation { offsets, total }
 }

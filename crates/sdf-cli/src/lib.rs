@@ -61,8 +61,9 @@ pub enum Command {
         /// Graph file path.
         file: String,
     },
-    /// `sdfmem analyze <file> [--report FMT] [--serial] [--full]` — sweep
-    /// the engine's candidate lattice and report the scoreboard.
+    /// `sdfmem analyze <file> [--report FMT] [--serial] [--full]
+    /// [--trace OUT]` — sweep the engine's candidate lattice and report
+    /// the scoreboard.
     Analyze {
         /// Graph file path.
         file: String,
@@ -70,6 +71,17 @@ pub enum Command {
         report: ReportFormat,
         /// Evaluate candidates serially instead of in parallel.
         serial: bool,
+        /// Sweep every loop-optimizer variant, not just SDPPO.
+        full: bool,
+        /// Write a trace of the run to this path (chrome://tracing JSON,
+        /// or JSONL when the path ends in `.jsonl`).
+        trace: Option<String>,
+    },
+    /// `sdfmem profile <file> [--full]` — run the engine serially under a
+    /// recorder and print the span tree and counter table.
+    Profile {
+        /// Graph file path.
+        file: String,
         /// Sweep every loop-optimizer variant, not just SDPPO.
         full: bool,
     },
@@ -130,6 +142,7 @@ COMMANDS:
     info      graph statistics and the repetitions vector
     bounds    buffer-memory lower bounds (BMLB, all-schedules)
     analyze   sweep the candidate lattice, report the winner + scoreboard
+    profile   run the engine under a recorder, print span tree + counters
     schedule  construct a single appearance schedule
     allocate  pack all buffers into one shared pool
     codegen   emit the C implementation
@@ -142,7 +155,9 @@ OPTIONS:
     --model  shared|nonshared  buffer model (default shared)
     --report text|json       analyze output format (default text)
     --serial                 analyze: evaluate candidates serially
-    --full                   analyze: sweep every loop-optimizer variant
+    --full                   analyze/profile: sweep every loop-optimizer variant
+    --trace <out>            analyze: write a chrome://tracing JSON trace
+                             (JSONL when <out> ends in .jsonl)
 
 GRAPH FILE FORMAT:
     graph NAME
@@ -171,6 +186,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut report = ReportFormat::default();
     let mut serial = false;
     let mut full = false;
+    let mut trace = None;
     while let Some(opt) = it.next() {
         match opt.as_str() {
             "--method" => {
@@ -196,6 +212,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--serial" => serial = true,
             "--full" => full = true,
+            "--trace" => {
+                trace = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => return Err("missing --trace output path".to_string()),
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -207,7 +229,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             report,
             serial,
             full,
+            trace,
         }),
+        "profile" => Ok(Command::Profile { file, full }),
         "schedule" => Ok(Command::Schedule {
             file,
             method,
@@ -270,13 +294,29 @@ pub fn run(command: &Command) -> Result<String, String> {
             report,
             serial,
             full,
+            trace,
         } => {
             let g = load(file)?;
             let mut builder = AnalysisBuilder::new().parallel(!serial);
             if *full {
                 builder = builder.loop_opts(LoopVariant::ALL);
             }
-            let synthesis = builder.run_full(&g).map_err(|e| e.to_string())?;
+            let synthesis = match trace {
+                None => builder.run_full(&g).map_err(|e| e.to_string())?,
+                Some(path) => {
+                    let recorder = std::sync::Arc::new(sdf_trace::Recorder::new());
+                    let synthesis = sdf_trace::scoped(&recorder, || builder.run_full(&g))
+                        .map_err(|e| e.to_string())?;
+                    let snapshot = recorder.snapshot();
+                    let text = if path.ends_with(".jsonl") {
+                        snapshot.to_jsonl()
+                    } else {
+                        snapshot.to_chrome_trace_json()
+                    };
+                    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    synthesis
+                }
+            };
             match report {
                 ReportFormat::Json => {
                     let _ = writeln!(out, "{}", synthesis.report.to_json());
@@ -298,6 +338,30 @@ pub fn run(command: &Command) -> Result<String, String> {
                     let _ = writeln!(out, "{}", synthesis.report);
                 }
             }
+        }
+        Command::Profile { file, full } => {
+            let g = load(file)?;
+            // Serial evaluation keeps every candidate span nested under the
+            // run span; rayon workers would start fresh span stacks.
+            let mut builder = AnalysisBuilder::new().parallel(false);
+            if *full {
+                builder = builder.loop_opts(LoopVariant::ALL);
+            }
+            let recorder = std::sync::Arc::new(sdf_trace::Recorder::new());
+            let synthesis =
+                sdf_trace::scoped(&recorder, || builder.run_full(&g)).map_err(|e| e.to_string())?;
+            let snapshot = recorder.snapshot();
+            let an = &synthesis.analysis;
+            let _ = writeln!(
+                out,
+                "graph {}: shared pool {} words (non-shared {})\n",
+                g.name(),
+                an.shared_total(),
+                an.nonshared_bufmem
+            );
+            out.push_str(&snapshot.profile_tree());
+            out.push('\n');
+            out.push_str(&snapshot.counter_table());
         }
         Command::Bounds { file } => {
             let g = load(file)?;
@@ -578,22 +642,62 @@ mod tests {
                 file: "g.sdf".into(),
                 report: ReportFormat::Text,
                 serial: false,
-                full: false
+                full: false,
+                trace: None
             }
         );
         assert_eq!(
             parse_args(&args(&[
-                "analyze", "g.sdf", "--report", "json", "--serial", "--full"
+                "analyze", "g.sdf", "--report", "json", "--serial", "--full", "--trace", "t.json"
             ]))
             .unwrap(),
             Command::Analyze {
                 file: "g.sdf".into(),
                 report: ReportFormat::Json,
                 serial: true,
-                full: true
+                full: true,
+                trace: Some("t.json".into())
             }
         );
         assert!(parse_args(&args(&["analyze", "g.sdf", "--report", "xml"])).is_err());
+    }
+
+    #[test]
+    fn parse_profile_command() {
+        assert_eq!(
+            parse_args(&args(&["profile", "g.sdf"])).unwrap(),
+            Command::Profile {
+                file: "g.sdf".into(),
+                full: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["profile", "g.sdf", "--full"])).unwrap(),
+            Command::Profile {
+                file: "g.sdf".into(),
+                full: true
+            }
+        );
+    }
+
+    #[test]
+    fn bad_option_values_each_name_the_flag() {
+        // Every bad flag value must fail with a message naming the flag, so
+        // main.rs can print it plus the usage hint to stderr and exit 2.
+        let cases: &[(&[&str], &str)] = &[
+            (&["schedule", "g", "--method", "magic"], "--method"),
+            (&["schedule", "g", "--method"], "--method"),
+            (&["schedule", "g", "--model", "psychic"], "--model"),
+            (&["schedule", "g", "--model"], "--model"),
+            (&["analyze", "g", "--report", "xml"], "--report"),
+            (&["analyze", "g", "--report"], "--report"),
+            (&["analyze", "g", "--trace"], "--trace"),
+            (&["analyze", "g", "--frobnicate"], "--frobnicate"),
+        ];
+        for (argv, flag) in cases {
+            let err = parse_args(&args(argv)).unwrap_err();
+            assert!(err.contains(flag), "{argv:?} -> {err}");
+        }
     }
 
     #[test]
@@ -605,6 +709,7 @@ mod tests {
             report: ReportFormat::Text,
             serial: false,
             full: true,
+            trace: None,
         })
         .unwrap();
         assert!(text.contains("shared pool:"), "{text}");
@@ -615,11 +720,65 @@ mod tests {
             report: ReportFormat::Json,
             serial: true,
             full: false,
+            trace: None,
         })
         .unwrap();
         assert!(json.trim_end().starts_with('{'), "{json}");
         assert!(json.contains("\"candidates\":["), "{json}");
         assert!(json.contains("\"parallel\":false"), "{json}");
+    }
+
+    #[test]
+    fn end_to_end_analyze_trace_writes_chrome_json_and_jsonl() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let dir = std::env::temp_dir().join("sdfmem-cli-tests");
+        let trace_json = dir.join(format!("trace-{}.json", std::process::id()));
+        let trace_jsonl = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        run(&Command::Analyze {
+            file: file.clone(),
+            report: ReportFormat::Json,
+            serial: true,
+            full: false,
+            trace: Some(trace_json.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let chrome = std::fs::read_to_string(&trace_json).unwrap();
+        let parsed = sdf_trace::json::parse(&chrome).expect("valid chrome trace JSON");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"engine.run"), "{names:?}");
+        assert!(names.contains(&"engine.candidate"), "{names:?}");
+        run(&Command::Analyze {
+            file,
+            report: ReportFormat::Json,
+            serial: true,
+            full: false,
+            trace: Some(trace_jsonl.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&trace_jsonl).unwrap();
+        for line in jsonl.lines() {
+            sdf_trace::json::parse(line).expect("every JSONL line parses");
+        }
+        let _ = std::fs::remove_file(trace_json);
+        let _ = std::fs::remove_file(trace_jsonl);
+    }
+
+    #[test]
+    fn end_to_end_profile() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let out = run(&Command::Profile { file, full: false }).unwrap();
+        assert!(out.contains("engine.run"), "{out}");
+        assert!(out.contains("candidate.alloc"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+        assert!(out.contains("sched.dppo.cells"), "{out}");
+        assert!(out.contains("alloc.first_fit.probes"), "{out}");
     }
 
     #[test]

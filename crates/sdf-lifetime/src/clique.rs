@@ -45,6 +45,12 @@ pub fn mcw_optimistic(wig: &IntersectionGraph) -> u64 {
         }
         best = best.max(weight);
     }
+    if sdf_trace::enabled() {
+        // One expansion per (buffer, neighbour) pair scanned; closed form
+        // over the adjacency so the scan loop stays untouched.
+        let expansions: u64 = (0..wig.len()).map(|i| wig.neighbours(i).len() as u64).sum();
+        sdf_trace::counter_add("lifetime.clique.expansions", expansions);
+    }
     best
 }
 
@@ -62,6 +68,10 @@ pub fn mcw_pessimistic(wig: &IntersectionGraph) -> u64 {
             }
         }
         best = best.max(weight);
+    }
+    if sdf_trace::enabled() {
+        let n = wig.len() as u64;
+        sdf_trace::counter_add("lifetime.clique.expansions", n * n);
     }
     best
 }
@@ -96,6 +106,12 @@ pub fn mcw_exact(wig: &IntersectionGraph, budget: u64) -> Option<u64> {
             }
             best = best.max(weight);
         }
+    }
+    if sdf_trace::enabled() {
+        let expansions: u64 = (0..wig.len())
+            .map(|i| wig.buffer(i).lifetime.occurrence_count() * wig.neighbours(i).len() as u64)
+            .sum();
+        sdf_trace::counter_add("lifetime.clique.expansions", expansions);
     }
     Some(best)
 }

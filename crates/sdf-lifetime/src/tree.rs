@@ -101,7 +101,9 @@ impl ScheduleTree {
     /// Returns the error from [`SasTree::validate`] if the SAS does not
     /// match the graph and repetitions vector.
     pub fn build(graph: &SdfGraph, q: &RepetitionsVector, sas: &SasTree) -> Result<Self, SdfError> {
+        let _span = sdf_trace::span!("lifetime.tree", actors = graph.actor_count());
         sas.validate(graph, q)?;
+        sdf_trace::counter_inc("lifetime.tree.builds");
         let mut tree = ScheduleTree {
             nodes: Vec::new(),
             root: TreeNodeId(0),

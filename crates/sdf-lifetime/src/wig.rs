@@ -125,6 +125,9 @@ impl IntersectionGraph {
     /// Builds the WIG from externally constructed buffers (used by tests
     /// and by non-schedule instances, e.g. the random instances of \[20\]).
     pub fn from_buffers(buffers: Vec<Buffer>) -> Self {
+        let _span = sdf_trace::span!("lifetime.wig", buffers = buffers.len());
+        let traced = sdf_trace::enabled();
+        let mut edge_tests = 0u64;
         let n = buffers.len();
         let mut adjacency = vec![Vec::new(); n];
         // Sweep by earliest start (Fig. 19's buildIntersectionGraph).
@@ -136,6 +139,9 @@ impl IntersectionGraph {
                 if buffers[j].lifetime.start() >= end_i {
                     break;
                 }
+                if traced {
+                    edge_tests += 1;
+                }
                 if buffers[i].lifetime.intersects(&buffers[j].lifetime) {
                     adjacency[i].push(j);
                     adjacency[j].push(i);
@@ -144,6 +150,17 @@ impl IntersectionGraph {
         }
         for adj in &mut adjacency {
             adj.sort_unstable();
+        }
+        if traced {
+            sdf_trace::counter_add("lifetime.buffers", n as u64);
+            let triples: u64 = buffers
+                .iter()
+                .map(|b| 1 + b.lifetime.periods().len() as u64)
+                .sum();
+            sdf_trace::counter_add("lifetime.triples", triples);
+            sdf_trace::counter_add("lifetime.wig.edge_tests", edge_tests);
+            let conflicts = adjacency.iter().map(Vec::len).sum::<usize>() as u64 / 2;
+            sdf_trace::counter_add("lifetime.wig.conflicts", conflicts);
         }
         IntersectionGraph { buffers, adjacency }
     }

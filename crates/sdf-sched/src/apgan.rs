@@ -47,6 +47,7 @@ pub fn apgan(graph: &SdfGraph, q: &RepetitionsVector) -> Result<Vec<ActorId>, Sd
     if !graph.is_acyclic() {
         return Err(SdfError::Cyclic);
     }
+    let _span = sdf_trace::span!("sched.apgan", actors = n);
 
     let mut state = ClusterState::new(graph, q);
     while state.active.len() > 1 {
@@ -58,6 +59,11 @@ pub fn apgan(graph: &SdfGraph, q: &RepetitionsVector) -> Result<Vec<ActorId>, Sd
             // them would appear between them in every topological order.
             state.merge_topological_fallback(graph);
         }
+    }
+    if sdf_trace::enabled() {
+        // The loop performs exactly n - 1 merges to reach one cluster.
+        sdf_trace::counter_inc("sched.apgan.runs");
+        sdf_trace::counter_add("sched.apgan.merges", n as u64 - 1);
     }
     Ok(state.lexical_order(state.active[0]))
 }

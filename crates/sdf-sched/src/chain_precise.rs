@@ -118,6 +118,7 @@ pub fn chain_precise(
     if graph.actor_count() == 0 {
         return Err(SdfError::EmptyGraph);
     }
+    let _span = sdf_trace::span!("sched.chain_precise", cap = frontier_cap);
     let order = graph.chain_order().ok_or(SdfError::NotChainStructured)?;
     let ct = ChainTables::build(graph, q, &order)?;
     let n = ct.len();
@@ -167,6 +168,14 @@ pub fn chain_precise(
         .min_by_key(|(_, e)| (e.t.center, e.t.left + e.t.right))
         .expect("top cell cannot be empty");
     let tree = SasTree::new(build_node(&cells, &ct, q, 0, n - 1, best_idx, 1));
+    if sdf_trace::enabled() {
+        // Post-hoc over the finished table — no per-iteration counting in
+        // the DP loops when tracing is off.
+        sdf_trace::counter_inc("sched.chain_precise.runs");
+        let triples = cells.iter().map(|c| c.len() as u64).sum::<u64>();
+        sdf_trace::counter_add("sched.chain_precise.triples", triples);
+        sdf_trace::gauge_set("sched.chain_precise.max_frontier", max_frontier_seen as u64);
+    }
     Ok(ChainPreciseResult {
         tree,
         cost: best.t,

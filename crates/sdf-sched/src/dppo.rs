@@ -65,6 +65,7 @@ pub fn dppo(
     if graph.actor_count() == 0 {
         return Err(SdfError::EmptyGraph);
     }
+    let _span = sdf_trace::span!("sched.dppo", actors = order.len());
     let ct = ChainTables::build(graph, q, order)?;
     let n = ct.len();
     // b[i][j] and the argmin split, row-major over i <= j.
@@ -90,6 +91,14 @@ pub fn dppo(
         k: split[i * n + j],
         factored: true,
     });
+    if sdf_trace::enabled() {
+        // Closed forms keep the hot loops untouched when tracing is off:
+        // one cell per (i, j) pair, Σ (j - i) split probes over all pairs.
+        let n = n as u64;
+        sdf_trace::counter_inc("sched.dppo.runs");
+        sdf_trace::counter_add("sched.dppo.cells", n * (n - 1) / 2);
+        sdf_trace::counter_add("sched.dppo.split_probes", n * (n * n - 1) / 6);
+    }
     Ok(DppoResult {
         tree,
         bufmem: b[n - 1], // row 0, column n-1

@@ -45,9 +45,11 @@ pub fn rpmc(graph: &SdfGraph, q: &RepetitionsVector) -> Result<Vec<ActorId>, Sdf
     if graph.actor_count() == 0 {
         return Err(SdfError::EmptyGraph);
     }
+    let _span = sdf_trace::span!("sched.rpmc", actors = graph.actor_count());
     let all = graph.topological_sort()?;
     let mut order = Vec::with_capacity(all.len());
     partition(graph, q, all, &mut order);
+    sdf_trace::counter_inc("sched.rpmc.runs");
     Ok(order)
 }
 

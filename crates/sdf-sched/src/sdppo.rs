@@ -102,6 +102,7 @@ pub fn sdppo_with_policy(
     if graph.actor_count() == 0 {
         return Err(SdfError::EmptyGraph);
     }
+    let _span = sdf_trace::span!("sched.sdppo", actors = order.len());
     let ct = ChainTables::build(graph, q, order)?;
     let n = ct.len();
     let mut sb = vec![0u64; n * n];
@@ -139,6 +140,19 @@ pub fn sdppo_with_policy(
         }
     }
     let tree = build_tree(&ct, q, &|i, j| split[i * n + j]);
+    if sdf_trace::enabled() {
+        // Closed forms + a post-hoc scan of the decision table keep the
+        // hot loops untouched when tracing is off.
+        let nn = n as u64;
+        sdf_trace::counter_inc("sched.sdppo.runs");
+        sdf_trace::counter_add("sched.sdppo.cells", nn * (nn - 1) / 2);
+        sdf_trace::counter_add("sched.sdppo.split_probes", nn * (nn * nn - 1) / 6);
+        let factored = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| split[i * n + j].factored)
+            .count() as u64;
+        sdf_trace::counter_add("sched.sdppo.factored_splits", factored);
+    }
     Ok(SdppoResult {
         tree,
         shared_cost: sb[n - 1], // row 0, column n-1

@@ -1,0 +1,503 @@
+//! Zero-dependency observability for the synthesis pipeline.
+//!
+//! The paper's flow (balance equations → APGAN/RPMC → loop DP → lifetime
+//! triples → WIG → first-fit) is a staged compiler pipeline; this crate
+//! turns its opaque wall times into actionable data with three pieces:
+//!
+//! * **spans** — RAII guards created with the [`span!`] macro, capturing
+//!   name, key-value arguments, thread, start time and duration, with
+//!   nesting tracked per thread so engine → candidate → stage →
+//!   inner-algorithm hierarchies survive into the export;
+//! * **instruments** — monotonic [counters](counter_add), last-value
+//!   [gauges](gauge_set) and power-of-two-bucketed
+//!   [histograms](histogram_record) keyed by dotted static names
+//!   (`sched.dppo.cells`, `alloc.first_fit.probes`, …);
+//! * **exporters** — a chrome://tracing / Perfetto `trace_events` JSON
+//!   file, a JSONL event stream, and a self-profile text tree with
+//!   inclusive/exclusive times (see [`TraceSnapshot`]).
+//!
+//! Everything is hand-rolled on `std` only — no external dependencies —
+//! and compiles to a no-op when no global [`Recorder`] is installed: the
+//! disabled fast path is a single relaxed atomic load, so instrumented
+//! algorithms behave bit-for-bit identically with tracing off.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sdf_trace::{Recorder, span};
+//!
+//! let recorder = Arc::new(Recorder::new());
+//! sdf_trace::scoped(&recorder, || {
+//!     let _outer = span!("engine.run", graph = "fig2");
+//!     {
+//!         let _inner = span!("sched.dppo");
+//!         sdf_trace::counter_add("sched.dppo.cells", 3);
+//!     }
+//! });
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.events.len(), 2);
+//! assert_eq!(snapshot.counters, vec![("sched.dppo.cells".to_string(), 3)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+mod metrics;
+
+pub use export::TraceSnapshot;
+pub use metrics::Histogram;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Version stamp written into every machine-readable artefact this
+/// workspace emits (engine reports, chrome traces, JSONL streams,
+/// `BENCH_*.json`) so downstream parsers can detect format changes.
+///
+/// History: `1` was the PR 1 `EngineReport` JSON (implicit, no field);
+/// `2` added the `schema_version` and `counters` fields plus the trace
+/// exports.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Number of event shards; a small power of two keeps cross-thread
+/// contention low without wasting memory on mostly-serial runs.
+const SHARDS: usize = 8;
+
+/// One completed span, as stored by the collector.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Process-wide unique id (monotonic in creation order).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (dotted, see `docs/observability.md`).
+    pub name: &'static str,
+    /// Key-value annotations captured by the [`span!`] macro.
+    pub args: Vec<(&'static str, String)>,
+    /// Dense id of the thread that recorded the span.
+    pub thread: u64,
+    /// Start time in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (saturating).
+    pub dur_ns: u64,
+}
+
+/// The thread-safe collector behind the global tracing facade.
+///
+/// Spans land in one of [`SHARDS`] mutex-protected vectors selected by
+/// thread id; instruments live in one mutex-protected map (increments
+/// are batched by the instrumented algorithms, so the lock is cold).
+pub struct Recorder {
+    epoch: Instant,
+    shards: Vec<Mutex<Vec<Event>>>,
+    metrics: Mutex<metrics::MetricsMap>,
+}
+
+impl Recorder {
+    /// A fresh, empty recorder; its epoch (time zero of every event) is
+    /// the moment of construction.
+    pub fn new() -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            metrics: Mutex::new(metrics::MetricsMap::default()),
+        }
+    }
+
+    fn record(&self, event: Event) {
+        let shard = event.thread as usize % self.shards.len();
+        lock(&self.shards[shard]).push(event);
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut m = lock(&self.metrics);
+        let slot = m.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        lock(&self.metrics).gauges.insert(name, value);
+    }
+
+    /// Records `value` into the named power-of-two histogram.
+    pub fn histogram_record(&self, name: &'static str, value: u64) {
+        lock(&self.metrics)
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Current counter values, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        lock(&self.metrics)
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// A consistent copy of everything recorded so far: events sorted by
+    /// start time (ties by id), plus all instruments.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut events: Vec<Event> = self.shards.iter().flat_map(|s| lock(s).clone()).collect();
+        events.sort_by_key(|e| (e.start_ns, e.id));
+        let m = lock(&self.metrics);
+        TraceSnapshot {
+            schema_version: SCHEMA_VERSION,
+            events,
+            counters: m
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: m.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: m
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global facade.
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn slot() -> &'static Mutex<Option<Arc<Recorder>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<Recorder>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn scope_lock() -> &'static Mutex<()> {
+    static SCOPE: OnceLock<Mutex<()>> = OnceLock::new();
+    SCOPE.get_or_init(|| Mutex::new(()))
+}
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `recorder` as the process-global collector, enabling all
+/// spans and instruments. Prefer [`scoped`] where possible — it pairs
+/// the install with the uninstall and serialises concurrent scopes.
+pub fn install(recorder: Arc<Recorder>) {
+    *lock(slot()) = Some(recorder);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Removes the global recorder (tracing becomes a no-op again) and
+/// returns it, if one was installed.
+pub fn uninstall() -> Option<Arc<Recorder>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    lock(slot()).take()
+}
+
+/// Whether a global recorder is installed. This is the disabled fast
+/// path: one relaxed atomic load.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed recorder, if any.
+pub fn current() -> Option<Arc<Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    lock(slot()).clone()
+}
+
+/// Runs `f` with `recorder` installed, uninstalling on the way out
+/// (including on panic). Concurrent `scoped` calls — e.g. parallel
+/// tests in one binary — are serialised on a global lock so their
+/// events never interleave.
+pub fn scoped<T>(recorder: &Arc<Recorder>, f: impl FnOnce() -> T) -> T {
+    let _serial = lock(scope_lock());
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            uninstall();
+        }
+    }
+    install(Arc::clone(recorder));
+    let _uninstall = Uninstall;
+    f()
+}
+
+/// Adds `delta` to a counter on the installed recorder (no-op when
+/// tracing is disabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if let Some(recorder) = current() {
+        recorder.counter_add(name, delta);
+    }
+}
+
+/// Increments a counter by one (no-op when tracing is disabled).
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Sets a gauge (no-op when tracing is disabled).
+pub fn gauge_set(name: &'static str, value: u64) {
+    if let Some(recorder) = current() {
+        recorder.gauge_set(name, value);
+    }
+}
+
+/// Records a histogram sample (no-op when tracing is disabled).
+pub fn histogram_record(name: &'static str, value: u64) {
+    if let Some(recorder) = current() {
+        recorder.histogram_record(name, value);
+    }
+}
+
+/// Current counter values of the installed recorder (empty when tracing
+/// is disabled). Used by `EngineReport` to embed its counters section.
+pub fn counter_values() -> Vec<(String, u64)> {
+    current().map(|r| r.counters()).unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------
+// Spans.
+
+/// An RAII span guard: created by [`span!`] (or [`Span::enter`]), it
+/// records one [`Event`] when dropped. When no recorder is installed the
+/// guard is an inert `None` and costs one atomic load.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    recorder: Arc<Recorder>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    args: Vec<(&'static str, String)>,
+    thread: u64,
+    start_ns: u64,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span; prefer the [`span!`] macro, which skips evaluating
+    /// `args` entirely when tracing is disabled.
+    pub fn enter(name: &'static str, args: Vec<(&'static str, String)>) -> Span {
+        let Some(recorder) = current() else {
+            return Span { inner: None };
+        };
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = THREAD_ID.with(|t| *t);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        let started = Instant::now();
+        let start_ns = u64::try_from(started.saturating_duration_since(recorder.epoch).as_nanos())
+            .unwrap_or(u64::MAX);
+        Span {
+            inner: Some(SpanInner {
+                recorder,
+                id,
+                parent,
+                name,
+                args,
+                thread,
+                start_ns,
+                started,
+            }),
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_ns = u64::try_from(inner.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if stack.last() == Some(&inner.id) {
+                stack.pop();
+            } else {
+                // Out-of-order drop (guards dropped non-LIFO): remove
+                // just this id so siblings keep correct parents.
+                stack.retain(|&id| id != inner.id);
+            }
+        });
+        inner.recorder.record(Event {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            args: inner.args,
+            thread: inner.thread,
+            start_ns: inner.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Opens a named, optionally annotated span:
+///
+/// ```
+/// # use sdf_trace::span;
+/// let _guard = span!("sched.dppo");
+/// let _guard = span!("engine.order", heuristic = "apgan", actors = 7);
+/// ```
+///
+/// Argument values only need `Display`; they are **not evaluated** when
+/// tracing is disabled, so annotating hot paths is free.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::enter(
+            $name,
+            if $crate::enabled() {
+                vec![$((stringify!($key), ($value).to_string())),+]
+            } else {
+                ::std::vec::Vec::new()
+            },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        // Not scoped: no recorder installed (scoped tests serialise on
+        // the scope lock; this one only asserts the disabled path).
+        let _serial = lock(scope_lock());
+        assert!(!enabled());
+        let guard = span!("nothing", graph = "g");
+        assert!(!guard.is_recording());
+        counter_add("nothing.count", 5);
+        histogram_record("nothing.hist", 5);
+        gauge_set("nothing.gauge", 5);
+        assert!(counter_values().is_empty());
+    }
+
+    #[test]
+    fn span_nesting_is_captured() {
+        let recorder = Arc::new(Recorder::new());
+        scoped(&recorder, || {
+            let _root = span!("root", graph = "fig2");
+            {
+                let _child = span!("child");
+                let _grandchild = span!("grandchild");
+            }
+            let _sibling = span!("child");
+        });
+        let snap = recorder.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        let by_name = |name: &str| {
+            snap.events
+                .iter()
+                .filter(|e| e.name == name)
+                .collect::<Vec<_>>()
+        };
+        let root = &by_name("root")[0];
+        assert_eq!(root.parent, None);
+        assert_eq!(root.args, vec![("graph", "fig2".to_string())]);
+        for child in by_name("child") {
+            assert_eq!(child.parent, Some(root.id));
+            assert!(child.start_ns >= root.start_ns);
+            assert!(child.dur_ns <= root.dur_ns);
+        }
+        let grandchild = &by_name("grandchild")[0];
+        assert_eq!(grandchild.parent, Some(by_name("child")[0].id));
+    }
+
+    #[test]
+    fn events_visible_from_spawned_threads() {
+        let recorder = Arc::new(Recorder::new());
+        scoped(&recorder, || {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let _worker = span!("worker");
+                        counter_inc("worker.count");
+                    });
+                }
+            });
+        });
+        let snap = recorder.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        // Fresh threads have empty span stacks: workers are roots.
+        assert!(snap.events.iter().all(|e| e.parent.is_none()));
+        assert_eq!(snap.counters, vec![("worker.count".to_string(), 4)]);
+    }
+
+    #[test]
+    fn scoped_uninstalls_and_instruments_accumulate() {
+        let recorder = Arc::new(Recorder::new());
+        scoped(&recorder, || {
+            counter_add("c", 2);
+            counter_add("c", 3);
+            gauge_set("g", 7);
+            gauge_set("g", 9);
+            histogram_record("h", 4);
+        });
+        assert!(!enabled());
+        let before = recorder.snapshot();
+        // After the scope ends, further traffic is not recorded.
+        counter_add("c", 100);
+        let _ignored = span!("ignored");
+        drop(_ignored);
+        let after = recorder.snapshot();
+        assert_eq!(before.counters, vec![("c".to_string(), 5)]);
+        assert_eq!(after.counters, before.counters);
+        assert_eq!(after.events.len(), before.events.len());
+        assert_eq!(after.gauges, vec![("g".to_string(), 9)]);
+        assert_eq!(after.histograms.len(), 1);
+        assert_eq!(after.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_start() {
+        let recorder = Arc::new(Recorder::new());
+        scoped(&recorder, || {
+            for _ in 0..10 {
+                let _s = span!("tick");
+            }
+        });
+        let snap = recorder.snapshot();
+        let starts: Vec<(u64, u64)> = snap.events.iter().map(|e| (e.start_ns, e.id)).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+}

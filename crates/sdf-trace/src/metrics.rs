@@ -1,0 +1,159 @@
+//! Counter/gauge/histogram storage behind the recorder's metrics lock.
+
+use std::collections::BTreeMap;
+
+/// All instruments of one recorder, keyed by static dotted names.
+#[derive(Default)]
+pub(crate) struct MetricsMap {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, u64>,
+    pub(crate) histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A histogram over fixed power-of-two buckets.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`, so any `u64` lands in one of 65 buckets with two
+/// instructions (`leading_zeros` + subtract) and no allocation.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_trace::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in [0, 1, 3, 3, 900] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 907);
+/// assert_eq!(Histogram::bucket_bounds(Histogram::bucket_index(3)), (2, 4));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The bucket a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Half-open range `[lo, hi)` of bucket `index` (bucket 64's upper
+    /// bound saturates at `u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 64`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index <= 64, "histogram has 65 buckets");
+        if index == 0 {
+            (0, 1)
+        } else {
+            let lo = 1u64 << (index - 1);
+            let hi = if index == 64 { u64::MAX } else { 1u64 << index };
+            (lo, hi)
+        }
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..=63 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(hi, lo * 2, "bucket {i}");
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi - 1), i);
+        }
+        assert_eq!(Histogram::bucket_bounds(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_fills_expected_buckets() {
+        let mut h = Histogram::default();
+        for v in [0u64, 0, 1, 2, 3, 4, 7, 8, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), (1u64 << 40) + 25);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![
+                (0, 1, 2),             // 0, 0
+                (1, 2, 1),             // 1
+                (2, 4, 2),             // 2, 3
+                (4, 8, 2),             // 4, 7
+                (8, 16, 1),            // 8
+                (1 << 40, 1 << 41, 1), // 2^40
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

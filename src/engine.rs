@@ -256,9 +256,12 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
-    /// Sum of all stages.
+    /// Saturating sum of all stages, so pathological timings cannot wrap.
     pub fn total_ns(&self) -> u64 {
-        self.schedule_ns + self.lifetime_ns + self.wig_ns + self.alloc_ns
+        self.schedule_ns
+            .saturating_add(self.lifetime_ns)
+            .saturating_add(self.wig_ns)
+            .saturating_add(self.alloc_ns)
     }
 }
 
@@ -358,6 +361,9 @@ pub struct EngineReport {
     pub rationale: String,
     /// End-to-end wall time of the run.
     pub total_ns: u64,
+    /// Algorithm counters collected during the run (empty unless a
+    /// global [`sdf_trace::Recorder`] was installed).
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Everything an engine run produces.
@@ -377,6 +383,12 @@ impl EngineReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push('{');
+        json_num(
+            &mut s,
+            "schema_version",
+            u64::from(sdf_trace::SCHEMA_VERSION),
+        );
+        s.push(',');
         json_str(&mut s, "graph", &self.graph);
         s.push(',');
         json_num(&mut s, "actors", self.actors as u64);
@@ -446,7 +458,14 @@ impl EngineReport {
         json_str(&mut s, "rationale", &self.rationale);
         s.push(',');
         json_us(&mut s, "total_us", self.total_ns);
-        s.push('}');
+        s.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_num(&mut s, name, *value);
+        }
+        s.push_str("}}");
         s
     }
 }
@@ -548,6 +567,7 @@ fn elapsed_ns(since: Instant) -> u64 {
 }
 
 fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis, SdfError> {
+    let _run_span = sdf_trace::span!("engine.run", graph = graph.name());
     let t_run = Instant::now();
     if options.heuristics.is_empty()
         || options.loop_opts.is_empty()
@@ -560,7 +580,10 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
     }
 
     let t = Instant::now();
-    let q = RepetitionsVector::compute(graph)?;
+    let q = {
+        let _span = sdf_trace::span!("engine.repetitions");
+        RepetitionsVector::compute(graph)?
+    };
     let repetitions_ns = elapsed_ns(t);
 
     // Stage 1: one lexical order per heuristic.
@@ -570,6 +593,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
             continue; // duplicate axis entry
         }
         let t = Instant::now();
+        let _span = sdf_trace::span!("engine.order", heuristic = heuristic);
         let order = match heuristic {
             Heuristic::Rpmc => rpmc(graph, &q)?,
             Heuristic::Apgan => apgan(graph, &q)?,
@@ -589,9 +613,14 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
     let mut order_timings: Vec<OrderTiming> = Vec::new();
     for (heuristic, order, order_ns) in &orders {
         let (baseline, dppo_ns) = match baselines.get(order.as_slice()) {
-            Some((b, _)) => (b.clone(), 0),
+            Some((b, _)) => {
+                sdf_trace::counter_inc("engine.dppo_memo_hits");
+                (b.clone(), 0)
+            }
             None => {
+                sdf_trace::counter_inc("engine.dppo_memo_misses");
                 let t = Instant::now();
+                let _span = sdf_trace::span!("engine.baseline", heuristic = heuristic);
                 let b = dppo(graph, &q, order)?;
                 let ns = elapsed_ns(t);
                 baselines.insert(order.as_slice(), (b.clone(), ns));
@@ -646,32 +675,47 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
     // estimates, then one allocation per enumeration order.
     let allocation_orders = &options.allocation_orders;
     let evaluate = |cell: Cell| -> Result<Vec<Candidate>, SdfError> {
+        let _cell_span = sdf_trace::span!(
+            "engine.candidate",
+            heuristic = cell.heuristic,
+            loop_opt = cell.loop_opt.as_str()
+        );
         let mut timings = StageTimings::default();
         let t = Instant::now();
-        let (schedule, memoized_schedule) = match cell.memoized {
-            Some(tree) => (tree, true),
-            None => (
-                schedule_variant(graph, &q, &cell.order, cell.loop_opt)?.tree,
-                false,
-            ),
+        let (schedule, memoized_schedule) = {
+            let _span = sdf_trace::span!("candidate.schedule", memoized = cell.memoized.is_some());
+            match cell.memoized {
+                Some(tree) => (tree, true),
+                None => (
+                    schedule_variant(graph, &q, &cell.order, cell.loop_opt)?.tree,
+                    false,
+                ),
+            }
         };
         timings.schedule_ns = elapsed_ns(t);
 
         let t = Instant::now();
-        let tree = ScheduleTree::build(graph, &q, &schedule)?;
+        let tree = {
+            let _span = sdf_trace::span!("candidate.lifetime");
+            ScheduleTree::build(graph, &q, &schedule)?
+        };
         timings.lifetime_ns = elapsed_ns(t);
 
         let t = Instant::now();
+        let _wig_span = sdf_trace::span!("candidate.wig");
         let wig = IntersectionGraph::build(graph, &q, &tree);
         let (mco, mcp) = (mcw_optimistic(&wig), mcw_pessimistic(&wig));
         let conflicts = wig.conflict_count();
+        drop(_wig_span);
         timings.wig_ns = elapsed_ns(t);
 
         let mut out = Vec::with_capacity(allocation_orders.len());
         for &allocation_order in allocation_orders {
             let t = Instant::now();
+            let _span = sdf_trace::span!("candidate.alloc", order = allocation_order);
             let allocation = allocate(&wig, allocation_order, PlacementPolicy::FirstFit);
             validate_allocation(&wig, &allocation)?;
+            drop(_span);
             let alloc_ns = elapsed_ns(t);
             let shared_total = allocation.total();
             out.push(Candidate {
@@ -701,6 +745,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
         cells.into_iter().map(evaluate).collect()
     };
     let candidates: Vec<Candidate> = evaluated?.into_iter().flatten().collect();
+    sdf_trace::counter_add("engine.candidates", candidates.len() as u64);
 
     // Stage 5: the Table 1 "bold entry" rule — smallest shared pool,
     // ties to the earliest lattice point.
@@ -785,6 +830,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
         winner,
         rationale,
         total_ns: elapsed_ns(t_run),
+        counters: sdf_trace::counter_values(),
     };
 
     Ok(Synthesis {

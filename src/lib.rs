@@ -16,6 +16,7 @@
 //! | [`alloc`] | first-fit dynamic storage allocation |
 //! | [`codegen`] | C emission under both memory models |
 //! | [`apps`] | every benchmark graph of the paper's evaluation |
+//! | [`trace`] | span tracing, algorithm counters, trace/profile exporters |
 //!
 //! On top of the members, the crate hosts the synthesis drivers:
 //! [`engine`] sweeps the candidate lattice (heuristic × loop optimizer ×
@@ -76,3 +77,4 @@ pub use sdf_codegen as codegen;
 pub use sdf_core as core;
 pub use sdf_lifetime as lifetime;
 pub use sdf_sched as sched;
+pub use sdf_trace as trace;

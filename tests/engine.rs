@@ -138,6 +138,55 @@ fn parallel_matches_serial_on_every_app() {
 }
 
 #[test]
+fn tracing_never_changes_engine_results() {
+    // The acceptance bar for the observability layer: a run under an
+    // installed recorder must be bit-for-bit identical to a run with
+    // tracing disabled — instruments observe, never steer.
+    for graph in all_app_graphs() {
+        let plain = AnalysisBuilder::new()
+            .loop_opts(LoopVariant::ALL)
+            .run_full(&graph)
+            .expect("untraced engine");
+        let recorder = std::sync::Arc::new(sdfmem::trace::Recorder::new());
+        let traced = sdfmem::trace::scoped(&recorder, || {
+            AnalysisBuilder::new()
+                .loop_opts(LoopVariant::ALL)
+                .run_full(&graph)
+        })
+        .expect("traced engine");
+        assert_eq!(
+            plain.analysis.winner,
+            traced.analysis.winner,
+            "{}",
+            graph.name()
+        );
+        assert_eq!(
+            plain.analysis.allocation,
+            traced.analysis.allocation,
+            "{}",
+            graph.name()
+        );
+        assert_eq!(
+            plain.analysis.schedule,
+            traced.analysis.schedule,
+            "{}",
+            graph.name()
+        );
+        assert_eq!(plain.candidates.len(), traced.candidates.len());
+        for (p, t) in plain.candidates.iter().zip(&traced.candidates) {
+            assert_eq!(p.shared_total, t.shared_total, "{}", graph.name());
+            assert_eq!(p.allocation, t.allocation, "{}", graph.name());
+        }
+        // Only the traced run populates counters; the untraced one must
+        // not have paid for any.
+        assert!(plain.report.counters.is_empty(), "{}", graph.name());
+        assert!(!traced.report.counters.is_empty(), "{}", graph.name());
+        // Spans were recorded for the traced run.
+        assert!(!recorder.snapshot().events.is_empty(), "{}", graph.name());
+    }
+}
+
+#[test]
 fn widening_the_lattice_never_regresses() {
     // Widening the lattice can only improve (or match) the winning pool.
     for graph in all_app_graphs() {
