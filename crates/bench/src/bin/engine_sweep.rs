@@ -3,10 +3,23 @@
 //! homogeneous grids, printing each run's per-stage timing report as JSON
 //! and a serial/parallel speedup summary, and writing the whole sweep —
 //! timings plus a traced run's algorithm counters per system — to a
-//! `BENCH_2.json` machine-readable artifact.
+//! `BENCH_3.json` machine-readable artifact.
+//!
+//! The binary is also the maintenance tool of the regression-sentinel
+//! corpus under `bench/baselines/`:
+//!
+//! * `--baseline DIR` captures a fresh sentinel profile for every graph
+//!   in the example corpus (`examples/graphs/*.sdf`), writes them to
+//!   `DIR/<graph>.json`, and appends one trajectory point to the bench
+//!   artifact so successive captures stay comparable over time;
+//! * `--gate DIR` re-captures each profiled graph and diffs it against
+//!   the committed baseline, writing a markdown report and exiting 1 on
+//!   any gated regression — this is what CI's perf-gate job runs.
 //!
 //! ```text
 //! cargo run --release --bin engine_sweep [-- --min-actors N] [--repeats N] [--out FILE]
+//! cargo run --release --bin engine_sweep -- --baseline bench/baselines [--graphs DIR]
+//! cargo run --release --bin engine_sweep -- --gate bench/baselines [--report-out FILE]
 //! ```
 
 use std::sync::Arc;
@@ -14,8 +27,10 @@ use std::sync::Arc;
 use sdf_apps::homogeneous::homogeneous_grid;
 use sdf_apps::registry::table1_systems;
 use sdf_core::SdfGraph;
+use sdf_regress::{diff, DiffOptions, Profile, RegressionReport};
 use sdfmem::engine::AnalysisBuilder;
 use sdfmem::sched::LoopVariant;
+use sdfmem::sentinel::{capture_profile, CaptureOptions, PERTURB_ENV};
 
 /// Wall times of one serial-vs-parallel comparison, plus the traced
 /// (untimed) run's full engine report with counters.
@@ -66,7 +81,7 @@ fn measure(graph: &SdfGraph, repeats: u32) -> Sample {
     }
 }
 
-/// Renders the sweep as the `BENCH_2.json` artifact: schema version, the
+/// Renders the sweep as the `BENCH_3.json` artifact: schema version, the
 /// serial/parallel minima in microseconds and each system's traced report
 /// (embedded verbatim — it is already JSON).
 fn bench_json(samples: &[Sample]) -> String {
@@ -92,21 +107,173 @@ fn bench_json(samples: &[Sample]) -> String {
     s
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-    };
-    let min_actors: usize = flag("--min-actors")
-        .map(|v| v.parse().expect("--min-actors takes a number"))
-        .unwrap_or(0);
-    let repeats: u32 = flag("--repeats")
-        .map(|v| v.parse().expect("--repeats takes a number"))
-        .unwrap_or(5);
-    let out_path = flag("--out").cloned().unwrap_or("BENCH_2.json".to_string());
+/// Parses every `*.sdf` file under `dir`, sorted by file name so the
+/// corpus order (and with it every report) is deterministic.
+fn load_corpus(dir: &str) -> Result<Vec<SdfGraph>, String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read graph corpus {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sdf"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("graph corpus {dir} has no .sdf files"));
+    }
+    let mut graphs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let graph =
+            sdf_core::io::parse_graph(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        graphs.push(graph);
+    }
+    Ok(graphs)
+}
 
+/// One sentinel capture per corpus graph. The capture honours the
+/// `SDF_REGRESS_PERTURB` test hook so the gate can be exercised
+/// end-to-end without a real regression.
+fn capture_corpus(graphs: &[SdfGraph], repeats: u32) -> Result<Vec<Profile>, String> {
+    let options = CaptureOptions {
+        repeats,
+        full: true,
+        perturb: std::env::var(PERTURB_ENV).ok(),
+    };
+    graphs
+        .iter()
+        .map(|graph| capture_profile(graph, &options))
+        .collect()
+}
+
+/// Appends one trajectory point to the bench artifact, keeping the file
+/// a single valid JSON document of kind `bench_trajectory`. A missing or
+/// foreign file starts a fresh trajectory.
+fn trajectory_append(path: &str, point: &str) -> Result<(), String> {
+    let header = format!(
+        "{{\"schema_version\":{},\"kind\":\"bench_trajectory\",\"points\":[",
+        sdf_trace::SCHEMA_VERSION
+    );
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .filter(|text| text.starts_with(&header) && sdf_trace::json::parse(text).is_ok());
+    let body = match existing {
+        // The file is our own format: splice before the closing "]}".
+        Some(text) => {
+            let open = text.trim_end().trim_end_matches("]}").to_string();
+            let separator = if open.ends_with('[') { "" } else { "," };
+            format!("{open}{separator}{point}]}}\n")
+        }
+        None => format!("{header}{point}]}}\n"),
+    };
+    sdf_trace::json::parse(&body).map_err(|e| format!("internal: bad trajectory JSON: {e}"))?;
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Summarises one baseline capture as a trajectory point.
+fn trajectory_point(profiles: &[Profile]) -> String {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let counters: u64 = profiles
+        .iter()
+        .flat_map(|p| p.counters.iter().map(|(_, v)| *v))
+        .sum();
+    let shared: u64 = profiles.iter().map(|p| p.outcomes.shared_bufmem).sum();
+    let nonshared: u64 = profiles.iter().map(|p| p.outcomes.nonshared_bufmem).sum();
+    let median_total_us: f64 = profiles
+        .iter()
+        .filter_map(|p| {
+            p.timings
+                .iter()
+                .find(|(n, _)| n == "engine.total")
+                .map(|(_, stat)| stat.median_us)
+        })
+        .sum();
+    format!(
+        "{{\"unix_s\":{unix_s},\"graphs\":{},\"counter_total\":{counters},\
+         \"shared_bufmem_total\":{shared},\"nonshared_bufmem_total\":{nonshared},\
+         \"engine_total_us\":{median_total_us:.3}}}",
+        profiles.len()
+    )
+}
+
+/// `--baseline DIR`: refresh the committed corpus and extend the
+/// trajectory.
+fn run_baseline(dir: &str, graphs_dir: &str, repeats: u32, out_path: &str) -> Result<(), String> {
+    let graphs = load_corpus(graphs_dir)?;
+    let profiles = capture_corpus(&graphs, repeats)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for profile in &profiles {
+        let path = format!("{dir}/{}.json", profile.graph);
+        std::fs::write(&path, profile.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "baseline {}: {} counters, shared {} / non-shared {} words",
+            profile.graph,
+            profile.counters.len(),
+            profile.outcomes.shared_bufmem,
+            profile.outcomes.nonshared_bufmem
+        );
+    }
+    trajectory_append(out_path, &trajectory_point(&profiles))?;
+    eprintln!(
+        "wrote {} baselines to {dir}, trajectory point to {out_path}",
+        profiles.len()
+    );
+    Ok(())
+}
+
+/// `--gate DIR`: re-capture and diff against the committed corpus.
+/// Returns the per-graph reports; any gate failure fails the run.
+fn run_gate(dir: &str, graphs_dir: &str, repeats: u32, report_path: &str) -> Result<bool, String> {
+    let graphs = load_corpus(graphs_dir)?;
+    let candidates = capture_corpus(&graphs, repeats)?;
+    let options = DiffOptions::default();
+    let mut reports: Vec<RegressionReport> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
+    for candidate in &candidates {
+        let path = format!("{dir}/{}.json", candidate.graph);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                // A new example graph with no committed baseline yet is
+                // reported, not gated — the next --baseline run adopts it.
+                missing.push(candidate.graph.clone());
+                continue;
+            }
+        };
+        let baseline = Profile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        reports.push(diff(&baseline, candidate, &options));
+    }
+    let failures: usize = reports.iter().map(RegressionReport::gate_failures).sum();
+    let mut md = String::from("# Regression sentinel report\n\n");
+    md.push_str(&format!(
+        "Corpus: {} graph(s), {} with committed baselines; {} gate failure(s).\n\n",
+        candidates.len(),
+        reports.len(),
+        failures
+    ));
+    for name in &missing {
+        md.push_str(&format!(
+            "> `{name}` has no committed baseline yet — run `engine_sweep --baseline` to adopt it.\n\n"
+        ));
+    }
+    for report in &reports {
+        md.push_str(&format!("## {}\n\n", report.graph));
+        md.push_str(&report.to_markdown());
+        md.push('\n');
+    }
+    std::fs::write(report_path, &md).map_err(|e| format!("cannot write {report_path}: {e}"))?;
+    for report in &reports {
+        eprint!("{}", report.to_text());
+    }
+    eprintln!("wrote {report_path}");
+    Ok(failures == 0)
+}
+
+/// The classic serial-vs-parallel sweep, writing the bench artifact.
+fn run_sweep(min_actors: usize, repeats: u32, out_path: &str) -> Result<(), String> {
     let mut graphs: Vec<SdfGraph> = table1_systems();
     // Grids give the parallel path enough per-candidate work to amortise
     // thread spawns.
@@ -119,7 +286,8 @@ fn main() {
         samples.push(measure(graph, repeats));
     }
 
-    std::fs::write(&out_path, bench_json(&samples)).expect("write bench artifact");
+    std::fs::write(out_path, bench_json(&samples))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     eprintln!("wrote {out_path}");
 
     eprintln!();
@@ -146,4 +314,58 @@ fn main() {
         total_p as f64 / 1e3,
         total_s as f64 / total_p as f64
     );
+    Ok(())
+}
+
+fn real_main() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let numeric = |name: &str, default: u64| -> Result<u64, String> {
+        match flag(name) {
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("bad {name} value: `{v}` is not a number")),
+            None => Ok(default),
+        }
+    };
+    let min_actors = numeric("--min-actors", 0)? as usize;
+    let repeats = numeric("--repeats", 5)?.clamp(1, 1_000) as u32;
+    let out_path = flag("--out").cloned().unwrap_or("BENCH_3.json".to_string());
+    let graphs_dir = flag("--graphs")
+        .cloned()
+        .unwrap_or("examples/graphs".to_string());
+    let report_path = flag("--report-out")
+        .cloned()
+        .unwrap_or("regress-report.md".to_string());
+
+    if let Some(dir) = flag("--baseline").cloned() {
+        // Baseline captures default to 3 repeats unless asked otherwise.
+        let repeats = numeric("--repeats", 3)?.clamp(1, 1_000) as u32;
+        run_baseline(&dir, &graphs_dir, repeats, &out_path)?;
+        return Ok(true);
+    }
+    if let Some(dir) = flag("--gate").cloned() {
+        let repeats = numeric("--repeats", 3)?.clamp(1, 1_000) as u32;
+        return run_gate(&dir, &graphs_dir, repeats, &report_path);
+    }
+    run_sweep(min_actors, repeats, &out_path)?;
+    Ok(true)
+}
+
+fn main() {
+    match real_main() {
+        Ok(true) => {}
+        Ok(false) => {
+            eprintln!("regression gate FAILED");
+            std::process::exit(1);
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
 }

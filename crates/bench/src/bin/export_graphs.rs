@@ -1,0 +1,56 @@
+//! Writes application graphs from the `sdf-apps` registry to
+//! `examples/graphs/*.sdf` text files — the corpus the regression
+//! sentinel (`engine_sweep --baseline/--gate`) runs over.
+//!
+//! ```text
+//! cargo run --release --bin export_graphs -- [--dir DIR] [NAME...]
+//! ```
+//!
+//! With no names, exports the default corpus selection.
+
+use sdf_apps::registry::by_name;
+
+/// The default corpus: a spread of Table 1 shapes — the satellite
+/// receiver, shallow and deep QMF filterbanks, and the 16-QAM modem.
+const DEFAULT_CORPUS: &[&str] = &["satrec", "qmf23_2d", "qmf12_2d", "16qamModem"];
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = "examples/graphs".to_string();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => {
+                dir = it
+                    .next()
+                    .cloned()
+                    .ok_or("missing --dir value".to_string())?;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = DEFAULT_CORPUS.iter().map(|n| n.to_string()).collect();
+    }
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for name in &names {
+        let graph = by_name(name).ok_or_else(|| format!("unknown registry graph `{name}`"))?;
+        let path = format!("{dir}/{}.sdf", graph.name());
+        std::fs::write(&path, sdf_core::io::to_text(&graph))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote {path} ({} actors, {} edges)",
+            graph.actor_count(),
+            graph.edge_count()
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = real_main() {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+}

@@ -20,8 +20,10 @@ use sdf_core::SdfError;
 use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
 use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::{ConflictGraph, IntersectionGraph};
+use sdf_regress::{diff, DiffOptions, Profile, ReportFormat as DiffFormat};
 use sdf_sched::{apgan, dppo, rpmc, sdppo, LoopVariant};
 use sdfmem::engine::AnalysisBuilder;
+use sdfmem::sentinel::{capture_profile, CaptureOptions, PERTURB_ENV};
 
 /// Which topological-sort heuristic to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -85,6 +87,35 @@ pub enum Command {
         /// Sweep every loop-optimizer variant, not just SDPPO.
         full: bool,
     },
+    /// `sdfmem baseline <file> [--out PATH] [--repeats N] [--full]` —
+    /// capture a regression-sentinel baseline profile.
+    Baseline {
+        /// Graph file path.
+        file: String,
+        /// Where to write the profile JSON (stdout when omitted).
+        out: Option<String>,
+        /// Timing repeats (work counters must agree across all of them).
+        repeats: u32,
+        /// Sweep every loop-optimizer variant, not just SDPPO.
+        full: bool,
+    },
+    /// `sdfmem compare <baseline> <candidate> [--gate] [--format F]
+    /// [--allow NAMES]` — diff two baseline profiles; exits nonzero on a
+    /// gated regression.
+    Compare {
+        /// Baseline profile path.
+        baseline: String,
+        /// Candidate profile path.
+        candidate: String,
+        /// Also gate on timing-band violations (off by default: wall
+        /// clocks are not comparable across machines).
+        gate: bool,
+        /// Report format.
+        format: DiffFormat,
+        /// Comma-separated names exempt from the exact-match gate
+        /// (trailing `*` matches a prefix).
+        allow: Vec<String>,
+    },
     /// `sdfmem bounds <file>`.
     Bounds {
         /// Graph file path.
@@ -143,6 +174,8 @@ COMMANDS:
     bounds    buffer-memory lower bounds (BMLB, all-schedules)
     analyze   sweep the candidate lattice, report the winner + scoreboard
     profile   run the engine under a recorder, print span tree + counters
+    baseline  capture a regression-sentinel baseline profile (JSON)
+    compare   diff two baseline profiles; exit 1 on a gated regression
     schedule  construct a single appearance schedule
     allocate  pack all buffers into one shared pool
     codegen   emit the C implementation
@@ -155,9 +188,15 @@ OPTIONS:
     --model  shared|nonshared  buffer model (default shared)
     --report text|json       analyze output format (default text)
     --serial                 analyze: evaluate candidates serially
-    --full                   analyze/profile: sweep every loop-optimizer variant
+    --full                   analyze/profile/baseline: sweep every loop-optimizer variant
     --trace <out>            analyze: write a chrome://tracing JSON trace
                              (JSONL when <out> ends in .jsonl)
+    --out <path>             baseline: write the profile here (default stdout)
+    --repeats <n>            baseline: timing repeats (default 3)
+    --format text|json|md    compare: report format (default text)
+    --gate                   compare: gate on timing-band violations too
+    --allow <names>          compare: comma-separated gate exemptions
+                             (trailing * matches a prefix)
 
 GRAPH FILE FORMAT:
     graph NAME
@@ -181,12 +220,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         .next()
         .cloned()
         .ok_or_else(|| format!("missing graph file for `{cmd}`"))?;
+    // `compare` is the one two-positional command: baseline, candidate.
+    let second = if cmd == "compare" {
+        Some(
+            it.next()
+                .cloned()
+                .ok_or("`compare` needs two profiles: sdfmem compare <baseline> <candidate>")?,
+        )
+    } else {
+        None
+    };
     let mut method = Method::default();
     let mut model = Model::default();
     let mut report = ReportFormat::default();
     let mut serial = false;
     let mut full = false;
     let mut trace = None;
+    let mut out = None;
+    let mut repeats = 3u32;
+    let mut gate = false;
+    let mut format = DiffFormat::default();
+    let mut allow: Vec<String> = Vec::new();
     while let Some(opt) = it.next() {
         match opt.as_str() {
             "--method" => {
@@ -218,6 +272,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     None => return Err("missing --trace output path".to_string()),
                 }
             }
+            "--out" => {
+                out = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => return Err("missing --out output path".to_string()),
+                }
+            }
+            "--repeats" => {
+                repeats = match it.next() {
+                    Some(n) => n
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad --repeats value: `{n}` is not a number"))?,
+                    None => return Err("missing --repeats count".to_string()),
+                };
+                if repeats == 0 {
+                    return Err("bad --repeats value: must be at least 1".to_string());
+                }
+            }
+            "--gate" => gate = true,
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => DiffFormat::Text,
+                    Some("json") => DiffFormat::Json,
+                    Some("md") => DiffFormat::Markdown,
+                    other => return Err(format!("bad --format value: {other:?}")),
+                }
+            }
+            "--allow" => match it.next() {
+                Some(names) => allow.extend(
+                    names
+                        .split(',')
+                        .filter(|n| !n.is_empty())
+                        .map(str::to_string),
+                ),
+                None => return Err("missing --allow names".to_string()),
+            },
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -232,6 +321,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             trace,
         }),
         "profile" => Ok(Command::Profile { file, full }),
+        "baseline" => Ok(Command::Baseline {
+            file,
+            out,
+            repeats,
+            full,
+        }),
+        "compare" => Ok(Command::Compare {
+            baseline: file,
+            candidate: second.expect("parsed above"),
+            gate,
+            format,
+            allow,
+        }),
         "schedule" => Ok(Command::Schedule {
             file,
             method,
@@ -271,7 +373,19 @@ fn order_for(
 ///
 /// Returns a human-readable message on any I/O, parse or analysis error.
 pub fn run(command: &Command) -> Result<String, String> {
+    execute(command).map(|(out, _)| out)
+}
+
+/// Executes a command, returning its stdout text and the process exit
+/// code: 0 on success, 1 when `compare` found a gated regression.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any I/O, parse or analysis error
+/// (`main` exits 2 for these).
+pub fn execute(command: &Command) -> Result<(String, i32), String> {
     let mut out = String::new();
+    let mut code = 0;
     match command {
         Command::Help => out.push_str(USAGE),
         Command::Info { file } => {
@@ -362,6 +476,59 @@ pub fn run(command: &Command) -> Result<String, String> {
             out.push_str(&snapshot.profile_tree());
             out.push('\n');
             out.push_str(&snapshot.counter_table());
+        }
+        Command::Baseline {
+            file,
+            out: out_path,
+            repeats,
+            full,
+        } => {
+            let g = load(file)?;
+            let options = CaptureOptions {
+                repeats: *repeats,
+                full: *full,
+                perturb: std::env::var(PERTURB_ENV).ok(),
+            };
+            let profile = capture_profile(&g, &options)?;
+            let json = profile.to_json();
+            match out_path {
+                Some(path) => {
+                    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    let _ = writeln!(
+                        out,
+                        "wrote baseline profile for {} to {path} ({} counters, {} repeats)",
+                        profile.graph,
+                        profile.counters.len(),
+                        profile.repeats
+                    );
+                }
+                None => out.push_str(&json),
+            }
+        }
+        Command::Compare {
+            baseline,
+            candidate,
+            gate,
+            format,
+            allow,
+        } => {
+            let parse_profile = |path: &str| -> Result<Profile, String> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                Profile::parse(&text).map_err(|e| format!("{path}: {e}"))
+            };
+            let base = parse_profile(baseline)?;
+            let cand = parse_profile(candidate)?;
+            let options = DiffOptions {
+                allow: allow.clone(),
+                gate_timings: *gate,
+                ..DiffOptions::default()
+            };
+            let report = diff(&base, &cand, &options);
+            out.push_str(&report.render(*format));
+            if !report.is_clean() {
+                code = 1;
+            }
         }
         Command::Bounds { file } => {
             let g = load(file)?;
@@ -465,7 +632,7 @@ pub fn run(command: &Command) -> Result<String, String> {
             let g = load(file)?;
             let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
             let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
-            let code = match model {
+            let c_code = match model {
                 Model::NonShared => {
                     let r = dppo(&g, &q, &order).map_err(|e| e.to_string())?;
                     generate_nonshared_c(&g, &q, &r.tree.to_looped_schedule())
@@ -483,10 +650,10 @@ pub fn run(command: &Command) -> Result<String, String> {
                     generate_shared_c(&g, &q, &r.tree, &wig, &alloc).map_err(|e| e.to_string())?
                 }
             };
-            out.push_str(&code);
+            out.push_str(&c_code);
         }
     }
-    Ok(out)
+    Ok((out, code))
 }
 
 #[cfg(test)]
@@ -693,10 +860,147 @@ mod tests {
             (&["analyze", "g", "--report"], "--report"),
             (&["analyze", "g", "--trace"], "--trace"),
             (&["analyze", "g", "--frobnicate"], "--frobnicate"),
+            (&["baseline", "g", "--out"], "--out"),
+            (&["baseline", "g", "--repeats"], "--repeats"),
+            (&["baseline", "g", "--repeats", "many"], "--repeats"),
+            (&["baseline", "g", "--repeats", "0"], "--repeats"),
+            (&["compare", "a", "b", "--format", "xml"], "--format"),
+            (&["compare", "a", "b", "--format"], "--format"),
+            (&["compare", "a", "b", "--allow"], "--allow"),
         ];
         for (argv, flag) in cases {
             let err = parse_args(&args(argv)).unwrap_err();
             assert!(err.contains(flag), "{argv:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn parse_baseline_and_compare_commands() {
+        assert_eq!(
+            parse_args(&args(&["baseline", "g.sdf"])).unwrap(),
+            Command::Baseline {
+                file: "g.sdf".into(),
+                out: None,
+                repeats: 3,
+                full: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "baseline",
+                "g.sdf",
+                "--out",
+                "b.json",
+                "--repeats",
+                "5",
+                "--full"
+            ]))
+            .unwrap(),
+            Command::Baseline {
+                file: "g.sdf".into(),
+                out: Some("b.json".into()),
+                repeats: 5,
+                full: true
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["compare", "a.json", "b.json"])).unwrap(),
+            Command::Compare {
+                baseline: "a.json".into(),
+                candidate: "b.json".into(),
+                gate: false,
+                format: DiffFormat::Text,
+                allow: vec![]
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "compare",
+                "a.json",
+                "b.json",
+                "--gate",
+                "--format",
+                "md",
+                "--allow",
+                "sched.*,winner"
+            ]))
+            .unwrap(),
+            Command::Compare {
+                baseline: "a.json".into(),
+                candidate: "b.json".into(),
+                gate: true,
+                format: DiffFormat::Markdown,
+                allow: vec!["sched.*".into(), "winner".into()]
+            }
+        );
+        // A lone positional is not enough for compare.
+        assert!(parse_args(&args(&["compare", "a.json"]))
+            .unwrap_err()
+            .contains("compare"));
+    }
+
+    #[test]
+    fn end_to_end_baseline_and_compare() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let dir = std::env::temp_dir().join("sdfmem-cli-tests");
+        let base = dir.join(format!("base-{}.json", std::process::id()));
+        let cand = dir.join(format!("cand-{}.json", std::process::id()));
+        for target in [&base, &cand] {
+            let (msg, code) = execute(&Command::Baseline {
+                file: file.clone(),
+                out: Some(target.to_string_lossy().into_owned()),
+                repeats: 2,
+                full: false,
+            })
+            .unwrap();
+            assert_eq!(code, 0);
+            assert!(msg.contains("wrote baseline profile"), "{msg}");
+        }
+        // Two captures of the same graph: clean, exit 0.
+        let compare = |candidate: &std::path::Path| {
+            execute(&Command::Compare {
+                baseline: base.to_string_lossy().into_owned(),
+                candidate: candidate.to_string_lossy().into_owned(),
+                gate: false,
+                format: DiffFormat::Text,
+                allow: vec![],
+            })
+        };
+        let (text, code) = compare(&cand).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("0 gate failure(s)"), "{text}");
+        // A perturbed candidate trips the gate with the counter named.
+        let perturbed = dir.join(format!("pert-{}.json", std::process::id()));
+        let mut profile =
+            sdf_regress::Profile::parse(&std::fs::read_to_string(&cand).unwrap()).unwrap();
+        profile.apply_perturbation("sched.dppo.cells=+7").unwrap();
+        std::fs::write(&perturbed, profile.to_json()).unwrap();
+        let (text, code) = compare(&perturbed).unwrap();
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("sched.dppo.cells"), "{text}");
+        assert!(text.contains("REGRESSION"), "{text}");
+        // ... unless the counter is allow-listed.
+        let (text, code) = execute(&Command::Compare {
+            baseline: base.to_string_lossy().into_owned(),
+            candidate: perturbed.to_string_lossy().into_owned(),
+            gate: false,
+            format: DiffFormat::Json,
+            allow: vec!["sched.*".into()],
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{text}");
+        sdf_trace::json::parse(&text).expect("JSON report parses");
+        // Unreadable and malformed inputs are errors (exit 2 in main),
+        // not panics.
+        let missing = compare(std::path::Path::new("/nonexistent.json")).unwrap_err();
+        assert!(missing.contains("cannot read"), "{missing}");
+        let garbage = dir.join(format!("garbage-{}.json", std::process::id()));
+        std::fs::write(&garbage, "{\"schema_version\":1}").unwrap();
+        let foreign = compare(&garbage).unwrap_err();
+        assert!(foreign.contains("schema_version"), "{foreign}");
+        for f in [base, cand, perturbed, garbage] {
+            let _ = std::fs::remove_file(f);
         }
     }
 

@@ -1,0 +1,51 @@
+//! The regression sentinel: counter-based performance baselines and
+//! structured profile diffs.
+//!
+//! PR 1 established that wall-clock timings are pure noise on a loaded
+//! 1-CPU container; the deterministic *work counters* the pipeline
+//! records via `sdf-trace` (DP cells, split probes, WIG edge tests,
+//! first-fit probes, …) are the signal worth gating on. This crate turns
+//! them into a sentinel:
+//!
+//! * a [`Profile`] snapshots one graph's behaviour — work counters,
+//!   allocation outcomes (`shared_bufmem` / `nonshared_bufmem` /
+//!   `fragmentation`), and median-of-repeats timings with MAD noise
+//!   bands — as a schema-version-3 JSON document
+//!   (`bench/baselines/*.json`);
+//! * [`diff`] compares two profiles into a [`RegressionReport`]:
+//!   counters and memory outcomes are gated on **exact match** (they are
+//!   deterministic, so any drift is a real behaviour change), timings on
+//!   a **noise band** derived from the baseline's MAD (advisory by
+//!   default — cross-machine wall clocks differ);
+//! * an explicit [allow-list](DiffOptions::allow) exempts intentional
+//!   changes by counter name (trailing `*` matches a prefix).
+//!
+//! Everything is hand-rolled on `std` + `sdf_trace::json` — no external
+//! dependencies. The capture side (running the engine repeatedly under a
+//! recorder) lives in `sdfmem::sentinel`; the CLI surface is `sdfmem
+//! compare` / `sdfmem baseline`, and `engine_sweep --baseline/--gate`
+//! maintains the committed corpus.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdf_regress::{diff, DiffOptions, Profile};
+//!
+//! let mut baseline = Profile::new("fig2");
+//! baseline.counters = vec![("sched.dppo.cells".into(), 21)];
+//! let mut candidate = baseline.clone();
+//! assert!(diff(&baseline, &candidate, &DiffOptions::default()).is_clean());
+//!
+//! candidate.counters[0].1 = 30;
+//! let report = diff(&baseline, &candidate, &DiffOptions::default());
+//! assert_eq!(report.gate_failures(), 1);
+//! assert!(report.to_text().contains("sched.dppo.cells"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod diff;
+mod profile;
+
+pub use diff::{diff, DiffEntry, DiffOptions, RegressionReport, ReportFormat, Severity};
+pub use profile::{Outcomes, Profile, TimingStat};

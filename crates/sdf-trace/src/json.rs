@@ -103,16 +103,25 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting depth [`parse`] accepts. The parser is
+/// recursive-descent, so unbounded nesting in untrusted input (a corrupt
+/// baseline file, a hand-edited trace) would overflow the stack; beyond
+/// this depth it returns an error instead. Every document this workspace
+/// emits nests a handful of levels.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
 ///
 /// # Errors
 ///
 /// Returns a human-readable message with a byte offset on malformed
-/// input.
+/// input, including invalid escapes, lone UTF-16 surrogates, nesting
+/// beyond [`MAX_DEPTH`], and trailing garbage.
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -126,6 +135,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -206,7 +216,9 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    match self.peek() {
+                    let esc = self.peek();
+                    self.pos += 1;
+                    match esc {
                         Some(b'"') => out.push('"'),
                         Some(b'\\') => out.push('\\'),
                         Some(b'/') => out.push('/'),
@@ -215,22 +227,9 @@ impl Parser<'_> {
                         Some(b'n') => out.push('\n'),
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
-                            // Surrogate pairs are not emitted by this
-                            // workspace; map lone surrogates to U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        Some(b'u') => out.push(self.unicode_escape()?),
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
                     }
-                    self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so the
@@ -244,12 +243,68 @@ impl Parser<'_> {
         }
     }
 
+    /// Decodes the four hex digits of a `\u` escape (cursor just past
+    /// the `u`), plus the low half of a surrogate pair when the first
+    /// unit is a high surrogate. Lone or out-of-order surrogates are
+    /// errors — silently substituting U+FFFD would let a corrupt
+    /// document diff clean against an intact baseline.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let first = self.hex4()?;
+        match first {
+            0xD800..=0xDBFF => {
+                let at = self.pos;
+                if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                    return Err(format!("lone high surrogate \\u{first:04x} at byte {at}"));
+                }
+                self.pos += 2;
+                let second = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&second) {
+                    return Err(format!(
+                        "high surrogate \\u{first:04x} followed by \\u{second:04x} at byte {at}"
+                    ));
+                }
+                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                char::from_u32(code).ok_or_else(|| format!("bad surrogate pair at byte {at}"))
+            }
+            0xDC00..=0xDFFF => Err(format!(
+                "lone low surrogate \\u{first:04x} at byte {}",
+                self.pos
+            )),
+            code => Ok(char::from_u32(code).expect("non-surrogate BMP scalar")),
+        }
+    }
+
+    /// Reads exactly four hex digits at the cursor.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .filter(|h| h.bytes().all(|b| b.is_ascii_hexdigit()))
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(u32::from_str_radix(hex, 16).expect("validated hex"))
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -260,6 +315,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -269,10 +325,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -288,6 +346,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -352,5 +411,68 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn bad_escape_sequences_error() {
+        for bad in [
+            r#""\x""#,     // unknown escape
+            r#""\u12""#,   // short hex
+            r#""\u12g4""#, // non-hex digit
+            r#""\u""#,     // no hex at all
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("escape"), "{bad:?} -> {err}");
+        }
+        // A backslash escaping the closing quote leaves the string open.
+        assert!(parse(r#""\""#).unwrap_err().contains("unterminated"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_error() {
+        // A valid pair decodes to the supplementary-plane scalar.
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("\u{1f600}"));
+        // Lone and malformed surrogates are errors, not U+FFFD.
+        for (bad, needle) in [
+            (r#""\ud800""#, "lone high surrogate"),
+            (r#""\ud800x""#, "lone high surrogate"),
+            (r#""\ud800\n""#, "lone high surrogate"),
+            (r#""\ud800\u0041""#, "followed by"),
+            (r#""\ud800\ud801""#, "followed by"),
+            (r#""\udc00""#, "lone low surrogate"),
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Just inside the limit parses...
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // ...one deeper errors, and absurd depth must not blow the stack.
+        for depth in [MAX_DEPTH + 1, 100_000] {
+            let bad = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+            let err = parse(&bad).unwrap_err();
+            assert!(err.contains("nesting deeper"), "{err}");
+        }
+        // Mixed object/array nesting hits the same guard.
+        let mixed = format!(
+            "{}1{}",
+            "{\"k\":[".repeat(MAX_DEPTH),
+            "]}".repeat(MAX_DEPTH)
+        );
+        assert!(parse(&mixed).unwrap_err().contains("nesting deeper"));
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        for bad in ["{} {}", "[1] x", "null,", "42 7", "\"a\"\"b\"", "{}\u{0}"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("trailing data"), "{bad:?} -> {err}");
+        }
+        // Trailing whitespace alone stays legal.
+        assert!(parse(" [1, 2] \n\t").is_ok());
     }
 }

@@ -56,12 +56,15 @@ use std::time::Instant;
 
 /// Version stamp written into every machine-readable artefact this
 /// workspace emits (engine reports, chrome traces, JSONL streams,
-/// `BENCH_*.json`) so downstream parsers can detect format changes.
+/// baseline profiles, `BENCH_*.json`) so downstream parsers can detect
+/// format changes.
 ///
 /// History: `1` was the PR 1 `EngineReport` JSON (implicit, no field);
 /// `2` added the `schema_version` and `counters` fields plus the trace
-/// exports.
-pub const SCHEMA_VERSION: u32 = 2;
+/// exports; `3` added per-candidate counter deltas to the engine report
+/// and the regression-sentinel baseline/diff documents
+/// (`bench/baselines/*.json`, `sdfmem compare --format json`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.
@@ -278,6 +281,81 @@ pub fn counter_values() -> Vec<(String, u64)> {
     current().map(|r| r.counters()).unwrap_or_default()
 }
 
+/// A point-in-time copy of the installed recorder's counters, used to
+/// attribute work to a region by differencing two captures.
+///
+/// This is the profile-snapshot primitive behind per-candidate counter
+/// deltas in the engine report and the regression sentinel's baseline
+/// profiles: capture once, run the region, then ask for the
+/// [delta](CounterSnapshot::delta_since) — every counter that moved, by
+/// how much, sorted by name.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sdf_trace::{CounterSnapshot, Recorder};
+///
+/// let recorder = Arc::new(Recorder::new());
+/// sdf_trace::scoped(&recorder, || {
+///     sdf_trace::counter_add("work.before", 2);
+///     let snap = CounterSnapshot::capture();
+///     sdf_trace::counter_add("work.inner", 5);
+///     sdf_trace::counter_add("work.before", 1);
+///     assert_eq!(
+///         snap.delta_since(),
+///         vec![("work.before".to_string(), 1), ("work.inner".to_string(), 5)]
+///     );
+/// });
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CounterSnapshot {
+    values: Vec<(String, u64)>,
+}
+
+impl CounterSnapshot {
+    /// Captures the current counter values (empty when tracing is
+    /// disabled, making the later delta the full counter set).
+    pub fn capture() -> Self {
+        CounterSnapshot {
+            values: counter_values(),
+        }
+    }
+
+    /// Counters that increased since this capture, as sorted
+    /// `(name, delta)` pairs; unchanged counters are omitted.
+    ///
+    /// Counters are monotonic, so the current value is never below the
+    /// captured one while the same recorder stays installed; a recorder
+    /// swap in between saturates at zero instead of underflowing.
+    pub fn delta_since(&self) -> Vec<(String, u64)> {
+        let now = counter_values();
+        let mut base = self.values.iter().peekable();
+        let mut delta = Vec::new();
+        for (name, value) in now {
+            let mut previous = 0;
+            while let Some((base_name, base_value)) = base.peek() {
+                match base_name.as_str().cmp(name.as_str()) {
+                    std::cmp::Ordering::Less => {
+                        base.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        previous = *base_value;
+                        base.next();
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            let moved = value.saturating_sub(previous);
+            if moved > 0 {
+                delta.push((name, moved));
+            }
+        }
+        delta
+    }
+}
+
 // ---------------------------------------------------------------------
 // Spans.
 
@@ -484,6 +562,27 @@ mod tests {
         assert_eq!(after.gauges, vec![("g".to_string(), 9)]);
         assert_eq!(after.histograms.len(), 1);
         assert_eq!(after.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn counter_snapshot_deltas() {
+        let recorder = Arc::new(Recorder::new());
+        scoped(&recorder, || {
+            counter_add("a", 3);
+            counter_add("c", 1);
+            let snap = CounterSnapshot::capture();
+            assert!(snap.delta_since().is_empty());
+            counter_add("a", 2);
+            counter_add("b", 7);
+            assert_eq!(
+                snap.delta_since(),
+                vec![("a".to_string(), 2), ("b".to_string(), 7)]
+            );
+        });
+        // Disabled tracing: capture is empty and the delta stays empty.
+        let snap = CounterSnapshot::capture();
+        counter_add("a", 9);
+        assert!(snap.delta_since().is_empty());
     }
 
     #[test]

@@ -292,6 +292,13 @@ pub struct Candidate {
     pub memoized_schedule: bool,
     /// Per-stage wall times.
     pub timings: StageTimings,
+    /// Work counters this candidate moved, as sorted `(name, delta)`
+    /// pairs. Populated only for **serial** runs under an installed
+    /// recorder — parallel cells interleave on the shared recorder, so
+    /// per-candidate attribution would be noise. Cell-shared stage work
+    /// (schedule, lifetimes, WIG) lands on the cell's first allocation
+    /// order; the deltas across all candidates sum to the run totals.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Per-heuristic order construction and baseline timings.
@@ -330,6 +337,8 @@ pub struct CandidateReport {
     pub memoized_schedule: bool,
     /// Per-stage wall times.
     pub timings: StageTimings,
+    /// Per-candidate work-counter deltas (see [`Candidate::counters`]).
+    pub counters: Vec<(String, u64)>,
     /// Whether this candidate won.
     pub winner: bool,
 }
@@ -362,7 +371,9 @@ pub struct EngineReport {
     /// End-to-end wall time of the run.
     pub total_ns: u64,
     /// Algorithm counters collected during the run (empty unless a
-    /// global [`sdf_trace::Recorder`] was installed).
+    /// global [`sdf_trace::Recorder`] was installed), sorted by name so
+    /// two reports of the same run serialise identically — the
+    /// regression sentinel diffs this section with exact-match gating.
     pub counters: Vec<(String, u64)>,
 }
 
@@ -438,7 +449,14 @@ impl EngineReport {
             json_num(&mut s, "conflicts", c.conflicts as u64);
             s.push(',');
             json_bool(&mut s, "memoized_schedule", c.memoized_schedule);
-            s.push_str(",\"timings\":{");
+            s.push_str(",\"counters\":{");
+            for (j, (name, value)) in c.counters.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                json_num(&mut s, name, *value);
+            }
+            s.push_str("},\"timings\":{");
             json_us(&mut s, "schedule_us", c.timings.schedule_ns);
             s.push(',');
             json_us(&mut s, "lifetime_us", c.timings.lifetime_ns);
@@ -674,12 +692,17 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
     // Stage 4: evaluate every cell — schedule, lifetimes, WIG, clique
     // estimates, then one allocation per enumeration order.
     let allocation_orders = &options.allocation_orders;
+    // Per-candidate counter attribution needs exclusive use of the
+    // shared recorder: serial runs difference a snapshot around each
+    // candidate; parallel cells interleave, so they skip attribution.
+    let attribute_counters = !options.parallel && sdf_trace::enabled();
     let evaluate = |cell: Cell| -> Result<Vec<Candidate>, SdfError> {
         let _cell_span = sdf_trace::span!(
             "engine.candidate",
             heuristic = cell.heuristic,
             loop_opt = cell.loop_opt.as_str()
         );
+        let mut snapshot = attribute_counters.then(sdf_trace::CounterSnapshot::capture);
         let mut timings = StageTimings::default();
         let t = Instant::now();
         let (schedule, memoized_schedule) = {
@@ -718,6 +741,14 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
             drop(_span);
             let alloc_ns = elapsed_ns(t);
             let shared_total = allocation.total();
+            let counters = match snapshot.as_mut() {
+                Some(snap) => {
+                    let delta = snap.delta_since();
+                    *snap = sdf_trace::CounterSnapshot::capture();
+                    delta
+                }
+                None => Vec::new(),
+            };
             out.push(Candidate {
                 heuristic: cell.heuristic,
                 loop_opt: cell.loop_opt,
@@ -734,6 +765,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
                     alloc_ns,
                     ..timings
                 },
+                counters,
             });
         }
         Ok(out)
@@ -824,13 +856,21 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
                 conflicts: c.conflicts,
                 memoized_schedule: c.memoized_schedule,
                 timings: c.timings,
+                counters: c.counters.clone(),
                 winner: i == winner,
             })
             .collect(),
         winner,
         rationale,
         total_ns: elapsed_ns(t_run),
-        counters: sdf_trace::counter_values(),
+        counters: {
+            // counter_values() is BTreeMap-backed and therefore sorted
+            // today; the sentinel's exact-match diff depends on that, so
+            // enforce it here rather than trusting the backing store.
+            let mut counters = sdf_trace::counter_values();
+            counters.sort();
+            counters
+        },
     };
 
     Ok(Synthesis {

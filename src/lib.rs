@@ -17,12 +17,14 @@
 //! | [`codegen`] | C emission under both memory models |
 //! | [`apps`] | every benchmark graph of the paper's evaluation |
 //! | [`trace`] | span tracing, algorithm counters, trace/profile exporters |
+//! | [`regress`] | regression-sentinel profiles and structured diffs |
 //!
 //! On top of the members, the crate hosts the synthesis drivers:
 //! [`engine`] sweeps the candidate lattice (heuristic × loop optimizer ×
 //! allocation order, optionally in parallel) behind the
-//! [`AnalysisBuilder`] seam, and [`pipeline`] keeps the classic one-call
-//! [`Analysis`](pipeline::Analysis) wrapper over it.
+//! [`AnalysisBuilder`] seam, [`pipeline`] keeps the classic one-call
+//! [`Analysis`](pipeline::Analysis) wrapper over it, and [`sentinel`]
+//! captures regression-sentinel baseline profiles from engine runs.
 //!
 //! # Examples
 //!
@@ -65,6 +67,7 @@
 
 pub mod engine;
 pub mod pipeline;
+pub mod sentinel;
 
 pub use engine::{
     AnalysisBuilder, Candidate, EngineReport, Heuristic, StageTimings, Synthesis, SynthesisOptions,
@@ -76,5 +79,6 @@ pub use sdf_apps as apps;
 pub use sdf_codegen as codegen;
 pub use sdf_core as core;
 pub use sdf_lifetime as lifetime;
+pub use sdf_regress as regress;
 pub use sdf_sched as sched;
 pub use sdf_trace as trace;

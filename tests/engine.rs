@@ -187,6 +187,100 @@ fn tracing_never_changes_engine_results() {
 }
 
 #[test]
+fn serial_traced_runs_attribute_counters_per_candidate() {
+    use std::collections::BTreeMap;
+    for graph in [table1_systems().remove(0), homogeneous_grid(3, 3)] {
+        let recorder = std::sync::Arc::new(sdfmem::trace::Recorder::new());
+        let traced = sdfmem::trace::scoped(&recorder, || {
+            AnalysisBuilder::new()
+                .loop_opts(LoopVariant::ALL)
+                .parallel(false)
+                .run_full(&graph)
+        })
+        .expect("serial traced engine");
+        // Every candidate carries a sorted, non-empty delta (each one at
+        // least runs first-fit), and the deltas sum exactly to the run
+        // totals — no work double-counted, none lost.
+        let mut summed: BTreeMap<String, u64> = BTreeMap::new();
+        for c in &traced.candidates {
+            assert!(!c.counters.is_empty(), "{}", graph.name());
+            assert!(
+                c.counters.windows(2).all(|w| w[0].0 < w[1].0),
+                "{}: unsorted candidate counters",
+                graph.name()
+            );
+            for (name, delta) in &c.counters {
+                *summed.entry(name.clone()).or_default() += delta;
+            }
+        }
+        let totals: BTreeMap<String, u64> = traced.report.counters.iter().cloned().collect();
+        for (name, sum) in &summed {
+            let total = totals.get(name).copied().unwrap_or(0);
+            assert!(
+                *sum <= total,
+                "{}: candidate deltas for {name} exceed the run total ({sum} > {total})",
+                graph.name()
+            );
+        }
+        // Counters recorded inside candidate evaluation are fully
+        // attributed (run-level counters like engine.candidates are not).
+        for probe in ["alloc.first_fit.probes", "lifetime.wig.edge_tests"] {
+            if let Some(total) = totals.get(probe) {
+                assert_eq!(
+                    summed.get(probe),
+                    Some(total),
+                    "{}: {probe} not fully attributed",
+                    graph.name()
+                );
+            }
+        }
+        // The report mirrors the candidates and stays sorted.
+        for (c, r) in traced.candidates.iter().zip(&traced.report.candidates) {
+            assert_eq!(c.counters, r.counters, "{}", graph.name());
+        }
+        assert!(traced.report.counters.windows(2).all(|w| w[0].0 < w[1].0));
+        // Parallel and untraced runs skip attribution.
+        let parallel =
+            sdfmem::trace::scoped(&std::sync::Arc::new(sdfmem::trace::Recorder::new()), || {
+                AnalysisBuilder::new().parallel(true).run_full(&graph)
+            })
+            .expect("parallel traced engine");
+        assert!(parallel.candidates.iter().all(|c| c.counters.is_empty()));
+        let untraced = AnalysisBuilder::new()
+            .parallel(false)
+            .run_full(&graph)
+            .expect("untraced engine");
+        assert!(untraced.candidates.iter().all(|c| c.counters.is_empty()));
+    }
+}
+
+#[test]
+fn candidate_counters_serialise_in_the_report() {
+    let graph = homogeneous_grid(3, 3);
+    let recorder = std::sync::Arc::new(sdfmem::trace::Recorder::new());
+    let traced = sdfmem::trace::scoped(&recorder, || {
+        AnalysisBuilder::new().parallel(false).run_full(&graph)
+    })
+    .expect("serial traced engine");
+    let json = traced.report.to_json();
+    let doc = sdfmem::trace::json::parse(&json).expect("report JSON parses");
+    let candidates = doc
+        .get("candidates")
+        .and_then(|c| c.as_array())
+        .expect("candidates array");
+    for (c, parsed) in traced.candidates.iter().zip(candidates) {
+        let counters = parsed.get("counters").expect("counters object");
+        for (name, delta) in &c.counters {
+            assert_eq!(
+                counters.get(name).and_then(|v| v.as_num()),
+                Some(*delta as f64),
+                "{name}"
+            );
+        }
+    }
+}
+
+#[test]
 fn widening_the_lattice_never_regresses() {
     // Widening the lattice can only improve (or match) the winning pool.
     for graph in all_app_graphs() {

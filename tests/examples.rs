@@ -1,0 +1,68 @@
+//! The example graph corpus under `examples/graphs/` must stay parseable,
+//! consistent, and in sync with the `sdf-apps` registry — it is the input
+//! set of the regression sentinel (`engine_sweep --baseline/--gate`), so
+//! a file drifting from its registry twin would silently change what the
+//! perf gate measures.
+
+use sdfmem::apps::registry::by_name;
+use sdfmem::core::RepetitionsVector;
+use sdfmem::AnalysisBuilder;
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/graphs")
+}
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("examples/graphs exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sdf"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_parses_and_is_consistent() {
+    let files = corpus_files();
+    assert!(files.len() >= 5, "corpus shrank: {files:?}");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let graph = sdfmem::core::io::parse_graph(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let q = RepetitionsVector::compute(&graph)
+            .unwrap_or_else(|e| panic!("{}: inconsistent: {e}", path.display()));
+        assert!(q.total_firings() > 0, "{}", path.display());
+        // The sentinel runs the full engine over each corpus graph, so
+        // each one must synthesise cleanly.
+        let analysis = AnalysisBuilder::new()
+            .run(&graph)
+            .unwrap_or_else(|e| panic!("{}: engine failed: {e}", path.display()));
+        assert!(
+            analysis.shared_total() <= analysis.nonshared_bufmem,
+            "{}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn registry_twins_match_their_files() {
+    for name in ["satrec", "qmf23_2d", "qmf12_2d", "16qamModem"] {
+        let registry = by_name(name).expect("registry graph");
+        let path = corpus_dir().join(format!("{name}.sdf"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let parsed = sdfmem::core::io::parse_graph(&text).expect("parses");
+        assert_eq!(parsed.name(), registry.name(), "{name}");
+        assert_eq!(parsed.actor_count(), registry.actor_count(), "{name}");
+        assert_eq!(parsed.edge_count(), registry.edge_count(), "{name}");
+        // Round-tripping the registry graph reproduces the file exactly,
+        // so regenerating via export_graphs is always a no-op diff.
+        assert_eq!(
+            sdfmem::core::io::to_text(&registry),
+            text,
+            "{name}: file drifted from the registry — regenerate with export_graphs"
+        );
+    }
+}
