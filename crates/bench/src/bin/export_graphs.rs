@@ -8,11 +8,23 @@
 //!
 //! With no names, exports the default corpus selection.
 
-use sdf_apps::registry::by_name;
-
 /// The default corpus: a spread of Table 1 shapes — the satellite
-/// receiver, shallow and deep QMF filterbanks, and the 16-QAM modem.
-const DEFAULT_CORPUS: &[&str] = &["satrec", "qmf23_2d", "qmf12_2d", "16qamModem"];
+/// receiver, shallow and deep QMF filterbanks, the 16-QAM modem — plus
+/// one large synthetic system so the regression sentinel exercises the
+/// windowed DP and sweep WIG at scale.
+const DEFAULT_CORPUS: &[&str] = &[
+    "satrec",
+    "qmf23_2d",
+    "qmf12_2d",
+    "16qamModem",
+    "scale_chain_128",
+];
+
+/// Table 1 names resolve through the registry; `scale_*` names fall back
+/// to the deterministic scale generators.
+fn by_name(name: &str) -> Option<sdf_core::SdfGraph> {
+    sdf_apps::registry::by_name(name).or_else(|| sdf_apps::scale::by_name(name))
+}
 
 fn real_main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();

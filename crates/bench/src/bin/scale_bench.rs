@@ -1,0 +1,310 @@
+//! Benchmarks the full synthesis pipeline on the large synthetic systems
+//! of `sdf_apps::scale` (CD-DAT-style chains, deep filterbank trees,
+//! sparse DAGs), timing every stage — chain tables, loop DP, lifetime
+//! extraction, WIG build, first-fit allocation — under both the exact
+//! configuration (dense O(n³) DP, brute-force all-pairs WIG) and the
+//! optimised one (bound-guided windowed DP, active-set sweep WIG).
+//!
+//! On every graph the two configurations are cross-checked: the windowed
+//! DP must reproduce the exact `bufmem` bit for bit and the sweep WIG the
+//! exact adjacency, so the speedup numbers never come at the cost of a
+//! different answer.  One `bench_trajectory` point per size tier is
+//! written to `BENCH_4.json`.
+//!
+//! ```text
+//! cargo run --release --bin scale_bench
+//! cargo run --release --bin scale_bench -- --sizes 128 --budget-s 300
+//! cargo run --release --bin scale_bench -- --sizes 128,512,2048 --min-speedup 5
+//! ```
+//!
+//! `--min-speedup R` (default 5) asserts the end-to-end exact/optimised
+//! ratio at the largest requested tier; `--budget-s` aborts with an error
+//! if the whole run exceeds the wall-clock budget (CI's scale-smoke uses
+//! both).
+
+use std::time::Instant;
+
+use sdf_alloc::first_fit::{allocate, AllocationOrder, PlacementPolicy};
+use sdf_apps::scale::{scale_systems, SIZES};
+use sdf_core::{RepetitionsVector, SdfGraph};
+use sdf_lifetime::interval::buffer_lifetime;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::{Buffer, IntersectionGraph};
+use sdf_sched::{apgan, dppo_from_tables, ChainTables, DpMode};
+
+/// Wall time of each pipeline stage plus the outcomes the cross-checks
+/// compare.
+struct StageTimes {
+    tables_us: f64,
+    dp_us: f64,
+    lifetime_us: f64,
+    wig_us: f64,
+    alloc_us: f64,
+    bufmem: u64,
+    shared: u64,
+    conflicts: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl StageTimes {
+    fn total_us(&self) -> f64 {
+        self.tables_us + self.dp_us + self.lifetime_us + self.wig_us + self.alloc_us
+    }
+}
+
+fn us(from: Instant) -> f64 {
+    from.elapsed().as_nanos() as f64 / 1e3
+}
+
+/// Runs graph → tables → DP → lifetimes → WIG → first-fit once.
+fn run_pipeline(graph: &SdfGraph, mode: DpMode, all_pairs_wig: bool) -> StageTimes {
+    let q = RepetitionsVector::compute(graph).expect("consistent scale graph");
+    let order = apgan(graph, &q).expect("acyclic scale graph");
+
+    let t = Instant::now();
+    let ct = ChainTables::build(graph, &q, &order).expect("topological order");
+    let tables_us = us(t);
+
+    let t = Instant::now();
+    let dp = dppo_from_tables(&ct, &q, mode);
+    let dp_us = us(t);
+
+    let t = Instant::now();
+    let tree = ScheduleTree::build(graph, &q, &dp.tree).expect("valid SAS");
+    let buffers: Vec<Buffer> = graph
+        .edges()
+        .map(|(id, _)| Buffer {
+            edge: id,
+            lifetime: buffer_lifetime(graph, &q, &tree, id),
+        })
+        .collect();
+    let lifetime_us = us(t);
+
+    let t = Instant::now();
+    let wig = if all_pairs_wig {
+        IntersectionGraph::from_buffers_all_pairs(buffers)
+    } else {
+        IntersectionGraph::from_buffers(buffers)
+    };
+    let wig_us = us(t);
+
+    let t = Instant::now();
+    let alloc = allocate(
+        &wig,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
+    let alloc_us = us(t);
+
+    StageTimes {
+        tables_us,
+        dp_us,
+        lifetime_us,
+        wig_us,
+        alloc_us,
+        bufmem: dp.bufmem,
+        shared: alloc.total(),
+        conflicts: wig.conflict_count(),
+        adjacency: (0..wig.len()).map(|i| wig.neighbours(i).to_vec()).collect(),
+    }
+}
+
+/// Aggregate of one size tier across all families and both configurations.
+#[derive(Default)]
+struct TierSample {
+    n: usize,
+    graphs: usize,
+    exact_us: f64,
+    optimised_us: f64,
+    dp_exact_us: f64,
+    dp_windowed_us: f64,
+    wig_all_pairs_us: f64,
+    wig_sweep_us: f64,
+    shared_total: u64,
+    nonshared_total: u64,
+}
+
+fn measure_tier(n: usize) -> TierSample {
+    let mut tier = TierSample {
+        n,
+        ..TierSample::default()
+    };
+    for graph in scale_systems(n) {
+        let exact = run_pipeline(&graph, DpMode::Exact, true);
+        let opt = run_pipeline(&graph, DpMode::Windowed, false);
+        assert_eq!(
+            exact.bufmem,
+            opt.bufmem,
+            "{}: windowed DP diverged from exact bufmem",
+            graph.name()
+        );
+        assert_eq!(
+            exact.adjacency,
+            opt.adjacency,
+            "{}: sweep WIG diverged from all-pairs adjacency",
+            graph.name()
+        );
+        assert_eq!(
+            exact.shared,
+            opt.shared,
+            "{}: allocations diverged",
+            graph.name()
+        );
+        eprintln!(
+            "{:>16} n={:<5} exact {:>12.1}µs (dp {:>12.1})  optimised {:>10.1}µs (dp {:>8.1})  \
+             speedup {:>6.2}x  conflicts {}",
+            graph.name(),
+            graph.actor_count(),
+            exact.total_us(),
+            exact.dp_us,
+            opt.total_us(),
+            opt.dp_us,
+            exact.total_us() / opt.total_us(),
+            opt.conflicts,
+        );
+        tier.graphs += 1;
+        tier.exact_us += exact.total_us();
+        tier.optimised_us += opt.total_us();
+        tier.dp_exact_us += exact.dp_us;
+        tier.dp_windowed_us += opt.dp_us;
+        tier.wig_all_pairs_us += exact.wig_us;
+        tier.wig_sweep_us += opt.wig_us;
+        tier.shared_total += opt.shared;
+        tier.nonshared_total += opt.bufmem;
+    }
+    tier
+}
+
+/// One `bench_trajectory` point per tier, same envelope as the
+/// engine-sweep trajectory so downstream tooling parses both.
+fn trajectory_point(tier: &TierSample) -> String {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{{\"unix_s\":{unix_s},\"n\":{},\"graphs\":{},\
+         \"exact_total_us\":{:.3},\"optimised_total_us\":{:.3},\"speedup\":{:.3},\
+         \"dp_exact_us\":{:.3},\"dp_windowed_us\":{:.3},\
+         \"wig_all_pairs_us\":{:.3},\"wig_sweep_us\":{:.3},\
+         \"shared_bufmem_total\":{},\"nonshared_bufmem_total\":{}}}",
+        tier.n,
+        tier.graphs,
+        tier.exact_us,
+        tier.optimised_us,
+        tier.exact_us / tier.optimised_us,
+        tier.dp_exact_us,
+        tier.dp_windowed_us,
+        tier.wig_all_pairs_us,
+        tier.wig_sweep_us,
+        tier.shared_total,
+        tier.nonshared_total,
+    )
+}
+
+fn bench_json(tiers: &[TierSample]) -> String {
+    let mut s = format!(
+        "{{\"schema_version\":{},\"kind\":\"bench_trajectory\",\"bench\":\"scale_bench\",\"points\":[",
+        sdf_trace::SCHEMA_VERSION
+    );
+    for (i, tier) in tiers.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&trajectory_point(tier));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let sizes: Vec<usize> = match flag("--sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --sizes entry `{tok}`"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => SIZES.to_vec(),
+    };
+    let min_speedup: f64 = match flag("--min-speedup") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --min-speedup value `{v}`"))?,
+        None => 5.0,
+    };
+    let budget_s: Option<u64> = match flag("--budget-s") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad --budget-s value `{v}`"))?,
+        ),
+        None => None,
+    };
+    let out_path = flag("--out").cloned().unwrap_or("BENCH_4.json".to_string());
+
+    let started = Instant::now();
+    let mut tiers = Vec::new();
+    for &n in &sizes {
+        tiers.push(measure_tier(n));
+        if let Some(budget) = budget_s {
+            if started.elapsed().as_secs() > budget {
+                return Err(format!(
+                    "wall-clock budget exceeded: {}s > {budget}s after tier n={n}",
+                    started.elapsed().as_secs()
+                ));
+            }
+        }
+    }
+
+    let body = bench_json(&tiers);
+    sdf_trace::json::parse(&body).map_err(|e| format!("internal: bad bench JSON: {e}"))?;
+    std::fs::write(&out_path, &body).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {out_path}");
+
+    eprintln!();
+    eprintln!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "n", "exact µs", "optimised µs", "speedup"
+    );
+    for tier in &tiers {
+        eprintln!(
+            "{:>6} {:>14.1} {:>14.1} {:>7.2}x",
+            tier.n,
+            tier.exact_us,
+            tier.optimised_us,
+            tier.exact_us / tier.optimised_us
+        );
+    }
+
+    // The headline gate: the largest tier must clear the requested
+    // end-to-end speedup.
+    if let Some(largest) = tiers.iter().max_by_key(|t| t.n) {
+        let speedup = largest.exact_us / largest.optimised_us;
+        if speedup < min_speedup {
+            return Err(format!(
+                "end-to-end speedup {speedup:.2}x at n={} below required {min_speedup}x",
+                largest.n
+            ));
+        }
+        eprintln!(
+            "speedup gate: {speedup:.2}x >= {min_speedup}x at n={} ✓",
+            largest.n
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = real_main() {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

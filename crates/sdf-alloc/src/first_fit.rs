@@ -152,16 +152,36 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
     let mut offsets = vec![0u64; n];
     let mut placed = vec![false; n];
     let mut total = 0u64;
+    // One scratch buffer for the occupied ranges, reused across the whole
+    // placement loop instead of allocating per buffer.
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    let mut range_merges = 0u64;
     for &i in &sequence {
         let size = wig.size(i);
         // Occupied ranges among already-placed overlapping neighbours.
-        let mut ranges: Vec<(u64, u64)> = wig
-            .conflicts(i)
-            .iter()
-            .filter(|&&j| placed[j])
-            .map(|&j| (offsets[j], offsets[j] + wig.size(j)))
-            .collect();
+        ranges.clear();
+        ranges.extend(
+            wig.conflicts(i)
+                .iter()
+                .filter(|&&j| placed[j])
+                .map(|&j| (offsets[j], offsets[j] + wig.size(j))),
+        );
         ranges.sort_unstable();
+        // Coalesce touching/overlapping ranges in place so the fit scan
+        // sees each free gap exactly once.
+        if !ranges.is_empty() {
+            let mut write = 0;
+            for r in 1..ranges.len() {
+                if ranges[r].0 <= ranges[write].1 {
+                    ranges[write].1 = ranges[write].1.max(ranges[r].1);
+                    range_merges += 1;
+                } else {
+                    write += 1;
+                    ranges[write] = ranges[r];
+                }
+            }
+            ranges.truncate(write + 1);
+        }
         let offset = match policy {
             PlacementPolicy::FirstFit => first_fit_offset(&ranges, size),
             PlacementPolicy::BestFit => best_fit_offset(&ranges, size),
@@ -192,6 +212,7 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
         sdf_trace::counter_inc("alloc.first_fit.runs");
         sdf_trace::counter_add("alloc.first_fit.probes", probes);
         sdf_trace::counter_add("alloc.first_fit.placement_failures", failures);
+        sdf_trace::counter_add("alloc.first_fit.range_merges", range_merges);
         sdf_trace::gauge_set("alloc.fragmentation_words", fragmentation);
     }
     Allocation { offsets, total }
@@ -501,6 +522,27 @@ mod tests {
             (0, 3)
         );
         assert!(range_of_edge(&w, &a, EdgeId::from_index(7)).is_err());
+    }
+
+    #[test]
+    fn overlapping_neighbour_ranges_coalesce() {
+        // Buffers 0–2 are pairwise disjoint in time, so all three stack at
+        // address 0 with overlapping address ranges [0,4), [0,4), [0,2).
+        // Buffer 3 overlaps all of them: the coalesced scan must see one
+        // solid block [0,4) and place it at 4.
+        let w = wig_of(vec![
+            PeriodicLifetime::solid(0, 2, 4),
+            PeriodicLifetime::solid(2, 2, 4),
+            PeriodicLifetime::solid(4, 2, 2),
+            PeriodicLifetime::solid(0, 6, 1),
+        ]);
+        let a = allocate(&w, AllocationOrder::Insertion, PlacementPolicy::FirstFit);
+        assert_eq!(a.offset(0), 0);
+        assert_eq!(a.offset(1), 0);
+        assert_eq!(a.offset(2), 0);
+        assert_eq!(a.offset(3), 4);
+        assert_eq!(a.total(), 5);
+        validate_allocation(&w, &a).unwrap();
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   array) plus the CD-to-DAT chain;
 //! * [`homogeneous`] — the M×N graphs of §10.2 (Fig. 26);
 //! * [`random`] — consistent-by-construction random SDF graphs (§10.3);
-//! * [`registry`] — all Table 1 systems by name.
+//! * [`registry`] — all Table 1 systems by name;
+//! * [`scale`] — deterministic large systems (128–2048 actors) for the
+//!   scale benchmark.
 //!
 //! # Examples
 //!
@@ -33,3 +35,4 @@ pub mod homogeneous;
 pub mod random;
 pub mod registry;
 pub mod satrec;
+pub mod scale;

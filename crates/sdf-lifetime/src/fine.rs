@@ -180,8 +180,37 @@ impl FineIntersectionGraph {
         Self::from_fine_buffers(buffers)
     }
 
-    /// Builds the conflict structure from already-extracted buffers.
-    fn from_fine_buffers(buffers: Vec<FineBuffer>) -> Self {
+    /// Builds the conflict structure from already-extracted buffers,
+    /// using the same start-sorted active-set sweep as the coarse WIG
+    /// (a fine lifetime's envelope is `[start(), end())`).
+    pub fn from_fine_buffers(buffers: Vec<FineBuffer>) -> Self {
+        let _span = sdf_trace::span!("lifetime.fine_wig", buffers = buffers.len());
+        let traced = sdf_trace::enabled();
+        let mut edge_tests = 0u64;
+        let n = buffers.len();
+        let adjacency = crate::wig::sweep_adjacency(
+            n,
+            |i| buffers[i].lifetime.start(),
+            |i| buffers[i].lifetime.end(),
+            |i, j| {
+                if traced {
+                    edge_tests += 1;
+                }
+                buffers[i].lifetime.intersects(&buffers[j].lifetime)
+            },
+        );
+        if traced {
+            sdf_trace::counter_add("lifetime.fine.edge_tests", edge_tests);
+            let conflicts = adjacency.iter().map(Vec::len).sum::<usize>() as u64 / 2;
+            sdf_trace::counter_add("lifetime.fine.conflicts", conflicts);
+        }
+        FineIntersectionGraph { buffers, adjacency }
+    }
+
+    /// Brute-force all-pairs twin of
+    /// [`FineIntersectionGraph::from_fine_buffers`], kept public as the
+    /// sweep's executable specification for equivalence tests.
+    pub fn from_fine_buffers_all_pairs(buffers: Vec<FineBuffer>) -> Self {
         let n = buffers.len();
         let mut adjacency = vec![Vec::new(); n];
         for i in 0..n {
@@ -429,6 +458,43 @@ mod tests {
         // live through the whole 2-step period.
         assert_eq!(lt.intervals(), &[(0, 2)]);
         assert_eq!(lt.size(), 3); // 2 initial + 1 produced before consume? peak is 3 or 2
+    }
+
+    mod sweep_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The shared active-set sweep must reproduce the brute-force
+            /// all-pairs adjacency on arbitrary fragmented interval sets,
+            /// including never-live (empty) buffers.
+            #[test]
+            fn sweep_matches_all_pairs(
+                raw in prop::collection::vec(
+                    prop::collection::vec((0u64..48, 0u64..6), 0..4),
+                    0..24,
+                )
+            ) {
+                let mk = |raw: &[Vec<(u64, u64)>]| -> Vec<FineBuffer> {
+                    raw.iter()
+                        .enumerate()
+                        .map(|(i, spans)| FineBuffer {
+                            edge: EdgeId::from_index(i),
+                            lifetime: FineLifetime::new(
+                                spans.iter().map(|&(s, len)| (s, s + len)).collect(),
+                                1,
+                            ),
+                        })
+                        .collect()
+                };
+                let sweep = FineIntersectionGraph::from_fine_buffers(mk(&raw));
+                let brute = FineIntersectionGraph::from_fine_buffers_all_pairs(mk(&raw));
+                prop_assert_eq!(sweep.len(), brute.len());
+                for i in 0..sweep.len() {
+                    prop_assert_eq!(sweep.conflicts(i), brute.conflicts(i));
+                }
+            }
+        }
     }
 
     #[test]

@@ -232,7 +232,9 @@ impl PeriodicLifetime {
 
     /// True if any occurrence of the buffer intersects `[from, to)`.
     pub fn intersects_window(&self, from: u64, to: u64) -> bool {
-        if from >= to {
+        // A zero-length occurrence `[s, s)` is empty: a dur-0 lifetime is
+        // never live, whatever its occurrence starts.
+        if from >= to || self.dur == 0 {
             return false;
         }
         if self.live_at(from) {
@@ -256,6 +258,12 @@ impl PeriodicLifetime {
 
     /// [`PeriodicLifetime::intersects`] with an explicit enumeration cap.
     pub fn intersects_with_cap(&self, other: &PeriodicLifetime, cap: u64) -> bool {
+        // Zero-duration lifetimes are never live and intersect nothing —
+        // checked up front so the test is symmetric (the enumeration below
+        // would otherwise see empty windows in one direction only).
+        if self.dur == 0 || other.dur == 0 {
+            return false;
+        }
         // Fast envelope rejection.
         if self.start >= other.envelope_end() || other.start >= self.envelope_end() {
             return false;
@@ -656,5 +664,49 @@ mod tests {
         let lt = buffer_lifetime(&g, &q, &tree, e);
         assert!(lt.is_solid());
         assert_eq!(lt.size(), 2);
+    }
+
+    mod cap_conservative {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn lifetime_strategy() -> impl Strategy<Value = PeriodicLifetime> {
+            (
+                0u64..40,                                        // start
+                0u64..6,                                         // dur
+                prop::collection::vec((2u64..5, 2u64..4), 0..3), // (gap factor, count)
+            )
+                .prop_map(|(start, dur, levels)| {
+                    let mut periods = Vec::new();
+                    let mut stride = dur.max(1);
+                    for (factor, count) in levels {
+                        stride *= factor;
+                        periods.push(Period { stride, count });
+                        stride *= count;
+                    }
+                    PeriodicLifetime::periodic(start, dur, 1, periods)
+                })
+        }
+
+        proptest! {
+            /// The enumeration-cap fallback may only err towards overlap:
+            /// whatever the cap, a capped test must never report two
+            /// lifetimes disjoint when the uncapped (exact) test finds an
+            /// intersection.  An unsound "disjoint" would let the allocator
+            /// overlay two simultaneously-live buffers.
+            #[test]
+            fn capped_test_never_misses_an_overlap(
+                a in lifetime_strategy(),
+                b in lifetime_strategy(),
+                cap in 0u64..32,
+            ) {
+                let exact = a.intersects_with_cap(&b, u64::MAX);
+                let capped = a.intersects_with_cap(&b, cap);
+                prop_assert!(
+                    capped || !exact,
+                    "cap {} reported disjoint but exact test overlaps", cap
+                );
+            }
+        }
     }
 }

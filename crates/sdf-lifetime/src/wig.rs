@@ -6,12 +6,56 @@
 //! envelope `[start, envelope_end)`, then tested precisely with the
 //! periodic intersection test.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use sdf_core::error::SdfError;
 use sdf_core::graph::{EdgeId, SdfGraph};
 use sdf_core::repetitions::RepetitionsVector;
 
 use crate::interval::{buffer_lifetime, PeriodicLifetime};
 use crate::tree::ScheduleTree;
+
+/// Start-sorted active-set sweep shared by the coarse and fine
+/// intersection graphs.
+///
+/// Buffers enter in ascending `start` order; a min-heap keyed on envelope
+/// end retires a buffer as soon as the sweep point passes its end, so each
+/// entering buffer runs the precise `test` against exactly the buffers
+/// whose envelopes contain its start.  The candidate set is the set of
+/// envelope-overlapping pairs, so the adjacency is identical to the
+/// brute-force all-pairs construction while doing `O(n log n + candidates)`
+/// work instead of `Θ(n²)`.
+pub(crate) fn sweep_adjacency(
+    n: usize,
+    start: impl Fn(usize) -> u64,
+    end: impl Fn(usize) -> u64,
+    mut test: impl FnMut(usize, usize) -> bool,
+) -> Vec<Vec<usize>> {
+    let mut adjacency = vec![Vec::new(); n];
+    let mut by_start: Vec<usize> = (0..n).collect();
+    by_start.sort_by_key(|&i| start(i));
+    // Buffers whose envelope end lies beyond the sweep point, cheapest
+    // retirement first.
+    let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for &i in &by_start {
+        let s = start(i);
+        while active.peek().is_some_and(|&Reverse((e, _))| e <= s) {
+            active.pop();
+        }
+        for &Reverse((_, j)) in active.iter() {
+            if test(j, i) {
+                adjacency[i].push(j);
+                adjacency[j].push(i);
+            }
+        }
+        active.push(Reverse((end(i), i)));
+    }
+    for adj in &mut adjacency {
+        adj.sort_unstable();
+    }
+    adjacency
+}
 
 /// A buffer (WIG node): the SDF edge it implements, its lifetime and size.
 #[derive(Clone, Debug)]
@@ -129,28 +173,19 @@ impl IntersectionGraph {
         let traced = sdf_trace::enabled();
         let mut edge_tests = 0u64;
         let n = buffers.len();
-        let mut adjacency = vec![Vec::new(); n];
-        // Sweep by earliest start (Fig. 19's buildIntersectionGraph).
-        let mut by_start: Vec<usize> = (0..n).collect();
-        by_start.sort_by_key(|&i| buffers[i].lifetime.start());
-        for (si, &i) in by_start.iter().enumerate() {
-            let end_i = buffers[i].lifetime.envelope_end();
-            for &j in &by_start[si + 1..] {
-                if buffers[j].lifetime.start() >= end_i {
-                    break;
-                }
+        // Sweep by earliest start (Fig. 19's buildIntersectionGraph), with
+        // the active set retired by envelope end.
+        let adjacency = sweep_adjacency(
+            n,
+            |i| buffers[i].lifetime.start(),
+            |i| buffers[i].lifetime.envelope_end(),
+            |i, j| {
                 if traced {
                     edge_tests += 1;
                 }
-                if buffers[i].lifetime.intersects(&buffers[j].lifetime) {
-                    adjacency[i].push(j);
-                    adjacency[j].push(i);
-                }
-            }
-        }
-        for adj in &mut adjacency {
-            adj.sort_unstable();
-        }
+                buffers[i].lifetime.intersects(&buffers[j].lifetime)
+            },
+        );
         if traced {
             sdf_trace::counter_add("lifetime.buffers", n as u64);
             let triples: u64 = buffers
@@ -161,6 +196,24 @@ impl IntersectionGraph {
             sdf_trace::counter_add("lifetime.wig.edge_tests", edge_tests);
             let conflicts = adjacency.iter().map(Vec::len).sum::<usize>() as u64 / 2;
             sdf_trace::counter_add("lifetime.wig.conflicts", conflicts);
+        }
+        IntersectionGraph { buffers, adjacency }
+    }
+
+    /// Brute-force all-pairs construction — the sweep's executable
+    /// specification.  `Θ(n²)` precise tests with no envelope pruning;
+    /// kept public so tests (and external instances) can cross-check
+    /// [`IntersectionGraph::from_buffers`] against it.
+    pub fn from_buffers_all_pairs(buffers: Vec<Buffer>) -> Self {
+        let n = buffers.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if buffers[i].lifetime.intersects(&buffers[j].lifetime) {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
         }
         IntersectionGraph { buffers, adjacency }
     }
@@ -335,5 +388,57 @@ mod tests {
         let w = wig_of(vec![]);
         assert!(w.is_empty());
         assert_eq!(w.total_size(), 0);
+    }
+
+    mod sweep_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Structurally valid periodic lifetimes: nesting strides, with
+        /// occasional zero-duration and solid degenerate cases.
+        fn lifetime_strategy() -> impl Strategy<Value = PeriodicLifetime> {
+            (
+                0u64..40,                                        // start
+                0u64..6,                                         // dur
+                prop::collection::vec((2u64..5, 2u64..4), 0..3), // (gap factor, count)
+                1u64..16,                                        // size
+            )
+                .prop_map(|(start, dur, levels, size)| {
+                    let mut periods = Vec::new();
+                    let mut stride = dur.max(1);
+                    for (factor, count) in levels {
+                        stride *= factor;
+                        periods.push(Period { stride, count });
+                        stride *= count;
+                    }
+                    PeriodicLifetime::periodic(start, dur, size, periods)
+                })
+        }
+
+        proptest! {
+            /// The active-set sweep must produce exactly the brute-force
+            /// all-pairs adjacency on arbitrary (periodic, solid,
+            /// zero-length) lifetime mixes.
+            #[test]
+            fn sweep_matches_all_pairs(
+                lifetimes in prop::collection::vec(lifetime_strategy(), 0..24)
+            ) {
+                let mk = |lts: &[PeriodicLifetime]| -> Vec<Buffer> {
+                    lts.iter()
+                        .enumerate()
+                        .map(|(i, lifetime)| Buffer {
+                            edge: EdgeId::from_index(i),
+                            lifetime: lifetime.clone(),
+                        })
+                        .collect()
+                };
+                let sweep = IntersectionGraph::from_buffers(mk(&lifetimes));
+                let brute = IntersectionGraph::from_buffers_all_pairs(mk(&lifetimes));
+                prop_assert_eq!(sweep.len(), brute.len());
+                for i in 0..sweep.len() {
+                    prop_assert_eq!(sweep.neighbours(i), brute.neighbours(i));
+                }
+            }
+        }
     }
 }

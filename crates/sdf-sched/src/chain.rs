@@ -89,6 +89,10 @@ impl ChainTables {
             }
         }
 
+        // The engine shares one build across every candidate with the
+        // same lexical order, so the build count is a direct measure of
+        // that reuse — the sentinel gates on it.
+        sdf_trace::counter_inc("sched.chain_tables.builds");
         Ok(ChainTables {
             n,
             order: order.to_vec(),
@@ -154,6 +158,15 @@ impl ChainTables {
     /// on top of one split-iteration's production).
     pub fn split_cost(&self, i: usize, k: usize, j: usize) -> u64 {
         self.crossing_tnse(i, k, j) / self.gcd_range(i, j) + self.crossing_delay(i, k, j)
+    }
+
+    /// Aggregate `(TNSE, delay)` of the parallel edges from position `u`
+    /// to position `v` — the windowed DP's per-pair lower-bound inputs.
+    pub(crate) fn pair_weights(&self, u: usize, v: usize) -> (u64, u64) {
+        (
+            rect(&self.tnse_ps, self.n, u, u, v, v),
+            rect(&self.delay_ps, self.n, u, u, v, v),
+        )
     }
 
     /// The unfactored split cost: full-period crossing TNSE plus delays

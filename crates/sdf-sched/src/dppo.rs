@@ -17,6 +17,7 @@ use sdf_core::repetitions::RepetitionsVector;
 use sdf_core::schedule::SasTree;
 
 use crate::chain::ChainTables;
+use crate::dpwin::{self, DpMode};
 use crate::treebuild::{build_tree, SplitDecision};
 
 /// The result of a DPPO run: an order-optimal R-schedule and its predicted
@@ -62,47 +63,60 @@ pub fn dppo(
     q: &RepetitionsVector,
     order: &[ActorId],
 ) -> Result<DppoResult, SdfError> {
+    dppo_with_mode(graph, q, order, DpMode::default())
+}
+
+/// Runs DPPO with an explicit [`DpMode`].
+///
+/// # Errors
+///
+/// Same as [`dppo`].
+pub fn dppo_with_mode(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    order: &[ActorId],
+    mode: DpMode,
+) -> Result<DppoResult, SdfError> {
     if graph.actor_count() == 0 {
         return Err(SdfError::EmptyGraph);
     }
-    let _span = sdf_trace::span!("sched.dppo", actors = order.len());
     let ct = ChainTables::build(graph, q, order)?;
+    Ok(dppo_from_tables(&ct, q, mode))
+}
+
+/// Runs DPPO over prebuilt [`ChainTables`], so candidates sharing a
+/// lexical order share the O(n²) gcd/prefix-sum work.
+///
+/// # Panics
+///
+/// Panics if `ct` is empty (callers validate via [`ChainTables::build`]).
+pub fn dppo_from_tables(ct: &ChainTables, q: &RepetitionsVector, mode: DpMode) -> DppoResult {
+    assert!(!ct.is_empty(), "DPPO needs at least one actor");
+    let _span = sdf_trace::span!("sched.dppo", actors = ct.len());
     let n = ct.len();
-    // b[i][j] and the argmin split, row-major over i <= j.
-    let mut b = vec![0u64; n * n];
-    let mut split = vec![0usize; n * n];
-    for span in 1..n {
-        for i in 0..(n - span) {
-            let j = i + span;
-            let mut best = u64::MAX;
-            let mut best_k = i;
-            for k in i..j {
-                let cost = b[i * n + k] + b[(k + 1) * n + j] + ct.split_cost(i, k, j);
-                if cost < best {
-                    best = cost;
-                    best_k = k;
-                }
-            }
-            b[i * n + j] = best;
-            split[i * n + j] = best_k;
-        }
-    }
-    let tree = build_tree(&ct, q, &|i, j| SplitDecision {
-        k: split[i * n + j],
+    let mut solver = dpwin::Solver::new(ct, mode, dpwin::Combine::Sum, |i, k, j| {
+        ct.split_cost(i, k, j)
+    });
+    let bufmem = solver.value(0, n - 1);
+    // Tree decisions read argmin splits straight from the solver: the
+    // windowed scan provably reproduces the exact scan's smallest-k
+    // tie-break, and resolving a cell always computes the two children
+    // its tree decision visits next.
+    let solver = std::cell::RefCell::new(solver);
+    let tree = build_tree(ct, q, &|i, j| SplitDecision {
+        k: solver.borrow_mut().tree_split(i, j),
         factored: true,
     });
     if sdf_trace::enabled() {
-        // Closed forms keep the hot loops untouched when tracing is off:
-        // one cell per (i, j) pair, Σ (j - i) split probes over all pairs.
-        let n = n as u64;
+        let nn = n as u64;
         sdf_trace::counter_inc("sched.dppo.runs");
-        sdf_trace::counter_add("sched.dppo.cells", n * (n - 1) / 2);
-        sdf_trace::counter_add("sched.dppo.split_probes", n * (n * n - 1) / 6);
+        sdf_trace::counter_add("sched.dppo.cells", nn * (nn - 1) / 2);
+        // Actual crossing-cost evaluations, not the closed form — the
+        // windowed scan does far fewer and the regression sentinel gates
+        // on this counter.
+        sdf_trace::counter_add("sched.dppo.split_probes", solver.borrow().probes());
     }
-    Ok(DppoResult {
-        tree,
-        bufmem: b[n - 1], // row 0, column n-1
-    })
+    DppoResult { tree, bufmem }
 }
 
 #[cfg(test)]
@@ -205,6 +219,79 @@ mod tests {
         assert_eq!(r.bufmem, 4);
         let report = validate_schedule(&g, &r.tree.to_looped_schedule(), &q).unwrap();
         assert_eq!(report.bufmem(), 4);
+    }
+
+    #[test]
+    fn windowed_matches_exact_on_cd_dat() {
+        let mut g = SdfGraph::new("cd-dat");
+        let ids: Vec<_> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|n| g.add_actor(*n))
+            .collect();
+        for (i, &(p, c)) in [(1, 1), (2, 3), (2, 7), (8, 7), (5, 1)].iter().enumerate() {
+            g.add_edge(ids[i], ids[i + 1], p, c).unwrap();
+        }
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let exact = dppo_with_mode(&g, &q, &ids, DpMode::Exact).unwrap();
+        let windowed = dppo_with_mode(&g, &q, &ids, DpMode::Windowed).unwrap();
+        assert_eq!(exact.bufmem, windowed.bufmem);
+        assert_eq!(exact.tree, windowed.tree);
+    }
+
+    #[test]
+    fn windowed_matches_exact_on_random_chains() {
+        // LCG-driven chains with rate changes and sporadic delays — the
+        // cost family that disproved a static Knuth split window during
+        // development.  Windowed must reproduce exact bufmem AND trees.
+        struct Lcg(u64);
+        impl Lcg {
+            fn next(&mut self, m: u64) -> u64 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (self.0 >> 33) % m
+            }
+        }
+        let mut rng = Lcg(0x9e3779b97f4a7c15);
+        let mut probes_exact = 0u64;
+        let mut probes_windowed = 0u64;
+        for trial in 0..300u64 {
+            let n = 2 + rng.next(38) as usize;
+            let mut g = SdfGraph::new("rc");
+            let ids: Vec<_> = (0..n).map(|i| g.add_actor(format!("a{i}"))).collect();
+            for w in 0..n - 1 {
+                let p = 1 + rng.next(9);
+                let c = 1 + rng.next(9);
+                let d = if rng.next(4) == 0 { rng.next(12) } else { 0 };
+                g.add_edge_with_delay(ids[w], ids[w + 1], p, c, d).unwrap();
+            }
+            let q = RepetitionsVector::compute(&g).unwrap();
+            let ct = ChainTables::build(&g, &q, &ids).unwrap();
+            let nn = ct.len();
+            let mut e = dpwin::Solver::new(&ct, DpMode::Exact, dpwin::Combine::Sum, |i, k, j| {
+                ct.split_cost(i, k, j)
+            });
+            let mut w =
+                dpwin::Solver::new(&ct, DpMode::Windowed, dpwin::Combine::Sum, |i, k, j| {
+                    ct.split_cost(i, k, j)
+                });
+            assert_eq!(
+                e.value(0, nn - 1),
+                w.value(0, nn - 1),
+                "trial {trial} n={n}"
+            );
+            probes_exact += e.probes();
+            probes_windowed += w.probes();
+            let er = dppo_from_tables(&ct, &q, DpMode::Exact);
+            let wr = dppo_from_tables(&ct, &q, DpMode::Windowed);
+            assert_eq!(er.bufmem, wr.bufmem, "trial {trial} n={n}");
+            assert_eq!(er.tree, wr.tree, "trial {trial} n={n}");
+        }
+        assert!(
+            probes_windowed < probes_exact,
+            "windowed {probes_windowed} >= exact {probes_exact}"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod chain_precise;
 pub mod cycles;
 pub mod demand;
 pub mod dppo;
+pub mod dpwin;
 pub mod exhaustive;
 pub mod local_search;
 pub mod loopify;
@@ -57,10 +58,12 @@ pub mod treebuild;
 pub mod variant;
 
 pub use apgan::apgan;
+pub use chain::ChainTables;
 pub use chain_precise::{chain_precise, ChainPreciseResult, CostTriple};
 pub use demand::demand_driven_schedule;
-pub use dppo::{dppo, DppoResult};
+pub use dppo::{dppo, dppo_from_tables, dppo_with_mode, DppoResult};
+pub use dpwin::DpMode;
 pub use rpmc::rpmc;
-pub use sdppo::{sdppo, sdppo_with_policy, FactoringPolicy, SdppoResult};
+pub use sdppo::{sdppo, sdppo_from_tables, sdppo_with_policy, FactoringPolicy, SdppoResult};
 pub use topsort::random_topological_sort;
-pub use variant::{schedule_variant, LoopVariant, ScheduledVariant};
+pub use variant::{schedule_variant, schedule_variant_from_tables, LoopVariant, ScheduledVariant};

@@ -19,6 +19,7 @@ use sdf_core::repetitions::RepetitionsVector;
 use sdf_core::schedule::SasTree;
 
 use crate::chain::ChainTables;
+use crate::dpwin::{self, DpMode};
 use crate::treebuild::{build_tree, SplitDecision};
 
 /// When a merged loop should be factored by the subchain gcd (§5.1).
@@ -102,61 +103,62 @@ pub fn sdppo_with_policy(
     if graph.actor_count() == 0 {
         return Err(SdfError::EmptyGraph);
     }
-    let _span = sdf_trace::span!("sched.sdppo", actors = order.len());
     let ct = ChainTables::build(graph, q, order)?;
+    Ok(sdppo_from_tables(&ct, q, policy, DpMode::default()))
+}
+
+/// Runs the Eq. 5 DP over prebuilt [`ChainTables`] with an explicit
+/// factoring policy and [`DpMode`], so candidates sharing a lexical order
+/// share the O(n²) gcd/prefix-sum work.
+///
+/// # Panics
+///
+/// Panics if `ct` is empty (callers validate via [`ChainTables::build`]).
+pub fn sdppo_from_tables(
+    ct: &ChainTables,
+    q: &RepetitionsVector,
+    policy: FactoringPolicy,
+    mode: DpMode,
+) -> SdppoResult {
+    assert!(!ct.is_empty(), "SDPPO needs at least one actor");
+    let _span = sdf_trace::span!("sched.sdppo", actors = ct.len());
     let n = ct.len();
-    let mut sb = vec![0u64; n * n];
-    let mut split = vec![
-        SplitDecision {
-            k: 0,
-            factored: false
-        };
-        n * n
-    ];
-    for span in 1..n {
-        for i in 0..(n - span) {
-            let j = i + span;
-            let mut best = u64::MAX;
-            let mut best_split = SplitDecision {
-                k: i,
-                factored: false,
-            };
-            for k in i..j {
-                let edges = ct.crossing_count(i, k, j);
-                let factored = policy.factors(edges);
-                let crossing = if factored {
-                    ct.split_cost(i, k, j)
-                } else {
-                    ct.split_cost_unfactored(i, k, j)
-                };
-                let cost = sb[i * n + k].max(sb[(k + 1) * n + j]) + crossing;
-                if cost < best {
-                    best = cost;
-                    best_split = SplitDecision { k, factored };
-                }
-            }
-            sb[i * n + j] = best;
-            split[i * n + j] = best_split;
+    // The factoring decision is a pure function of (i, k, j), so the DP
+    // table only needs the argmin k; `factored` is re-derived on demand.
+    let crossing = |i: usize, k: usize, j: usize| -> u64 {
+        if policy.factors(ct.crossing_count(i, k, j)) {
+            ct.split_cost(i, k, j)
+        } else {
+            ct.split_cost_unfactored(i, k, j)
         }
-    }
-    let tree = build_tree(&ct, q, &|i, j| split[i * n + j]);
+    };
+    let mut solver = dpwin::Solver::new(ct, mode, dpwin::Combine::Max, crossing);
+    let shared_cost = solver.value(0, n - 1);
+    // As in DPPO, tree decisions read argmin splits straight from the
+    // solver — the windowed tie-break provably matches the exact scan's.
+    let solver = std::cell::RefCell::new(solver);
+    let factored_splits = std::cell::Cell::new(0u64);
+    let tree = build_tree(ct, q, &|i, j| {
+        let k = solver.borrow_mut().tree_split(i, j);
+        let factored = policy.factors(ct.crossing_count(i, k, j));
+        if factored {
+            factored_splits.set(factored_splits.get() + 1);
+        }
+        SplitDecision { k, factored }
+    });
     if sdf_trace::enabled() {
-        // Closed forms + a post-hoc scan of the decision table keep the
-        // hot loops untouched when tracing is off.
+        // Actual probes, not the closed form — the windowed scan does far
+        // fewer and the regression sentinel gates on this counter.
         let nn = n as u64;
         sdf_trace::counter_inc("sched.sdppo.runs");
         sdf_trace::counter_add("sched.sdppo.cells", nn * (nn - 1) / 2);
-        sdf_trace::counter_add("sched.sdppo.split_probes", nn * (nn * nn - 1) / 6);
-        let factored = (0..n)
-            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
-            .filter(|&(i, j)| split[i * n + j].factored)
-            .count() as u64;
-        sdf_trace::counter_add("sched.sdppo.factored_splits", factored);
+        sdf_trace::counter_add("sched.sdppo.split_probes", solver.borrow().probes());
+        // Factored decisions the schedule actually takes (one candidate
+        // per tree split) — the lazy windowed table no longer materialises
+        // every cell, so the old whole-table census is gone.
+        sdf_trace::counter_add("sched.sdppo.factored_splits", factored_splits.get());
     }
-    Ok(SdppoResult {
-        tree,
-        shared_cost: sb[n - 1], // row 0, column n-1
-    })
+    SdppoResult { tree, shared_cost }
 }
 
 #[cfg(test)]
@@ -278,6 +280,31 @@ mod tests {
         let heuristic = sdppo_with_policy(&g, &q, &order, FactoringPolicy::Heuristic).unwrap();
         let never = sdppo_with_policy(&g, &q, &order, FactoringPolicy::Never).unwrap();
         assert!(never.shared_cost >= heuristic.shared_cost);
+    }
+
+    #[test]
+    fn windowed_matches_exact_every_policy() {
+        let mut g = SdfGraph::new("fig4ish");
+        let a = g.add_actor("A");
+        let b = g.add_actor("B");
+        let c = g.add_actor("C");
+        let d = g.add_actor("D");
+        g.add_edge(a, b, 3, 2).unwrap();
+        g.add_edge(b, c, 5, 3).unwrap();
+        g.add_edge(c, d, 2, 5).unwrap();
+        let q = RepetitionsVector::compute(&g).unwrap();
+        let order = [a, b, c, d];
+        let ct = ChainTables::build(&g, &q, &order).unwrap();
+        for policy in [
+            FactoringPolicy::Heuristic,
+            FactoringPolicy::Always,
+            FactoringPolicy::Never,
+        ] {
+            let exact = sdppo_from_tables(&ct, &q, policy, DpMode::Exact);
+            let windowed = sdppo_from_tables(&ct, &q, policy, DpMode::Windowed);
+            assert_eq!(exact.shared_cost, windowed.shared_cost, "{policy:?}");
+            assert_eq!(exact.tree, windowed.tree, "{policy:?}");
+        }
     }
 
     #[test]

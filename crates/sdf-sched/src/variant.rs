@@ -14,9 +14,11 @@ use sdf_core::graph::{ActorId, SdfGraph};
 use sdf_core::repetitions::RepetitionsVector;
 use sdf_core::schedule::SasTree;
 
+use crate::chain::ChainTables;
 use crate::chain_precise::{chain_precise, DEFAULT_FRONTIER_CAP};
-use crate::dppo::dppo;
-use crate::sdppo::sdppo;
+use crate::dppo::{dppo, dppo_from_tables};
+use crate::dpwin::DpMode;
+use crate::sdppo::{sdppo, sdppo_from_tables, FactoringPolicy};
 
 /// Which loop-hierarchy dynamic program to run over a lexical order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -158,6 +160,47 @@ pub fn schedule_variant(
     }
 }
 
+/// Runs `variant` against prebuilt [`ChainTables`] with an explicit
+/// [`DpMode`], so candidates sharing a lexical order share one table
+/// build.  Chain-precise ignores the tables (it derives the chain order
+/// itself) and always runs exactly.
+///
+/// # Errors
+///
+/// * [`SdfError::NotChainStructured`] for [`LoopVariant::ChainPrecise`]
+///   on a non-chain graph.
+pub fn schedule_variant_from_tables(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    ct: &ChainTables,
+    variant: LoopVariant,
+    mode: DpMode,
+) -> Result<ScheduledVariant, SdfError> {
+    match variant {
+        LoopVariant::Sdppo => {
+            let r = sdppo_from_tables(ct, q, FactoringPolicy::Heuristic, mode);
+            Ok(ScheduledVariant {
+                tree: r.tree,
+                cost_estimate: r.shared_cost,
+            })
+        }
+        LoopVariant::Dppo => {
+            let r = dppo_from_tables(ct, q, mode);
+            Ok(ScheduledVariant {
+                tree: r.tree,
+                cost_estimate: r.bufmem,
+            })
+        }
+        LoopVariant::ChainPrecise => {
+            let r = chain_precise(graph, q, DEFAULT_FRONTIER_CAP)?;
+            Ok(ScheduledVariant {
+                tree: r.tree,
+                cost_estimate: r.cost.center,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +231,23 @@ mod tests {
                 .cost
                 .center
         );
+    }
+
+    #[test]
+    fn from_tables_dispatch_matches_plain_dispatch() {
+        let (g, q, order) = fig2();
+        let ct = ChainTables::build(&g, &q, &order).unwrap();
+        for variant in LoopVariant::ALL {
+            let plain = schedule_variant(&g, &q, &order, variant).unwrap();
+            for mode in DpMode::ALL {
+                let tabled = schedule_variant_from_tables(&g, &q, &ct, variant, mode).unwrap();
+                assert_eq!(plain.tree, tabled.tree, "{variant} {mode}");
+                assert_eq!(
+                    plain.cost_estimate, tabled.cost_estimate,
+                    "{variant} {mode}"
+                );
+            }
+        }
     }
 
     #[test]

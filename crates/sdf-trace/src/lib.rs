@@ -63,8 +63,10 @@ use std::time::Instant;
 /// `2` added the `schema_version` and `counters` fields plus the trace
 /// exports; `3` added per-candidate counter deltas to the engine report
 /// and the regression-sentinel baseline/diff documents
-/// (`bench/baselines/*.json`, `sdfmem compare --format json`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// (`bench/baselines/*.json`, `sdfmem compare --format json`); `4` added
+/// the engine report's `dp_mode` field and retimed the DP probe counters
+/// to count actual crossing-cost evaluations.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.

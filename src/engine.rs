@@ -47,6 +47,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::Deref;
 use std::str::FromStr;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -58,8 +59,8 @@ use sdf_core::schedule::SasTree;
 use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
 use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::IntersectionGraph;
-use sdf_sched::variant::{schedule_variant, LoopVariant};
-use sdf_sched::{apgan, dppo, rpmc};
+use sdf_sched::variant::{schedule_variant_from_tables, LoopVariant};
+use sdf_sched::{apgan, dppo_from_tables, rpmc, ChainTables, DpMode};
 
 use crate::pipeline::Analysis;
 
@@ -143,12 +144,17 @@ pub struct SynthesisOptions {
     pub allocation_orders: Vec<AllocationOrder>,
     /// Evaluate lattice cells on parallel threads.
     pub parallel: bool,
+    /// How the chain DPs scan split positions. Both modes produce
+    /// bit-identical schedules and costs; [`DpMode::Windowed`] (the
+    /// default) probes far fewer splits on long chains, and
+    /// [`DpMode::Exact`] remains as the verification/ablation reference.
+    pub dp_mode: DpMode,
 }
 
 impl Default for SynthesisOptions {
     /// The configuration equivalent to the classic [`Analysis::run`]:
     /// RPMC and APGAN orders, SDPPO loop hierarchies, both paper
-    /// allocation orders, parallel evaluation.
+    /// allocation orders, parallel evaluation, windowed DP scans.
     fn default() -> Self {
         SynthesisOptions {
             heuristics: vec![Heuristic::Rpmc, Heuristic::Apgan],
@@ -156,6 +162,7 @@ impl Default for SynthesisOptions {
             loop_opts: vec![LoopVariant::Sdppo],
             allocation_orders: AllocationOrder::PAPER.to_vec(),
             parallel: true,
+            dp_mode: DpMode::default(),
         }
     }
 }
@@ -212,6 +219,15 @@ impl AnalysisBuilder {
     #[must_use]
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.options.parallel = parallel;
+        self
+    }
+
+    /// Selects the chain-DP scan mode. Results are bit-identical in both
+    /// modes; only the probe count (and wall time on long chains)
+    /// changes.
+    #[must_use]
+    pub fn dp_mode(mut self, mode: DpMode) -> Self {
+        self.options.dp_mode = mode;
         self
     }
 
@@ -356,6 +372,8 @@ pub struct EngineReport {
     pub parallel: bool,
     /// Threads the parallel backend would use.
     pub threads: usize,
+    /// The chain-DP scan mode the run used.
+    pub dp_mode: DpMode,
     /// Wall time of the repetitions-vector computation.
     pub repetitions_ns: u64,
     /// Best non-shared bufmem over all swept orders (the baseline).
@@ -409,6 +427,8 @@ impl EngineReport {
         json_bool(&mut s, "parallel", self.parallel);
         s.push(',');
         json_num(&mut s, "threads", self.threads as u64);
+        s.push(',');
+        json_str(&mut s, "dp_mode", self.dp_mode.as_str());
         s.push(',');
         json_us(&mut s, "repetitions_us", self.repetitions_ns);
         s.push(',');
@@ -492,12 +512,13 @@ impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "engine report: {} ({} actors, {} edges), {} evaluation on {} threads",
+            "engine report: {} ({} actors, {} edges), {} evaluation on {} threads, {} DP",
             self.graph,
             self.actors,
             self.edges,
             if self.parallel { "parallel" } else { "serial" },
-            self.threads
+            self.threads,
+            self.dp_mode
         )?;
         writeln!(f, "non-shared baseline: {} words", self.nonshared_bufmem)?;
         writeln!(
@@ -575,7 +596,9 @@ fn json_us(s: &mut String, key: &str, ns: u64) {
 struct Cell {
     heuristic: Heuristic,
     loop_opt: LoopVariant,
-    order: Vec<ActorId>,
+    /// The shared chain tables of the cell's lexical order — one build
+    /// per distinct order serves the baseline and every candidate DP.
+    tables: Arc<ChainTables>,
     /// Memoized schedule (the DPPO baseline tree), if one applies.
     memoized: Option<SasTree>,
 }
@@ -624,9 +647,11 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
         orders.push((heuristic, order, elapsed_ns(t)));
     }
 
-    // Stage 2: non-shared DPPO baseline, memoized per distinct order.
-    // This is both the Table 1 baseline column and the schedule source
-    // for DPPO loop-hierarchy candidates.
+    // Stage 2: shared chain tables plus the non-shared DPPO baseline,
+    // both memoized per distinct order. The tables (gcd table + prefix
+    // sums) are the O(n²) preprocessing every chain DP needs; one build
+    // serves the baseline and every dppo/sdppo candidate on that order.
+    let mut tables: HashMap<&[ActorId], Arc<ChainTables>> = HashMap::new();
     let mut baselines: HashMap<&[ActorId], (sdf_sched::DppoResult, u64)> = HashMap::new();
     let mut order_timings: Vec<OrderTiming> = Vec::new();
     for (heuristic, order, order_ns) in &orders {
@@ -639,8 +664,10 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
                 sdf_trace::counter_inc("engine.dppo_memo_misses");
                 let t = Instant::now();
                 let _span = sdf_trace::span!("engine.baseline", heuristic = heuristic);
-                let b = dppo(graph, &q, order)?;
+                let ct = Arc::new(ChainTables::build(graph, &q, order)?);
+                let b = dppo_from_tables(&ct, &q, options.dp_mode);
                 let ns = elapsed_ns(t);
+                tables.insert(order.as_slice(), ct);
                 baselines.insert(order.as_slice(), (b.clone(), ns));
                 (b, ns)
             }
@@ -678,7 +705,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
             cells.push(Cell {
                 heuristic: *heuristic,
                 loop_opt,
-                order: order.clone(),
+                tables: Arc::clone(&tables[order.as_slice()]),
                 memoized,
             });
         }
@@ -696,6 +723,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
     // shared recorder: serial runs difference a snapshot around each
     // candidate; parallel cells interleave, so they skip attribution.
     let attribute_counters = !options.parallel && sdf_trace::enabled();
+    let dp_mode = options.dp_mode;
     let evaluate = |cell: Cell| -> Result<Vec<Candidate>, SdfError> {
         let _cell_span = sdf_trace::span!(
             "engine.candidate",
@@ -709,10 +737,25 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
             let _span = sdf_trace::span!("candidate.schedule", memoized = cell.memoized.is_some());
             match cell.memoized {
                 Some(tree) => (tree, true),
-                None => (
-                    schedule_variant(graph, &q, &cell.order, cell.loop_opt)?.tree,
-                    false,
-                ),
+                None => {
+                    // Every DP candidate past the baseline runs on the
+                    // order's shared tables instead of rebuilding them —
+                    // the sentinel gates on this reuse counter.
+                    if cell.loop_opt.order_sensitive() {
+                        sdf_trace::counter_inc("engine.chain_tables.reuses");
+                    }
+                    (
+                        schedule_variant_from_tables(
+                            graph,
+                            &q,
+                            &cell.tables,
+                            cell.loop_opt,
+                            dp_mode,
+                        )?
+                        .tree,
+                        false,
+                    )
+                }
             }
         };
         timings.schedule_ns = elapsed_ns(t);
@@ -840,6 +883,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
         } else {
             1
         },
+        dp_mode: options.dp_mode,
         repetitions_ns,
         nonshared_bufmem,
         orders: order_timings,

@@ -3,7 +3,7 @@
 //! input.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use sdfmem::alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
 use sdfmem::apps::random::{random_sdf_graph, RandomGraphConfig};
@@ -263,6 +263,30 @@ proptest! {
     }
 
     #[test]
+    fn wig_sweep_matches_brute_force_on_random_schedules(seed in 0u64..10_000, size in 3usize..20) {
+        use sdfmem::lifetime::interval::buffer_lifetime;
+        use sdfmem::lifetime::wig::Buffer;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let order = apgan(&graph, &q).expect("acyclic");
+        let sas = sdppo(&graph, &q, &order).expect("sdppo").tree;
+        let tree = ScheduleTree::build(&graph, &q, &sas).expect("tree");
+        let buffers: Vec<Buffer> = graph
+            .edges()
+            .map(|(id, _)| Buffer {
+                edge: id,
+                lifetime: buffer_lifetime(&graph, &q, &tree, id),
+            })
+            .collect();
+        let sweep = IntersectionGraph::from_buffers(buffers.clone());
+        let brute = IntersectionGraph::from_buffers_all_pairs(buffers);
+        for i in 0..sweep.len() {
+            prop_assert_eq!(sweep.neighbours(i), brute.neighbours(i));
+        }
+    }
+
+    #[test]
     fn random_graphs_with_delays_still_allocate_safely(seed in 0u64..200) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let cfg = RandomGraphConfig {
@@ -281,5 +305,54 @@ proptest! {
         let wig = IntersectionGraph::build(&graph, &q, &tree);
         let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
         validate_allocation(&wig, &alloc).expect("conflict-free");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The bound-guided windowed DP must be bit-identical to the dense
+    /// exact scan — values, bufmem AND chosen split trees — on random
+    /// rate-changing chains with sporadic delays, for both the Sum (DPPO)
+    /// and Max (SDPPO) recurrences.
+    #[test]
+    fn windowed_dp_is_bit_identical_to_exact_on_random_chains(seed in 0u64..1_000_000) {
+        use sdfmem::core::SdfGraph;
+        use sdfmem::sched::{
+            dppo_from_tables, sdppo_from_tables, ChainTables, DpMode, FactoringPolicy,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rates = || -> (u64, u64) {
+            // Mostly-homogeneous chains with sparse converters, like real
+            // multistage systems; bounded ratios keep q in u64 range.
+            if rng.gen_bool(0.7) {
+                (1, 1)
+            } else {
+                [(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)]
+                    [rng.gen_range(0..6)]
+            }
+        };
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let n = 2 + (seed % 27) as usize;
+        let mut g = SdfGraph::new("chain");
+        let ids: Vec<_> = (0..n).map(|i| g.add_actor(format!("a{i}"))).collect();
+        for i in 0..n - 1 {
+            let (prod, cons) = rates();
+            let delay = if rng2.gen_bool(0.15) { cons * rng2.gen_range(1..=2u64) } else { 0 };
+            g.add_edge_with_delay(ids[i], ids[i + 1], prod, cons, delay).expect("rates");
+        }
+        let q = RepetitionsVector::compute(&g).expect("chains are consistent");
+        let order = g.chain_order().expect("chain");
+        let ct = ChainTables::build(&g, &q, &order).expect("topological");
+
+        let e = dppo_from_tables(&ct, &q, DpMode::Exact);
+        let w = dppo_from_tables(&ct, &q, DpMode::Windowed);
+        prop_assert_eq!(e.bufmem, w.bufmem);
+        prop_assert_eq!(e.tree, w.tree);
+
+        let es = sdppo_from_tables(&ct, &q, FactoringPolicy::Heuristic, DpMode::Exact);
+        let ws = sdppo_from_tables(&ct, &q, FactoringPolicy::Heuristic, DpMode::Windowed);
+        prop_assert_eq!(es.shared_cost, ws.shared_cost);
+        prop_assert_eq!(es.tree, ws.tree);
     }
 }
