@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 
 use sdf_alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
-use sdf_codegen::{generate_nonshared_c, generate_shared_c};
+use sdf_codegen::{emit_c, emit_standalone_c, execute_plan, ExecutablePlan};
 use sdf_core::bounds::{bmlb, min_buffer_bound};
 use sdf_core::graph::SdfGraph;
 use sdf_core::repetitions::RepetitionsVector;
@@ -137,7 +137,7 @@ pub enum Command {
         /// Topological-sort heuristic.
         method: Method,
     },
-    /// `sdfmem codegen <file> [--method M] [--model M]`.
+    /// `sdfmem codegen <file> [--method M] [--model M] [--standalone]`.
     Codegen {
         /// Graph file path.
         file: String,
@@ -145,6 +145,22 @@ pub enum Command {
         method: Method,
         /// Buffer model.
         model: Model,
+        /// Emit stub actor definitions plus a `main`, producing a
+        /// self-contained program (the CI smoke-test form).
+        standalone: bool,
+    },
+    /// `sdfmem simulate <file> [--method M] [--model M] [--report FMT]`
+    /// — lower the plan the matching `codegen` invocation would emit and
+    /// execute it under the interpreter oracle; exit 1 on a violation.
+    Simulate {
+        /// Graph file path.
+        file: String,
+        /// Topological-sort heuristic.
+        method: Method,
+        /// Buffer model.
+        model: Model,
+        /// Output format (the JSON form embeds the executable plan).
+        report: ReportFormat,
     },
     /// `sdfmem gantt <file> [--method M]` — lifetime chart.
     Gantt {
@@ -179,6 +195,8 @@ COMMANDS:
     schedule  construct a single appearance schedule
     allocate  pack all buffers into one shared pool
     codegen   emit the C implementation
+    simulate  execute the plan under the interpreter oracle; exit 1 on a
+              violation (token leak, poisoned read, live-buffer overlap)
     gantt     ASCII lifetime chart of all buffers
     dot       Graphviz export of the graph
     help      show this text
@@ -186,7 +204,8 @@ COMMANDS:
 OPTIONS:
     --method apgan|rpmc      topological-sort heuristic (default apgan)
     --model  shared|nonshared  buffer model (default shared)
-    --report text|json       analyze output format (default text)
+    --report text|json       analyze/simulate output format (default text)
+    --standalone             codegen: emit stub actors + main (runnable program)
     --serial                 analyze: evaluate candidates serially
     --full                   analyze/profile/baseline: sweep every loop-optimizer variant
     --trace <out>            analyze: write a chrome://tracing JSON trace
@@ -239,6 +258,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut out = None;
     let mut repeats = 3u32;
     let mut gate = false;
+    let mut standalone = false;
     let mut format = DiffFormat::default();
     let mut allow: Vec<String> = Vec::new();
     while let Some(opt) = it.next() {
@@ -290,6 +310,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--gate" => gate = true,
+            "--standalone" => standalone = true,
             "--format" => {
                 format = match it.next().map(String::as_str) {
                     Some("text") => DiffFormat::Text,
@@ -344,6 +365,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             file,
             method,
             model,
+            standalone,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            file,
+            method,
+            model,
+            report,
         }),
         "gantt" => Ok(Command::Gantt { file, method }),
         "dot" => Ok(Command::Dot { file }),
@@ -628,32 +656,114 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             file,
             method,
             model,
+            standalone,
         } => {
             let g = load(file)?;
-            let q = RepetitionsVector::compute(&g).map_err(|e| e.to_string())?;
-            let order = order_for(&g, &q, *method).map_err(|e| e.to_string())?;
-            let c_code = match model {
-                Model::NonShared => {
-                    let r = dppo(&g, &q, &order).map_err(|e| e.to_string())?;
-                    generate_nonshared_c(&g, &q, &r.tree.to_looped_schedule())
-                        .map_err(|e| e.to_string())?
-                }
-                Model::Shared => {
-                    let r = sdppo(&g, &q, &order).map_err(|e| e.to_string())?;
-                    let tree = ScheduleTree::build(&g, &q, &r.tree).map_err(|e| e.to_string())?;
-                    let wig = IntersectionGraph::build(&g, &q, &tree);
-                    let alloc = allocate(
-                        &wig,
-                        AllocationOrder::DurationDescending,
-                        PlacementPolicy::FirstFit,
+            let plan = lower_cli_plan(&g, *method, *model)?;
+            out.push_str(&if *standalone {
+                emit_standalone_c(&plan)
+            } else {
+                emit_c(&plan)
+            });
+        }
+        Command::Simulate {
+            file,
+            method,
+            model,
+            report,
+        } => {
+            let g = load(file)?;
+            let plan = lower_cli_plan(&g, *method, *model)?;
+            let result = execute_plan(&plan);
+            if result.is_err() {
+                code = 1;
+            }
+            match report {
+                ReportFormat::Text => match &result {
+                    Ok(r) => {
+                        let _ = writeln!(
+                            out,
+                            "graph {}: {} model simulated clean",
+                            plan.graph,
+                            plan.model.as_str()
+                        );
+                        let _ = writeln!(out, "  firings:   {}", r.firings);
+                        let _ = writeln!(out, "  pool:      {} words", r.pool_words);
+                        let _ = writeln!(
+                            out,
+                            "  peak live: {} words ({} bytes)",
+                            r.peak_live_words, r.peak_live_bytes
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(
+                            out,
+                            "graph {}: {} model ORACLE VIOLATION",
+                            plan.graph,
+                            plan.model.as_str()
+                        );
+                        let _ = writeln!(out, "  {e}");
+                    }
+                },
+                ReportFormat::Json => {
+                    let _ = write!(
+                        out,
+                        "{{\"schema_version\":{},\"kind\":\"simulation_report\",\
+                         \"graph\":\"{}\",\"model\":\"{}\",\"clean\":{}",
+                        sdf_trace::SCHEMA_VERSION,
+                        sdf_trace::json::escape(&plan.graph),
+                        plan.model.as_str(),
+                        result.is_ok()
                     );
-                    generate_shared_c(&g, &q, &r.tree, &wig, &alloc).map_err(|e| e.to_string())?
+                    match &result {
+                        Ok(r) => {
+                            let _ = write!(
+                                out,
+                                ",\"exec\":{{\"firings\":{},\"peak_live_words\":{},\
+                                 \"peak_live_bytes\":{},\"pool_words\":{}}}",
+                                r.firings, r.peak_live_words, r.peak_live_bytes, r.pool_words
+                            );
+                        }
+                        Err(e) => {
+                            let _ = write!(
+                                out,
+                                ",\"error\":\"{}\"",
+                                sdf_trace::json::escape(&e.to_string())
+                            );
+                        }
+                    }
+                    let _ = writeln!(out, ",\"plan\":{}}}", plan.to_json());
                 }
-            };
-            out.push_str(&c_code);
+            }
         }
     }
     Ok((out, code))
+}
+
+/// Lowers `graph` to the [`ExecutablePlan`] the CLI's `codegen` and
+/// `simulate` commands share: the chosen heuristic order, then DPPO
+/// (non-shared) or SDPPO + first-fit allocation (shared).
+fn lower_cli_plan(g: &SdfGraph, method: Method, model: Model) -> Result<ExecutablePlan, String> {
+    let q = RepetitionsVector::compute(g).map_err(|e| e.to_string())?;
+    let order = order_for(g, &q, method).map_err(|e| e.to_string())?;
+    match model {
+        Model::NonShared => {
+            let r = dppo(g, &q, &order).map_err(|e| e.to_string())?;
+            ExecutablePlan::lower_nonshared(g, &q, &r.tree.to_looped_schedule())
+                .map_err(|e| e.to_string())
+        }
+        Model::Shared => {
+            let r = sdppo(g, &q, &order).map_err(|e| e.to_string())?;
+            let tree = ScheduleTree::build(g, &q, &r.tree).map_err(|e| e.to_string())?;
+            let wig = IntersectionGraph::build(g, &q, &tree);
+            let alloc = allocate(
+                &wig,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
+            ExecutablePlan::lower_shared(g, &q, &r.tree, &wig, &alloc).map_err(|e| e.to_string())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -700,9 +810,52 @@ mod tests {
             Command::Codegen {
                 file: "g.sdf".into(),
                 method: Method::Apgan,
-                model: Model::Shared
+                model: Model::Shared,
+                standalone: false
             }
         );
+        assert_eq!(
+            parse_args(&args(&["codegen", "g.sdf", "--standalone"])).unwrap(),
+            Command::Codegen {
+                file: "g.sdf".into(),
+                method: Method::Apgan,
+                model: Model::Shared,
+                standalone: true
+            }
+        );
+    }
+
+    #[test]
+    fn parse_simulate_command() {
+        assert_eq!(
+            parse_args(&args(&["simulate", "g.sdf"])).unwrap(),
+            Command::Simulate {
+                file: "g.sdf".into(),
+                method: Method::Apgan,
+                model: Model::Shared,
+                report: ReportFormat::Text
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "simulate",
+                "g.sdf",
+                "--method",
+                "rpmc",
+                "--model",
+                "nonshared",
+                "--report",
+                "json"
+            ]))
+            .unwrap(),
+            Command::Simulate {
+                file: "g.sdf".into(),
+                method: Method::Rpmc,
+                model: Model::NonShared,
+                report: ReportFormat::Json
+            }
+        );
+        assert!(parse_args(&args(&["simulate"])).is_err());
     }
 
     #[test]
@@ -758,13 +911,75 @@ mod tests {
         let path = write_fig2();
         let file = path.to_string_lossy().into_owned();
         let c = run(&Command::Codegen {
-            file,
+            file: file.clone(),
             method: Method::Rpmc,
             model: Model::Shared,
+            standalone: false,
         })
         .unwrap();
         assert!(c.contains("float mem["), "{c}");
         assert!(c.contains("run_schedule"), "{c}");
+        assert!(!c.contains("int main"), "{c}");
+        let s = run(&Command::Codegen {
+            file,
+            method: Method::Rpmc,
+            model: Model::Shared,
+            standalone: true,
+        })
+        .unwrap();
+        assert!(s.contains("int main(void)"), "{s}");
+        assert!(s.contains("run_schedule();"), "{s}");
+    }
+
+    #[test]
+    fn end_to_end_simulate_text_is_clean() {
+        let path = write_fig2();
+        for model in [Model::Shared, Model::NonShared] {
+            let (out, code) = execute(&Command::Simulate {
+                file: path.to_string_lossy().into_owned(),
+                method: Method::Apgan,
+                model,
+                report: ReportFormat::Text,
+            })
+            .unwrap();
+            assert_eq!(code, 0, "{out}");
+            assert!(out.contains("simulated clean"), "{out}");
+            assert!(out.contains("firings:   7"), "{out}");
+        }
+    }
+
+    #[test]
+    fn simulate_json_report_round_trips_with_embedded_plan() {
+        let path = write_fig2();
+        let (out, code) = execute(&Command::Simulate {
+            file: path.to_string_lossy().into_owned(),
+            method: Method::Apgan,
+            model: Model::Shared,
+            report: ReportFormat::Json,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        let doc = sdf_trace::json::parse(&out).expect("simulation report parses");
+        assert_eq!(
+            doc.get("kind").and_then(|k| k.as_str()),
+            Some("simulation_report")
+        );
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_num()),
+            Some(sdf_trace::SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("clean").and_then(|c| c.as_bool()), Some(true));
+        let exec = doc.get("exec").expect("exec block");
+        assert_eq!(exec.get("firings").and_then(|f| f.as_num()), Some(7.0));
+        // The embedded plan is itself a complete `executable_plan` document.
+        let plan = doc.get("plan").expect("embedded plan");
+        assert_eq!(
+            plan.get("kind").and_then(|k| k.as_str()),
+            Some("executable_plan")
+        );
+        assert_eq!(plan.get("graph").and_then(|g| g.as_str()), Some("fig2"));
+        let ops = plan.get("ops").and_then(|o| o.as_array()).expect("ops");
+        assert!(!ops.is_empty());
     }
 
     #[test]
@@ -867,6 +1082,10 @@ mod tests {
             (&["compare", "a", "b", "--format", "xml"], "--format"),
             (&["compare", "a", "b", "--format"], "--format"),
             (&["compare", "a", "b", "--allow"], "--allow"),
+            (&["simulate", "g", "--model", "psychic"], "--model"),
+            (&["simulate", "g", "--method"], "--method"),
+            (&["simulate", "g", "--report", "xml"], "--report"),
+            (&["simulate", "g", "--bogus"], "--bogus"),
         ];
         for (argv, flag) in cases {
             let err = parse_args(&args(argv)).unwrap_err();

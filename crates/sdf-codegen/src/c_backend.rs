@@ -1,0 +1,233 @@
+//! C emission from an [`ExecutablePlan`].
+//!
+//! Both memory models share one traversal: a header comment, the buffer
+//! declarations (the only part that differs between the models), the
+//! extern firing-function declarations, and `run_schedule` re-nesting
+//! the plan's flattened loop ops into `for` loops.  The emitted bytes
+//! are pinned by golden files in `tests/golden/` — change them
+//! deliberately or not at all.
+
+use std::fmt::Write as _;
+
+use crate::plan::{ExecutablePlan, MemoryModel, PlanActor, PlanOp};
+
+/// Sanitises a name into a C identifier (alphanumerics and underscores,
+/// never starting with a digit).
+pub(crate) fn c_ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            if i == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// The parameter list of one actor's firing function, in declaration
+/// order: `const float *in0, …, float *out0, …` (or `void`).
+fn param_list(actor: &PlanActor) -> String {
+    let mut params: Vec<String> = Vec::with_capacity(actor.inputs.len() + actor.outputs.len());
+    for i in 0..actor.inputs.len() {
+        params.push(format!("const float *in{i}"));
+    }
+    for i in 0..actor.outputs.len() {
+        params.push(format!("float *out{i}"));
+    }
+    if params.is_empty() {
+        "void".to_string()
+    } else {
+        params.join(", ")
+    }
+}
+
+/// Emits the buffer declarations: one array per edge (non-shared) or
+/// the pool plus per-edge offset macros (shared).
+fn emit_buffers(plan: &ExecutablePlan, out: &mut String) {
+    match plan.model {
+        MemoryModel::NonShared => {
+            for b in &plan.bindings {
+                let _ = writeln!(
+                    out,
+                    "float buf_e{}[{}]; /* {} -> {} */",
+                    b.edge,
+                    b.size.max(1),
+                    b.src,
+                    b.snk
+                );
+            }
+        }
+        MemoryModel::Shared => {
+            let _ = writeln!(out, "float mem[{}];", plan.pool_words.max(1));
+            for b in &plan.bindings {
+                let _ = writeln!(
+                    out,
+                    "#define buf_e{} (mem + {}) /* {} -> {}, {} words */",
+                    b.edge, b.offset, b.src, b.snk, b.size
+                );
+            }
+        }
+    }
+}
+
+fn emit_actor_decls(plan: &ExecutablePlan, out: &mut String) {
+    for actor in &plan.actors {
+        let _ = writeln!(
+            out,
+            "extern void fire_{}({});",
+            c_ident(&actor.name),
+            param_list(actor)
+        );
+    }
+}
+
+/// Emits one firing call, passing the actor's edge buffers (inputs
+/// first, then outputs).
+fn emit_fire(plan: &ExecutablePlan, actor: usize, indent: usize, out: &mut String) {
+    let a = &plan.actors[actor];
+    let args: Vec<String> = a
+        .inputs
+        .iter()
+        .chain(&a.outputs)
+        .map(|&b| format!("buf_e{}", plan.bindings[b].edge))
+        .collect();
+    let _ = writeln!(
+        out,
+        "{:indent$}fire_{}({});",
+        "",
+        c_ident(&a.name),
+        args.join(", "),
+        indent = indent
+    );
+}
+
+fn emit_loop_header(depth: usize, count: u64, indent: usize, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{:indent$}for (int i{depth} = 0; i{depth} < {count}; ++i{depth}) {{",
+        "",
+        indent = indent
+    );
+}
+
+fn emit_ops(plan: &ExecutablePlan, out: &mut String) {
+    let mut depth = 0usize;
+    let mut indent = 4usize;
+    for op in &plan.ops {
+        match op {
+            PlanOp::Fire { actor, count } => {
+                if *count == 1 {
+                    emit_fire(plan, *actor, indent, out);
+                } else {
+                    emit_loop_header(depth, *count, indent, out);
+                    emit_fire(plan, *actor, indent + 4, out);
+                    let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
+                }
+            }
+            PlanOp::BeginLoop { count } => {
+                emit_loop_header(depth, *count, indent, out);
+                depth += 1;
+                indent += 4;
+            }
+            PlanOp::EndLoop => {
+                depth -= 1;
+                indent -= 4;
+                let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
+            }
+        }
+    }
+}
+
+fn emit_schedule_function(plan: &ExecutablePlan, out: &mut String) {
+    out.push_str("\nvoid run_schedule(void) {\n");
+    emit_ops(plan, out);
+    out.push_str("}\n");
+}
+
+fn emit_actor_stubs(plan: &ExecutablePlan, out: &mut String) {
+    for actor in &plan.actors {
+        let _ = writeln!(
+            out,
+            "static void fire_{}({}) {{",
+            c_ident(&actor.name),
+            param_list(actor)
+        );
+        for i in 0..actor.inputs.len() {
+            let _ = writeln!(out, "    (void)in{i};");
+        }
+        for i in 0..actor.outputs.len() {
+            let _ = writeln!(out, "    out{i}[0] = 0.0f;");
+        }
+        out.push_str("}\n");
+    }
+}
+
+fn emit_document(plan: &ExecutablePlan, standalone: bool) -> String {
+    let _span = sdf_trace::span!("codegen.emit", model = plan.model.as_str());
+    let mut out = String::new();
+    match plan.model {
+        MemoryModel::NonShared => {
+            let _ = writeln!(
+                out,
+                "/* Generated by sdfmem: graph \"{}\", non-shared buffers ({} words). */",
+                plan.graph, plan.pool_words
+            );
+        }
+        MemoryModel::Shared => {
+            let _ = writeln!(
+                out,
+                "/* Generated by sdfmem: graph \"{}\", shared pool of {} words. */",
+                plan.graph, plan.pool_words
+            );
+        }
+    }
+    out.push('\n');
+    emit_buffers(plan, &mut out);
+    out.push('\n');
+    if standalone {
+        emit_actor_stubs(plan, &mut out);
+    } else {
+        emit_actor_decls(plan, &mut out);
+    }
+    emit_schedule_function(plan, &mut out);
+    if standalone {
+        out.push_str("\nint main(void) {\n    run_schedule();\n    return 0;\n}\n");
+    }
+    out
+}
+
+/// Emits the C implementation of `plan`: header comment, buffer
+/// declarations for the plan's memory model, extern actor declarations
+/// and `run_schedule`.
+pub fn emit_c(plan: &ExecutablePlan) -> String {
+    emit_document(plan, false)
+}
+
+/// Emits a self-contained, runnable C program: like [`emit_c`], but the
+/// extern actor declarations become trivial stub definitions (each
+/// writes its first output word) and a `main` runs one schedule period.
+/// Used by the CI `codegen-smoke` step to prove the emitted scaffolding
+/// compiles under `-Wall -Werror` and runs to completion.
+pub fn emit_standalone_c(plan: &ExecutablePlan) -> String {
+    emit_document(plan, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_sanitised() {
+        assert_eq!(c_ident("16qamModem"), "_16qamModem");
+        assert_eq!(c_ident("r_alp"), "r_alp");
+        assert_eq!(c_ident("a-b c"), "a_b_c");
+        assert_eq!(c_ident(""), "_");
+    }
+}

@@ -1,20 +1,34 @@
-//! C code generation from looped SDF schedules.
+//! C code generation and plan execution for looped SDF schedules.
 //!
-//! The paper's synthesis flow threads actor code blocks together following
-//! the schedule; this crate emits that scaffolding as compilable C:
-//! nested `for` loops mirroring the loop hierarchy, one extern firing
-//! function per actor, and buffer definitions under either memory model:
+//! The paper's synthesis flow threads actor code blocks together
+//! following the schedule; this crate owns everything downstream of the
+//! analysis, organised around one IR:
 //!
-//! * **non-shared** — one statically sized array per edge
-//!   ([`generate_nonshared_c`]);
-//! * **shared** — a single memory pool with per-edge offsets taken from a
-//!   first-fit allocation ([`generate_shared_c`]).
+//! * [`plan`] — the typed [`ExecutablePlan`]: the flattened loop
+//!   schedule, one buffer binding per edge (pool offset, size, token
+//!   width) and the pool layout.  Analysis results are *lowered* into a
+//!   plan ([`ExecutablePlan::lower_nonshared`],
+//!   [`ExecutablePlan::lower_shared`]); the plan is the only input the
+//!   backends accept.
+//! * [`c_backend`] — emits compilable C from a plan ([`emit_c`]):
+//!   nested `for` loops mirroring the loop hierarchy, one extern firing
+//!   function per actor, and buffer definitions under either memory
+//!   model (one array per edge, or one pool with per-edge offsets).
+//! * [`interp`] — a deterministic interpreter ([`execute_plan`]) that
+//!   fires the flattened schedule with write-poisoned pool bytes: the
+//!   runtime oracle proving token conservation and that no two
+//!   simultaneously-live buffers share pool words.
+//!
+//! The classic one-call emitters are kept as thin wrappers:
+//!
+//! * **non-shared** — [`generate_nonshared_c`];
+//! * **shared** — [`generate_shared_c`].
 //!
 //! # Examples
 //!
 //! ```
 //! use sdf_core::{SdfGraph, RepetitionsVector, LoopedSchedule};
-//! use sdf_codegen::generate_nonshared_c;
+//! use sdf_codegen::{generate_nonshared_c, ExecutablePlan, execute_plan};
 //!
 //! # fn main() -> Result<(), sdf_core::SdfError> {
 //! let mut g = SdfGraph::new("fig2");
@@ -27,133 +41,36 @@
 //! let s = LoopedSchedule::parse("A(2B(2C))", &g)?;
 //! let code = generate_nonshared_c(&g, &q, &s)?;
 //! assert!(code.contains("float buf_e0[20]"));
+//! // The same schedule, executed instead of emitted:
+//! let plan = ExecutablePlan::lower_nonshared(&g, &q, &s)?;
+//! let report = execute_plan(&plan).expect("clean run");
+//! assert_eq!(report.firings, 7);
 //! # Ok(())
 //! # }
 //! ```
 
 #![warn(missing_docs)]
 
-use std::fmt::Write as _;
+pub mod c_backend;
+pub mod interp;
+pub mod plan;
+
+pub use c_backend::{emit_c, emit_standalone_c};
+pub use interp::{execute_plan, ExecError, ExecReport};
+pub use plan::{BufferBinding, ExecutablePlan, MemoryModel, PlanActor, PlanOp, TOKEN_BYTES};
 
 use sdf_alloc::Allocation;
 use sdf_core::error::SdfError;
-use sdf_core::graph::{ActorId, SdfGraph};
+use sdf_core::graph::SdfGraph;
 use sdf_core::repetitions::RepetitionsVector;
-use sdf_core::schedule::{LoopedSchedule, SasTree, ScheduleNode};
-use sdf_core::simulate::validate_schedule;
+use sdf_core::schedule::{LoopedSchedule, SasTree};
 use sdf_lifetime::wig::IntersectionGraph;
-
-/// Sanitises a name into a C identifier (alphanumerics and underscores,
-/// never starting with a digit).
-fn c_ident(name: &str) -> String {
-    let mut out = String::with_capacity(name.len() + 1);
-    for (i, ch) in name.chars().enumerate() {
-        if ch.is_ascii_alphanumeric() || ch == '_' {
-            if i == 0 && ch.is_ascii_digit() {
-                out.push('_');
-            }
-            out.push(ch);
-        } else {
-            out.push('_');
-        }
-    }
-    if out.is_empty() {
-        out.push('_');
-    }
-    out
-}
-
-/// Emits the extern firing-function declarations, one per actor, with a
-/// pointer parameter per incident edge.
-fn emit_actor_decls(graph: &SdfGraph, out: &mut String) {
-    for a in graph.actors() {
-        let ins = graph.in_edges(a).len();
-        let outs = graph.out_edges(a).len();
-        let mut params: Vec<String> = Vec::with_capacity(ins + outs);
-        for (i, _) in graph.in_edges(a).iter().enumerate() {
-            params.push(format!("const float *in{i}"));
-        }
-        for (i, _) in graph.out_edges(a).iter().enumerate() {
-            params.push(format!("float *out{i}"));
-        }
-        let params = if params.is_empty() {
-            "void".to_string()
-        } else {
-            params.join(", ")
-        };
-        let _ = writeln!(
-            out,
-            "extern void fire_{}({});",
-            c_ident(graph.actor_name(a)),
-            params
-        );
-    }
-}
-
-/// Emits one firing call for `actor`, passing its edge buffers.
-fn emit_fire(graph: &SdfGraph, actor: ActorId, indent: usize, out: &mut String) {
-    let mut args: Vec<String> = Vec::new();
-    for &e in graph.in_edges(actor) {
-        args.push(format!("buf_e{}", e.index()));
-    }
-    for &e in graph.out_edges(actor) {
-        args.push(format!("buf_e{}", e.index()));
-    }
-    let _ = writeln!(
-        out,
-        "{:indent$}fire_{}({});",
-        "",
-        c_ident(graph.actor_name(actor)),
-        args.join(", "),
-        indent = indent
-    );
-}
-
-fn emit_body(
-    graph: &SdfGraph,
-    body: &[ScheduleNode],
-    indent: usize,
-    depth: usize,
-    out: &mut String,
-) {
-    for node in body {
-        match node {
-            ScheduleNode::Fire { actor, count } => {
-                if *count == 1 {
-                    emit_fire(graph, *actor, indent, out);
-                } else {
-                    let _ = writeln!(
-                        out,
-                        "{:indent$}for (int i{depth} = 0; i{depth} < {count}; ++i{depth}) {{",
-                        "",
-                        indent = indent
-                    );
-                    emit_fire(graph, *actor, indent + 4, out);
-                    let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
-                }
-            }
-            ScheduleNode::Loop { count, body } => {
-                let _ = writeln!(
-                    out,
-                    "{:indent$}for (int i{depth} = 0; i{depth} < {count}; ++i{depth}) {{",
-                    "",
-                    indent = indent
-                );
-                emit_body(graph, body, indent + 4, depth + 1, out);
-                let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
-            }
-        }
-    }
-}
-
-fn emit_schedule_function(graph: &SdfGraph, schedule: &LoopedSchedule, out: &mut String) {
-    out.push_str("\nvoid run_schedule(void) {\n");
-    emit_body(graph, schedule.body(), 4, 0, out);
-    out.push_str("}\n");
-}
 
 /// Generates C for the non-shared model: one array per edge sized to its
 /// `max_tokens` under `schedule`.
+///
+/// Equivalent to [`ExecutablePlan::lower_nonshared`] followed by
+/// [`emit_c`].
 ///
 /// # Errors
 ///
@@ -164,36 +81,17 @@ pub fn generate_nonshared_c(
     q: &RepetitionsVector,
     schedule: &LoopedSchedule,
 ) -> Result<String, SdfError> {
-    let report = validate_schedule(graph, schedule, q)?;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "/* Generated by sdfmem: graph \"{}\", non-shared buffers ({} words). */",
-        graph.name(),
-        report.bufmem()
-    );
-    out.push('\n');
-    for (id, e) in graph.edges() {
-        let _ = writeln!(
-            out,
-            "float buf_e{}[{}]; /* {} -> {} */",
-            id.index(),
-            report.max_tokens(id).max(1),
-            graph.actor_name(e.src),
-            graph.actor_name(e.snk)
-        );
-    }
-    out.push('\n');
-    emit_actor_decls(graph, &mut out);
-    emit_schedule_function(graph, schedule, &mut out);
-    Ok(out)
+    Ok(emit_c(&ExecutablePlan::lower_nonshared(
+        graph, q, schedule,
+    )?))
 }
 
 /// Generates C for the shared model: a single `float mem[total]` pool with
 /// per-edge offset macros taken from `allocation`.
 ///
 /// `wig` and `allocation` must come from the same schedule as `sas` (the
-/// usual pipeline guarantees this).
+/// usual pipeline guarantees this).  Equivalent to
+/// [`ExecutablePlan::lower_shared`] followed by [`emit_c`].
 ///
 /// # Errors
 ///
@@ -206,33 +104,9 @@ pub fn generate_shared_c(
     wig: &IntersectionGraph,
     allocation: &Allocation,
 ) -> Result<String, SdfError> {
-    sas.validate(graph, q)?;
-    let schedule = sas.to_looped_schedule();
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "/* Generated by sdfmem: graph \"{}\", shared pool of {} words. */",
-        graph.name(),
-        allocation.total()
-    );
-    out.push('\n');
-    let _ = writeln!(out, "float mem[{}];", allocation.total().max(1));
-    for (id, e) in graph.edges() {
-        let i = wig.buffer_of_edge(id)?;
-        let _ = writeln!(
-            out,
-            "#define buf_e{} (mem + {}) /* {} -> {}, {} words */",
-            id.index(),
-            allocation.offset(i),
-            graph.actor_name(e.src),
-            graph.actor_name(e.snk),
-            wig.buffer(i).lifetime.size()
-        );
-    }
-    out.push('\n');
-    emit_actor_decls(graph, &mut out);
-    emit_schedule_function(graph, &schedule, &mut out);
-    Ok(out)
+    Ok(emit_c(&ExecutablePlan::lower_shared(
+        graph, q, sas, wig, allocation,
+    )?))
 }
 
 #[cfg(test)]
@@ -314,14 +188,6 @@ mod tests {
     }
 
     #[test]
-    fn identifiers_sanitised() {
-        assert_eq!(c_ident("16qamModem"), "_16qamModem");
-        assert_eq!(c_ident("r_alp"), "r_alp");
-        assert_eq!(c_ident("a-b c"), "a_b_c");
-        assert_eq!(c_ident(""), "_");
-    }
-
-    #[test]
     fn invalid_schedule_rejected() {
         let (g, q, _) = fig2();
         let bad = LoopedSchedule::parse("A B C", &g).unwrap();
@@ -337,5 +203,24 @@ mod tests {
         let code = generate_nonshared_c(&g, &q, &s).unwrap();
         assert!(code.contains("extern void fire_A(void);"), "{code}");
         let _ = a;
+    }
+
+    #[test]
+    fn standalone_program_has_stubs_and_main() {
+        let (g, q, sas) = fig2();
+        let tree = ScheduleTree::build(&g, &q, &sas).unwrap();
+        let wig = IntersectionGraph::build(&g, &q, &tree);
+        let alloc = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
+        let plan = ExecutablePlan::lower_shared(&g, &q, &sas, &wig, &alloc).unwrap();
+        let code = emit_standalone_c(&plan);
+        assert!(code.contains("static void fire_A(float *out0) {"), "{code}");
+        assert!(code.contains("(void)in0;"), "{code}");
+        assert!(code.contains("int main(void) {"), "{code}");
+        assert!(!code.contains("extern"), "{code}");
+        balanced(&code);
     }
 }

@@ -65,8 +65,12 @@ use std::time::Instant;
 /// and the regression-sentinel baseline/diff documents
 /// (`bench/baselines/*.json`, `sdfmem compare --format json`); `4` added
 /// the engine report's `dp_mode` field and retimed the DP probe counters
-/// to count actual crossing-cost evaluations.
-pub const SCHEMA_VERSION: u32 = 4;
+/// to count actual crossing-cost evaluations; `5` added the
+/// `executable_plan` and `simulation_report` documents (`sdfmem
+/// simulate --report json`) plus the `codegen.*` / `exec.*` counters in
+/// baseline profiles (a deliberate baseline refresh, see
+/// `docs/file-format.md`).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.

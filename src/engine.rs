@@ -406,6 +406,20 @@ pub struct Synthesis {
     pub report: EngineReport,
 }
 
+impl Synthesis {
+    /// Lowers the winning candidate into the typed
+    /// [`sdf_codegen::ExecutablePlan`] IR — the only input the C
+    /// backend and the plan interpreter accept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors (cannot occur for a `Synthesis`
+    /// produced by the engine on the same graph).
+    pub fn plan(&self, graph: &SdfGraph) -> Result<sdf_codegen::ExecutablePlan, SdfError> {
+        self.analysis.plan(graph)
+    }
+}
+
 impl EngineReport {
     /// Serialises the report as a self-contained JSON object (times in
     /// microseconds).

@@ -13,6 +13,7 @@
 //! per-candidate timings and the full scoreboard.
 
 use sdf_alloc::Allocation;
+use sdf_codegen::ExecutablePlan;
 use sdf_core::error::SdfError;
 use sdf_core::graph::SdfGraph;
 use sdf_core::repetitions::RepetitionsVector;
@@ -81,20 +82,33 @@ impl Analysis {
             * 100.0
     }
 
-    /// Generates the shared-pool C implementation of the winning schedule.
+    /// Lowers the winning schedule and allocation into the typed
+    /// [`ExecutablePlan`] IR — the single input both the C backend and
+    /// the plan interpreter accept.
     ///
     /// # Errors
     ///
-    /// Propagates code-generation errors (cannot occur for an `Analysis`
+    /// Propagates lowering errors (cannot occur for an `Analysis`
     /// produced by [`Analysis::run`] on the same graph).
-    pub fn generate_c(&self, graph: &SdfGraph) -> Result<String, SdfError> {
-        sdf_codegen::generate_shared_c(
+    pub fn plan(&self, graph: &SdfGraph) -> Result<ExecutablePlan, SdfError> {
+        ExecutablePlan::lower_shared(
             graph,
             &self.repetitions,
             &self.schedule,
             &self.wig,
             &self.allocation,
         )
+    }
+
+    /// Generates the shared-pool C implementation of the winning
+    /// schedule, by emitting the plan from [`Analysis::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-generation errors (cannot occur for an `Analysis`
+    /// produced by [`Analysis::run`] on the same graph).
+    pub fn generate_c(&self, graph: &SdfGraph) -> Result<String, SdfError> {
+        Ok(sdf_codegen::emit_c(&self.plan(graph)?))
     }
 }
 

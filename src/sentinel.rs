@@ -115,9 +115,24 @@ pub fn capture_profile(graph: &SdfGraph, options: &CaptureOptions) -> Result<Pro
             builder = builder.loop_opts(LoopVariant::ALL);
         }
         let recorder = Arc::new(Recorder::new());
-        let synthesis = sdf_trace::scoped(&recorder, || builder.run_full(graph))
-            .map_err(|e| format!("engine failed on {}: {e}", graph.name()))?;
+        // The capture covers the full product, not just the analysis:
+        // the winner is lowered to its `ExecutablePlan` and executed by
+        // the interpreter oracle inside the same recorder scope, so the
+        // `codegen.*` / `exec.*` counters join the baseline and every
+        // baseline graph is re-proven safe on each capture.
+        let synthesis = sdf_trace::scoped(&recorder, || -> Result<_, String> {
+            let synthesis = builder
+                .run_full(graph)
+                .map_err(|e| format!("engine failed on {}: {e}", graph.name()))?;
+            let plan = synthesis
+                .plan(graph)
+                .map_err(|e| format!("plan lowering failed on {}: {e}", graph.name()))?;
+            sdf_codegen::execute_plan(&plan)
+                .map_err(|e| format!("plan execution failed on {}: {e}", graph.name()))?;
+            Ok(synthesis)
+        })?;
         let report = &synthesis.report;
+        let run_counters = recorder.counters();
         timings.push("engine.total", report.total_ns);
         timings.push("engine.repetitions", report.repetitions_ns);
         let mut stages = [0u64; 4];
@@ -133,7 +148,7 @@ pub fn capture_profile(graph: &SdfGraph, options: &CaptureOptions) -> Result<Pro
         timings.push("stage.alloc", stages[3]);
         match &counters {
             None => {
-                counters = Some(report.counters.clone());
+                counters = Some(run_counters);
                 let fragmentation = recorder
                     .snapshot()
                     .gauges
@@ -150,10 +165,10 @@ pub fn capture_profile(graph: &SdfGraph, options: &CaptureOptions) -> Result<Pro
                 };
             }
             Some(first) => {
-                if *first != report.counters {
+                if *first != run_counters {
                     let culprit = first
                         .iter()
-                        .zip(&report.counters)
+                        .zip(&run_counters)
                         .find(|(a, b)| a != b)
                         .map(|(a, _)| a.0.clone())
                         .unwrap_or_else(|| "counter set".to_string());
@@ -203,6 +218,15 @@ mod tests {
         let b = capture_profile(&graph, &options).expect("capture b");
         assert_eq!(a.graph, "satrec");
         assert!(!a.counters.is_empty());
+        // The capture runs the plan oracle too, so the lowering and
+        // execution counters are part of the baseline.
+        for required in ["codegen.plan.ops", "exec.firings", "exec.peak_live_bytes"] {
+            assert!(
+                a.counters.iter().any(|(n, v)| n == required && *v > 0),
+                "missing counter {required}: {:?}",
+                a.counters
+            );
+        }
         assert!(a.outcomes.shared_bufmem > 0);
         assert!(a.outcomes.shared_bufmem <= a.outcomes.nonshared_bufmem);
         assert!(a.outcomes.winner.contains('/'), "{}", a.outcomes.winner);

@@ -1,0 +1,82 @@
+//! Golden-file pinning of the generated C.
+//!
+//! The shared-model output is the paper's end product (§9, Fig. 21), and
+//! downstream consumers diff it, so its bytes are pinned: these goldens
+//! were captured from the pre-plan-IR string emitter, and the plan-IR
+//! backend must reproduce them bit for bit.  To adopt a deliberate
+//! format change, rerun with `SDFMEM_GOLDEN_REFRESH=1` and commit the
+//! rewritten `tests/golden/*.c` alongside the change that motivates it
+//! (same workflow as the `bench/baselines` refresh).
+
+use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+use sdf_core::RepetitionsVector;
+use sdf_lifetime::tree::ScheduleTree;
+use sdf_lifetime::wig::IntersectionGraph;
+use sdf_sched::{apgan, dppo, sdppo};
+use sdfmem::pipeline::Analysis;
+
+const GRAPHS: [&str; 3] = ["satrec", "qmf23_2d", "cd_dat"];
+const REFRESH_ENV: &str = "SDFMEM_GOLDEN_REFRESH";
+
+fn load(name: &str) -> sdf_core::SdfGraph {
+    let path = format!("{}/examples/graphs/{name}.sdf", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    sdf_core::io::parse_graph(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn check(name: &str, kind: &str, code: &str) {
+    let path = format!(
+        "{}/tests/golden/{name}.{kind}.c",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var(REFRESH_ENV).is_ok() {
+        std::fs::write(&path, code).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert!(
+        golden == code,
+        "{name} ({kind}): generated C differs from the pre-refactor golden {path}; \
+         if the format change is deliberate, rerun with {REFRESH_ENV}=1 and commit \
+         the refreshed goldens"
+    );
+}
+
+/// The `sdfmem codegen` paths: apgan + SDPPO + ffdur first-fit for the
+/// shared model, apgan + DPPO for the non-shared one.
+#[test]
+fn cli_codegen_output_matches_goldens() {
+    for name in GRAPHS {
+        let g = load(name);
+        let q = RepetitionsVector::compute(&g).expect("consistent");
+        let order = apgan(&g, &q).expect("order");
+        let shared = sdppo(&g, &q, &order).expect("sdppo");
+        let tree = ScheduleTree::build(&g, &q, &shared.tree).expect("tree");
+        let wig = IntersectionGraph::build(&g, &q, &tree);
+        let alloc = allocate(
+            &wig,
+            AllocationOrder::DurationDescending,
+            PlacementPolicy::FirstFit,
+        );
+        let code =
+            sdf_codegen::generate_shared_c(&g, &q, &shared.tree, &wig, &alloc).expect("shared C");
+        check(name, "shared", &code);
+        let nonshared = dppo(&g, &q, &order).expect("dppo");
+        let code = sdf_codegen::generate_nonshared_c(&g, &q, &nonshared.tree.to_looped_schedule())
+            .expect("non-shared C");
+        check(name, "nonshared", &code);
+    }
+}
+
+/// The one-call pipeline: `Analysis::generate_c` (which routes through
+/// the plan IR) must emit the same bytes the classic emitter did for the
+/// lattice winner.
+#[test]
+fn analysis_generate_c_matches_goldens() {
+    for name in GRAPHS {
+        let g = load(name);
+        let analysis = Analysis::run(&g).expect("analysis");
+        let code = analysis.generate_c(&g).expect("shared C");
+        check(name, "analysis", &code);
+    }
+}

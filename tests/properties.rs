@@ -356,3 +356,91 @@ proptest! {
         prop_assert_eq!(es.tree, ws.tree);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lowering a random consistent graph to the shared-model
+    /// [`ExecutablePlan`] and firing it through the interpreter oracle
+    /// must come back clean: the coarse periodic-lifetime model that
+    /// sized the pool is an upper bound on what the flattened schedule
+    /// actually touches, so peak live never exceeds the pool and no two
+    /// live buffers ever overlap.
+    #[test]
+    fn random_shared_plans_execute_clean(seed in 0u64..300) {
+        use sdfmem::codegen::{execute_plan, ExecutablePlan};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg = RandomGraphConfig {
+            actors: 10,
+            edges: 14,
+            max_rate_multiplier: 3,
+            delay_probability: 0.25,
+        };
+        let graph = random_sdf_graph(&cfg, &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let order = apgan(&graph, &q).expect("acyclic");
+        let shared = sdppo(&graph, &q, &order).expect("sdppo");
+        let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree");
+        let wig = IntersectionGraph::build(&graph, &q, &tree);
+        let alloc = allocate(&wig, AllocationOrder::DurationDescending, PlacementPolicy::FirstFit);
+        let plan = ExecutablePlan::lower_shared(&graph, &q, &shared.tree, &wig, &alloc)
+            .expect("lowering");
+        let report = execute_plan(&plan).expect("oracle must be clean");
+        prop_assert_eq!(report.firings, q.total_firings());
+        prop_assert!(report.peak_live_words <= plan.pool_words);
+    }
+
+    /// The non-shared plan over the same random graphs is clean too, and
+    /// its pool equals the DPPO bufmem sum exactly.
+    #[test]
+    fn random_nonshared_plans_execute_clean(seed in 0u64..300) {
+        use sdfmem::codegen::{execute_plan, ExecutablePlan};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let cfg = RandomGraphConfig {
+            actors: 10,
+            edges: 14,
+            max_rate_multiplier: 3,
+            delay_probability: 0.25,
+        };
+        let graph = random_sdf_graph(&cfg, &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent");
+        let order = apgan(&graph, &q).expect("acyclic");
+        let r = dppo(&graph, &q, &order).expect("dppo");
+        let plan = ExecutablePlan::lower_nonshared(&graph, &q, &r.tree.to_looped_schedule())
+            .expect("lowering");
+        prop_assert_eq!(plan.pool_words, r.bufmem);
+        let report = execute_plan(&plan).expect("oracle must be clean");
+        prop_assert_eq!(report.firings, q.total_firings());
+        prop_assert!(report.peak_live_words <= plan.pool_words);
+    }
+}
+
+/// The oracle is falsifiable: force two simultaneously-live buffers onto
+/// the same words (a deliberately corrupt allocation) and the
+/// interpreter must refuse the plan rather than report it clean.
+#[test]
+fn deliberately_overlapping_allocation_trips_the_oracle() {
+    use sdfmem::alloc::Allocation;
+    use sdfmem::codegen::{execute_plan, ExecutablePlan};
+    use sdfmem::core::SdfGraph;
+
+    let mut g = SdfGraph::new("overlap");
+    let a = g.add_actor("A");
+    let b = g.add_actor("B");
+    let c = g.add_actor("C");
+    g.add_edge(a, b, 20, 10).unwrap();
+    g.add_edge(b, c, 20, 10).unwrap();
+    let q = RepetitionsVector::compute(&g).unwrap();
+    let order = apgan(&g, &q).unwrap();
+    let shared = sdppo(&g, &q, &order).unwrap();
+    let tree = ScheduleTree::build(&g, &q, &shared.tree).unwrap();
+    let wig = IntersectionGraph::build(&g, &q, &tree);
+    // Both buffers at offset 0: their live ranges collide mid-schedule.
+    let bad = Allocation::from_parts(vec![0; wig.len()], 20);
+    let plan = ExecutablePlan::lower_shared(&g, &q, &shared.tree, &wig, &bad).unwrap();
+    let err = execute_plan(&plan).unwrap_err().to_string();
+    assert!(
+        err.contains("overlap") || err.contains("poisoned"),
+        "wrong diagnostic: {err}"
+    );
+}
