@@ -86,9 +86,8 @@ fn measure(graph: &SdfGraph, repeats: u32) -> Sample {
 /// (embedded verbatim — it is already JSON).
 fn bench_json(samples: &[Sample]) -> String {
     let us = |ns: u64| format!("{}.{:03}", ns / 1_000, ns % 1_000);
-    let mut s = String::from("{\"schema_version\":");
-    s.push_str(&sdf_trace::SCHEMA_VERSION.to_string());
-    s.push_str(",\"bench\":\"engine_sweep\",\"systems\":[");
+    let mut s = sdf_trace::json::document_header("engine_sweep");
+    s.push_str("\"bench\":\"engine_sweep\",\"systems\":[");
     for (i, sample) in samples.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -149,10 +148,8 @@ fn capture_corpus(graphs: &[SdfGraph], repeats: u32) -> Result<Vec<Profile>, Str
 /// a single valid JSON document of kind `bench_trajectory`. A missing or
 /// foreign file starts a fresh trajectory.
 fn trajectory_append(path: &str, point: &str) -> Result<(), String> {
-    let header = format!(
-        "{{\"schema_version\":{},\"kind\":\"bench_trajectory\",\"points\":[",
-        sdf_trace::SCHEMA_VERSION
-    );
+    let mut header = sdf_trace::json::document_header("bench_trajectory");
+    header.push_str("\"points\":[");
     let existing = std::fs::read_to_string(path)
         .ok()
         .filter(|text| text.starts_with(&header) && sdf_trace::json::parse(text).is_ok());

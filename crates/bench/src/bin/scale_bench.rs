@@ -203,10 +203,8 @@ fn trajectory_point(tier: &TierSample) -> String {
 }
 
 fn bench_json(tiers: &[TierSample]) -> String {
-    let mut s = format!(
-        "{{\"schema_version\":{},\"kind\":\"bench_trajectory\",\"bench\":\"scale_bench\",\"points\":[",
-        sdf_trace::SCHEMA_VERSION
-    );
+    let mut s = sdf_trace::json::document_header("bench_trajectory");
+    s.push_str("\"bench\":\"scale_bench\",\"points\":[");
     for (i, tier) in tiers.iter().enumerate() {
         if i > 0 {
             s.push(',');

@@ -12,7 +12,7 @@
 use std::fmt::Write as _;
 
 use sdf_alloc::{allocate, validate_allocation, AllocationOrder, PlacementPolicy};
-use sdf_codegen::{emit_c, emit_standalone_c, execute_plan, ExecutablePlan};
+use sdf_codegen::{emit_c, emit_standalone_c};
 use sdf_core::bounds::{bmlb, min_buffer_bound};
 use sdf_core::graph::SdfGraph;
 use sdf_core::repetitions::RepetitionsVector;
@@ -20,10 +20,14 @@ use sdf_core::SdfError;
 use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
 use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::{ConflictGraph, IntersectionGraph};
-use sdf_regress::{diff, DiffOptions, Profile, ReportFormat as DiffFormat};
+use sdf_regress::ReportFormat as DiffFormat;
 use sdf_sched::{apgan, dppo, rpmc, sdppo, LoopVariant};
+use sdf_service::{
+    execute_request, Client, MemoryModel, OrderMethod, ResponsePayload, Server, ServerConfig,
+    ServiceRequest, ServiceResponse,
+};
 use sdfmem::engine::AnalysisBuilder;
-use sdfmem::sentinel::{capture_profile, CaptureOptions, PERTURB_ENV};
+use sdfmem::sentinel::PERTURB_ENV;
 
 /// Which topological-sort heuristic to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -35,6 +39,15 @@ pub enum Method {
     Rpmc,
 }
 
+impl Method {
+    fn service(self) -> OrderMethod {
+        match self {
+            Method::Apgan => OrderMethod::Apgan,
+            Method::Rpmc => OrderMethod::Rpmc,
+        }
+    }
+}
+
 /// Which buffer model to target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Model {
@@ -43,6 +56,33 @@ pub enum Model {
     Shared,
     /// One array per edge (the DPPO baseline).
     NonShared,
+}
+
+impl Model {
+    fn service(self) -> MemoryModel {
+        match self {
+            Model::Shared => MemoryModel::Shared,
+            Model::NonShared => MemoryModel::NonShared,
+        }
+    }
+}
+
+/// Which operation `sdfmem submit` sends to the daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SubmitKind {
+    /// Candidate-lattice sweep (the default).
+    #[default]
+    Analyze,
+    /// Lower to an executable plan.
+    Plan,
+    /// Lower and run the interpreter oracle.
+    Simulate,
+    /// Capture a regression-sentinel baseline profile.
+    Baseline,
+    /// Fetch the daemon's `service.*` counters and gauges.
+    Stats,
+    /// Stop the daemon (responds with final stats).
+    Shutdown,
 }
 
 /// Output format of `sdfmem analyze`.
@@ -174,6 +214,43 @@ pub enum Command {
         /// Graph file path.
         file: String,
     },
+    /// `sdfmem serve <addr> [--workers N] [--cache-cap N]
+    /// [--queue-cap N] [--port-file PATH]` — run the `sdfmemd` daemon
+    /// until a `shutdown` request arrives.
+    Serve {
+        /// Address to bind, e.g. `127.0.0.1:7654` (`:0` picks an
+        /// ephemeral port, written to `--port-file`).
+        addr: String,
+        /// Worker threads draining the job queue.
+        workers: usize,
+        /// Result-cache capacity, in entries.
+        cache_cap: usize,
+        /// Pending-job limit; submissions beyond it are rejected.
+        queue_cap: usize,
+        /// Write the bound address here once listening (how scripts
+        /// discover an ephemeral port).
+        port_file: Option<String>,
+    },
+    /// `sdfmem submit <addr> [--kind K] [--file G] ...` — submit one
+    /// request to a running daemon and print the response envelope.
+    Submit {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// Which operation to submit.
+        kind: SubmitKind,
+        /// Graph file (required for graph-backed kinds).
+        file: Option<String>,
+        /// Topological-sort heuristic (plan/simulate).
+        method: Method,
+        /// Buffer model (plan/simulate).
+        model: Model,
+        /// Analyze: evaluate candidates serially.
+        serial: bool,
+        /// Analyze/baseline: sweep every loop-optimizer variant.
+        full: bool,
+        /// Baseline: timing repeats.
+        repeats: u32,
+    },
     /// `sdfmem help`.
     Help,
 }
@@ -199,6 +276,11 @@ COMMANDS:
               violation (token leak, poisoned read, live-buffer overlap)
     gantt     ASCII lifetime chart of all buffers
     dot       Graphviz export of the graph
+    serve     run the sdfmemd daemon: line-delimited JSON service requests
+              over TCP, behind a content-addressed result cache
+              (takes <addr> instead of a graph file)
+    submit    submit one request to a running daemon, print the response
+              envelope (takes <addr>; graph-backed kinds need --file)
     help      show this text
 
 OPTIONS:
@@ -216,6 +298,21 @@ OPTIONS:
     --gate                   compare: gate on timing-band violations too
     --allow <names>          compare: comma-separated gate exemptions
                              (trailing * matches a prefix)
+    --workers <n>            serve: worker threads (default 2)
+    --cache-cap <n>          serve: result-cache entries (default 256)
+    --queue-cap <n>          serve: pending-job limit (default 64)
+    --port-file <path>       serve: write the bound address here once
+                             listening
+    --kind <op>              submit: analyze|plan|simulate|baseline|stats|
+                             shutdown (default analyze)
+    --file <graph>           submit: graph file for graph-backed kinds
+
+EXIT CODES:
+    0  success
+    1  domain failure: gated regression (compare), oracle violation
+       (simulate), error/rejected/unclean response (submit)
+    2  usage or I/O error: bad commands or flags, unreadable files,
+       bind/connect failures
 
 GRAPH FILE FORMAT:
     graph NAME
@@ -235,10 +332,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         return Ok(Command::Help);
     }
-    let file = it
-        .next()
-        .cloned()
-        .ok_or_else(|| format!("missing graph file for `{cmd}`"))?;
+    // Each command accepts exactly the options its contract documents;
+    // an option another command owns is an error here, not a silent
+    // no-op.
+    let allowed: &[&str] = match cmd {
+        "info" | "bounds" | "dot" => &[],
+        "analyze" => &["--report", "--serial", "--full", "--trace"],
+        "profile" => &["--full"],
+        "baseline" => &["--out", "--repeats", "--full"],
+        "compare" => &["--gate", "--format", "--allow"],
+        "schedule" => &["--method", "--model"],
+        "allocate" | "gantt" => &["--method"],
+        "codegen" => &["--method", "--model", "--standalone"],
+        "simulate" => &["--method", "--model", "--report"],
+        "serve" => &["--workers", "--cache-cap", "--queue-cap", "--port-file"],
+        "submit" => &[
+            "--kind",
+            "--file",
+            "--method",
+            "--model",
+            "--serial",
+            "--full",
+            "--repeats",
+        ],
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    let file = it.next().cloned().ok_or_else(|| match cmd {
+        "serve" | "submit" => format!("missing <addr> for `{cmd}`"),
+        _ => format!("missing graph file for `{cmd}`"),
+    })?;
     // `compare` is the one two-positional command: baseline, candidate.
     let second = if cmd == "compare" {
         Some(
@@ -261,7 +383,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut standalone = false;
     let mut format = DiffFormat::default();
     let mut allow: Vec<String> = Vec::new();
+    let mut workers = 2usize;
+    let mut cache_cap = 256usize;
+    let mut queue_cap = 64usize;
+    let mut port_file = None;
+    let mut kind = SubmitKind::default();
+    let mut submit_file = None;
+    let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
+        match value {
+            Some(n) => n
+                .parse::<usize>()
+                .map_err(|_| format!("bad {flag} value: `{n}` is not a number")),
+            None => Err(format!("missing {flag} count")),
+        }
+    };
     while let Some(opt) = it.next() {
+        if !allowed.contains(&opt.as_str()) {
+            return Err(if KNOWN_OPTIONS.contains(&opt.as_str()) {
+                format!("option `{opt}` does not apply to `{cmd}`")
+            } else {
+                format!("unknown option `{opt}`")
+            });
+        }
         match opt.as_str() {
             "--method" => {
                 method = match it.next().map(String::as_str) {
@@ -328,6 +471,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 ),
                 None => return Err("missing --allow names".to_string()),
             },
+            "--workers" => workers = parse_count("--workers", it.next())?,
+            "--cache-cap" => cache_cap = parse_count("--cache-cap", it.next())?,
+            "--queue-cap" => queue_cap = parse_count("--queue-cap", it.next())?,
+            "--port-file" => {
+                port_file = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => return Err("missing --port-file path".to_string()),
+                }
+            }
+            "--kind" => {
+                kind = match it.next().map(String::as_str) {
+                    Some("analyze") => SubmitKind::Analyze,
+                    Some("plan") => SubmitKind::Plan,
+                    Some("simulate") => SubmitKind::Simulate,
+                    Some("baseline") => SubmitKind::Baseline,
+                    Some("stats") => SubmitKind::Stats,
+                    Some("shutdown") => SubmitKind::Shutdown,
+                    other => return Err(format!("bad --kind value: {other:?}")),
+                }
+            }
+            "--file" => {
+                submit_file = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => return Err("missing --file graph path".to_string()),
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -375,13 +544,80 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }),
         "gantt" => Ok(Command::Gantt { file, method }),
         "dot" => Ok(Command::Dot { file }),
+        "serve" => Ok(Command::Serve {
+            addr: file,
+            workers,
+            cache_cap,
+            queue_cap,
+            port_file,
+        }),
+        "submit" => Ok(Command::Submit {
+            addr: file,
+            kind,
+            file: submit_file,
+            method,
+            model,
+            serial,
+            full,
+            repeats,
+        }),
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
+/// Every option any command accepts, for the does-not-apply/unknown
+/// distinction in error messages.
+const KNOWN_OPTIONS: &[&str] = &[
+    "--method",
+    "--model",
+    "--report",
+    "--serial",
+    "--full",
+    "--trace",
+    "--out",
+    "--repeats",
+    "--gate",
+    "--standalone",
+    "--format",
+    "--allow",
+    "--workers",
+    "--cache-cap",
+    "--queue-cap",
+    "--port-file",
+    "--kind",
+    "--file",
+];
+
 fn load(file: &str) -> Result<SdfGraph, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     sdf_core::io::parse_graph(&text).map_err(|e| format!("{file}: {e}"))
+}
+
+fn read_input(file: &str) -> Result<String, String> {
+    std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))
+}
+
+/// Unwraps a service response into its payload, or maps the typed
+/// error back to the CLI's `{file}: {message}` convention using
+/// `inputs` (pairs of request-member name and the file it came from).
+fn into_payload(
+    response: ServiceResponse,
+    inputs: &[(&str, &str)],
+) -> Result<ResponsePayload, String> {
+    match response {
+        ServiceResponse::Ok(payload) => Ok(payload),
+        ServiceResponse::Rejected { message } => Err(message),
+        ServiceResponse::Err(error) => {
+            let file = error
+                .input
+                .and_then(|name| inputs.iter().find(|(n, _)| *n == name))
+                .map(|(_, file)| *file);
+            Err(match file {
+                Some(file) => format!("{file}: {}", error.message),
+                None => error.message,
+            })
+        }
+    }
 }
 
 fn order_for(
@@ -438,26 +674,35 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             full,
             trace,
         } => {
-            let g = load(file)?;
-            let mut builder = AnalysisBuilder::new().parallel(!serial);
-            if *full {
-                builder = builder.loop_opts(LoopVariant::ALL);
-            }
-            let synthesis = match trace {
-                None => builder.run_full(&g).map_err(|e| e.to_string())?,
+            let request = ServiceRequest::Analyze {
+                graph: read_input(file)?,
+                serial: *serial,
+                full: *full,
+            };
+            let response = match trace {
+                None => execute_request(&request),
                 Some(path) => {
                     let recorder = std::sync::Arc::new(sdf_trace::Recorder::new());
-                    let synthesis = sdf_trace::scoped(&recorder, || builder.run_full(&g))
-                        .map_err(|e| e.to_string())?;
-                    let snapshot = recorder.snapshot();
-                    let text = if path.ends_with(".jsonl") {
-                        snapshot.to_jsonl()
-                    } else {
-                        snapshot.to_chrome_trace_json()
-                    };
-                    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-                    synthesis
+                    let response = sdf_trace::scoped(&recorder, || execute_request(&request));
+                    if matches!(response, ServiceResponse::Ok(_)) {
+                        let snapshot = recorder.snapshot();
+                        let text = if path.ends_with(".jsonl") {
+                            snapshot.to_jsonl()
+                        } else {
+                            snapshot.to_chrome_trace_json()
+                        };
+                        std::fs::write(path, text)
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    }
+                    response
                 }
+            };
+            let ResponsePayload::Analyze {
+                graph: g,
+                synthesis,
+            } = into_payload(response, &[("graph", file)])?
+            else {
+                unreachable!("analyze request produced a foreign payload");
             };
             match report {
                 ReportFormat::Json => {
@@ -511,13 +756,17 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             repeats,
             full,
         } => {
-            let g = load(file)?;
-            let options = CaptureOptions {
+            let request = ServiceRequest::Baseline {
+                graph: read_input(file)?,
                 repeats: *repeats,
                 full: *full,
                 perturb: std::env::var(PERTURB_ENV).ok(),
             };
-            let profile = capture_profile(&g, &options)?;
+            let ResponsePayload::Baseline { profile } =
+                into_payload(execute_request(&request), &[("graph", file)])?
+            else {
+                unreachable!("baseline request produced a foreign payload");
+            };
             let json = profile.to_json();
             match out_path {
                 Some(path) => {
@@ -540,19 +789,19 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             format,
             allow,
         } => {
-            let parse_profile = |path: &str| -> Result<Profile, String> {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                Profile::parse(&text).map_err(|e| format!("{path}: {e}"))
-            };
-            let base = parse_profile(baseline)?;
-            let cand = parse_profile(candidate)?;
-            let options = DiffOptions {
+            let request = ServiceRequest::Compare {
+                baseline: read_input(baseline)?,
+                candidate: read_input(candidate)?,
+                gate: *gate,
                 allow: allow.clone(),
-                gate_timings: *gate,
-                ..DiffOptions::default()
             };
-            let report = diff(&base, &cand, &options);
+            let ResponsePayload::Compare { report } = into_payload(
+                execute_request(&request),
+                &[("baseline", baseline), ("candidate", candidate)],
+            )?
+            else {
+                unreachable!("compare request produced a foreign payload");
+            };
             out.push_str(&report.render(*format));
             if !report.is_clean() {
                 code = 1;
@@ -658,8 +907,16 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             model,
             standalone,
         } => {
-            let g = load(file)?;
-            let plan = lower_cli_plan(&g, *method, *model)?;
+            let request = ServiceRequest::Plan {
+                graph: read_input(file)?,
+                method: method.service(),
+                model: model.service(),
+            };
+            let ResponsePayload::Plan { plan } =
+                into_payload(execute_request(&request), &[("graph", file)])?
+            else {
+                unreachable!("plan request produced a foreign payload");
+            };
             out.push_str(&if *standalone {
                 emit_standalone_c(&plan)
             } else {
@@ -672,14 +929,20 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             model,
             report,
         } => {
-            let g = load(file)?;
-            let plan = lower_cli_plan(&g, *method, *model)?;
-            let result = execute_plan(&plan);
-            if result.is_err() {
+            let request = ServiceRequest::Simulate {
+                graph: read_input(file)?,
+                method: method.service(),
+                model: model.service(),
+            };
+            let payload = into_payload(execute_request(&request), &[("graph", file)])?;
+            let ResponsePayload::Simulate { plan, exec } = &payload else {
+                unreachable!("simulate request produced a foreign payload");
+            };
+            if exec.is_err() {
                 code = 1;
             }
             match report {
-                ReportFormat::Text => match &result {
+                ReportFormat::Text => match exec {
                     Ok(r) => {
                         let _ = writeln!(
                             out,
@@ -706,64 +969,97 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                     }
                 },
                 ReportFormat::Json => {
-                    let _ = write!(
-                        out,
-                        "{{\"schema_version\":{},\"kind\":\"simulation_report\",\
-                         \"graph\":\"{}\",\"model\":\"{}\",\"clean\":{}",
-                        sdf_trace::SCHEMA_VERSION,
-                        sdf_trace::json::escape(&plan.graph),
-                        plan.model.as_str(),
-                        result.is_ok()
-                    );
-                    match &result {
-                        Ok(r) => {
-                            let _ = write!(
-                                out,
-                                ",\"exec\":{{\"firings\":{},\"peak_live_words\":{},\
-                                 \"peak_live_bytes\":{},\"pool_words\":{}}}",
-                                r.firings, r.peak_live_words, r.peak_live_bytes, r.pool_words
-                            );
-                        }
-                        Err(e) => {
-                            let _ = write!(
-                                out,
-                                ",\"error\":\"{}\"",
-                                sdf_trace::json::escape(&e.to_string())
-                            );
-                        }
-                    }
-                    let _ = writeln!(out, ",\"plan\":{}}}", plan.to_json());
+                    let _ = writeln!(out, "{}", payload.to_json());
+                }
+            }
+        }
+        Command::Serve {
+            addr,
+            workers,
+            cache_cap,
+            queue_cap,
+            port_file,
+        } => {
+            let config = ServerConfig {
+                workers: *workers,
+                cache_capacity: *cache_cap,
+                queue_capacity: *queue_cap,
+            };
+            let server = Server::bind(addr, config)?;
+            let local = server.local_addr();
+            if let Some(path) = port_file {
+                std::fs::write(path, format!("{local}\n"))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            eprintln!(
+                "sdfmemd listening on {local} ({} workers, cache {}, queue {})",
+                config.workers, config.cache_capacity, config.queue_capacity
+            );
+            server.wait();
+            let _ = writeln!(out, "sdfmemd on {local} shut down cleanly");
+        }
+        Command::Submit {
+            addr,
+            kind,
+            file,
+            method,
+            model,
+            serial,
+            full,
+            repeats,
+        } => {
+            let graph = |file: &Option<String>| -> Result<String, String> {
+                let path = file
+                    .as_deref()
+                    .ok_or("this --kind needs a graph: sdfmem submit <addr> --file <graph>")?;
+                read_input(path)
+            };
+            let request = match kind {
+                SubmitKind::Analyze => ServiceRequest::Analyze {
+                    graph: graph(file)?,
+                    serial: *serial,
+                    full: *full,
+                },
+                SubmitKind::Plan => ServiceRequest::Plan {
+                    graph: graph(file)?,
+                    method: method.service(),
+                    model: model.service(),
+                },
+                SubmitKind::Simulate => ServiceRequest::Simulate {
+                    graph: graph(file)?,
+                    method: method.service(),
+                    model: model.service(),
+                },
+                SubmitKind::Baseline => ServiceRequest::Baseline {
+                    graph: graph(file)?,
+                    repeats: *repeats,
+                    full: *full,
+                    perturb: std::env::var(PERTURB_ENV).ok(),
+                },
+                SubmitKind::Stats => ServiceRequest::Stats,
+                SubmitKind::Shutdown => ServiceRequest::Shutdown,
+            };
+            let mut client = Client::connect(addr)?;
+            let request_id = format!("cli-{}", std::process::id());
+            let (line, response) = client.call_line(&request_id, &request)?;
+            out.push_str(&line);
+            if !response.is_ok() {
+                code = 1;
+            } else if let Some(payload) = &response.payload {
+                // A clean envelope can still carry a dirty simulation:
+                // surface the oracle verdict in the exit code, like
+                // the local `simulate` command does.
+                let dirty = sdf_trace::json::parse(payload)
+                    .ok()
+                    .and_then(|doc| doc.get("clean").and_then(|c| c.as_bool()))
+                    == Some(false);
+                if dirty {
+                    code = 1;
                 }
             }
         }
     }
     Ok((out, code))
-}
-
-/// Lowers `graph` to the [`ExecutablePlan`] the CLI's `codegen` and
-/// `simulate` commands share: the chosen heuristic order, then DPPO
-/// (non-shared) or SDPPO + first-fit allocation (shared).
-fn lower_cli_plan(g: &SdfGraph, method: Method, model: Model) -> Result<ExecutablePlan, String> {
-    let q = RepetitionsVector::compute(g).map_err(|e| e.to_string())?;
-    let order = order_for(g, &q, method).map_err(|e| e.to_string())?;
-    match model {
-        Model::NonShared => {
-            let r = dppo(g, &q, &order).map_err(|e| e.to_string())?;
-            ExecutablePlan::lower_nonshared(g, &q, &r.tree.to_looped_schedule())
-                .map_err(|e| e.to_string())
-        }
-        Model::Shared => {
-            let r = sdppo(g, &q, &order).map_err(|e| e.to_string())?;
-            let tree = ScheduleTree::build(g, &q, &r.tree).map_err(|e| e.to_string())?;
-            let wig = IntersectionGraph::build(g, &q, &tree);
-            let alloc = allocate(
-                &wig,
-                AllocationOrder::DurationDescending,
-                PlacementPolicy::FirstFit,
-            );
-            ExecutablePlan::lower_shared(g, &q, &r.tree, &wig, &alloc).map_err(|e| e.to_string())
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1311,5 +1607,188 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn parse_serve_and_submit_commands() {
+        assert_eq!(
+            parse_args(&args(&["serve", "127.0.0.1:0"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                cache_cap: 256,
+                queue_cap: 64,
+                port_file: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "127.0.0.1:7654",
+                "--workers",
+                "4",
+                "--cache-cap",
+                "16",
+                "--queue-cap",
+                "8",
+                "--port-file",
+                "port.txt"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7654".into(),
+                workers: 4,
+                cache_cap: 16,
+                queue_cap: 8,
+                port_file: Some("port.txt".into())
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["submit", "127.0.0.1:7654", "--file", "g.sdf"])).unwrap(),
+            Command::Submit {
+                addr: "127.0.0.1:7654".into(),
+                kind: SubmitKind::Analyze,
+                file: Some("g.sdf".into()),
+                method: Method::Apgan,
+                model: Model::Shared,
+                serial: false,
+                full: false,
+                repeats: 3
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "submit",
+                "127.0.0.1:7654",
+                "--kind",
+                "simulate",
+                "--file",
+                "g.sdf",
+                "--method",
+                "rpmc",
+                "--model",
+                "nonshared"
+            ]))
+            .unwrap(),
+            Command::Submit {
+                addr: "127.0.0.1:7654".into(),
+                kind: SubmitKind::Simulate,
+                file: Some("g.sdf".into()),
+                method: Method::Rpmc,
+                model: Model::NonShared,
+                serial: false,
+                full: false,
+                repeats: 3
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["submit", "127.0.0.1:7654", "--kind", "shutdown"])).unwrap(),
+            Command::Submit {
+                addr: "127.0.0.1:7654".into(),
+                kind: SubmitKind::Shutdown,
+                file: None,
+                method: Method::Apgan,
+                model: Model::Shared,
+                serial: false,
+                full: false,
+                repeats: 3
+            }
+        );
+        assert!(parse_args(&args(&["serve"])).unwrap_err().contains("addr"));
+        let bad_kind = parse_args(&args(&["submit", "a:1", "--kind", "magic"])).unwrap_err();
+        assert!(bad_kind.contains("--kind"), "{bad_kind}");
+        let bad_workers = parse_args(&args(&["serve", "a:1", "--workers", "many"])).unwrap_err();
+        assert!(bad_workers.contains("--workers"), "{bad_workers}");
+    }
+
+    #[test]
+    fn options_that_belong_to_other_commands_are_rejected() {
+        // The exit-code/flag contract: every command accepts exactly
+        // its documented options, and the error names the stray flag.
+        let cases: &[(&[&str], &str)] = &[
+            (&["info", "g", "--method", "apgan"], "--method"),
+            (&["bounds", "g", "--report", "json"], "--report"),
+            (&["dot", "g", "--full"], "--full"),
+            (&["schedule", "g", "--standalone"], "--standalone"),
+            (&["schedule", "g", "--report", "json"], "--report"),
+            (&["allocate", "g", "--model", "shared"], "--model"),
+            (&["analyze", "g", "--method", "apgan"], "--method"),
+            (&["analyze", "g", "--out", "x"], "--out"),
+            (&["profile", "g", "--serial"], "--serial"),
+            (&["baseline", "g", "--gate"], "--gate"),
+            (&["compare", "a", "b", "--repeats", "3"], "--repeats"),
+            (&["codegen", "g", "--trace", "t"], "--trace"),
+            (&["simulate", "g", "--standalone"], "--standalone"),
+            (&["gantt", "g", "--model", "shared"], "--model"),
+            (&["serve", "a:1", "--method", "apgan"], "--method"),
+            (&["submit", "a:1", "--standalone"], "--standalone"),
+        ];
+        for (argv, flag) in cases {
+            let err = parse_args(&args(argv)).unwrap_err();
+            assert!(err.contains(flag), "{argv:?} -> {err}");
+            assert!(err.contains("does not apply"), "{argv:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_serve_and_submit() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        // A private daemon on an ephemeral port.
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let submit = |kind: SubmitKind, file: Option<String>| {
+            execute(&Command::Submit {
+                addr: addr.clone(),
+                kind,
+                file,
+                method: Method::Apgan,
+                model: Model::Shared,
+                serial: false,
+                full: false,
+                repeats: 2,
+            })
+        };
+        // First analyze computes, the repeat is served from cache —
+        // with byte-identical payload bytes inside the envelope.
+        let (first, code) = submit(SubmitKind::Analyze, Some(file.clone())).unwrap();
+        assert_eq!(code, 0, "{first}");
+        assert!(first.contains("\"status\":\"ok\""), "{first}");
+        assert!(first.contains("\"cached\":false"), "{first}");
+        let (second, code) = submit(SubmitKind::Analyze, Some(file.clone())).unwrap();
+        assert_eq!(code, 0, "{second}");
+        assert!(second.contains("\"cached\":true"), "{second}");
+        let payload_of = |line: &str| {
+            let start = line.find(",\"payload\":").expect("payload member") + 11;
+            line[start..line.trim_end().len() - 1].to_string()
+        };
+        assert_eq!(payload_of(&first), payload_of(&second));
+        // A simulate submission exits 0 only when the oracle is clean.
+        let (sim, code) = submit(SubmitKind::Simulate, Some(file.clone())).unwrap();
+        assert_eq!(code, 0, "{sim}");
+        assert!(sim.contains("\"clean\":true"), "{sim}");
+        // A broken graph is a domain failure: error envelope, exit 1.
+        let broken = path.with_extension("broken.sdf");
+        std::fs::write(&broken, "graph broken\nedge A\n").unwrap();
+        let (err, code) = submit(
+            SubmitKind::Analyze,
+            Some(broken.to_string_lossy().into_owned()),
+        )
+        .unwrap();
+        assert_eq!(code, 1, "{err}");
+        assert!(err.contains("\"status\":\"error\""), "{err}");
+        assert!(err.contains("parse_error"), "{err}");
+        // Stats reports the daemon's counters; shutdown stops it.
+        let (stats, code) = submit(SubmitKind::Stats, None).unwrap();
+        assert_eq!(code, 0, "{stats}");
+        assert!(stats.contains("service.cache.hits"), "{stats}");
+        let (bye, code) = submit(SubmitKind::Shutdown, None).unwrap();
+        assert_eq!(code, 0, "{bye}");
+        server.wait();
+        // The daemon is gone: connecting now is a transport error
+        // (exit 2 in main).
+        let refused = submit(SubmitKind::Stats, None);
+        assert!(refused.is_err(), "{refused:?}");
+        let _ = std::fs::remove_file(broken);
     }
 }

@@ -288,12 +288,12 @@ impl ExecutablePlan {
     /// Serialises the plan as a self-contained JSON object (parseable
     /// with `sdf_trace::json`, see `docs/file-format.md`).
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(256 + 64 * self.bindings.len() + 32 * self.ops.len());
+        let mut s = sdf_trace::json::document_header("executable_plan");
+        s.reserve(256 + 64 * self.bindings.len() + 32 * self.ops.len());
         let _ = write!(
             s,
-            "{{\"schema_version\":{},\"kind\":\"executable_plan\",\"graph\":\"{}\",\
+            "\"graph\":\"{}\",\
              \"model\":\"{}\",\"pool_words\":{},\"token_bytes\":{},\"bindings\":[",
-            sdf_trace::SCHEMA_VERSION,
             json_escape(&self.graph),
             self.model.as_str(),
             self.pool_words,

@@ -176,14 +176,15 @@ impl RegressionReport {
         out
     }
 
-    /// Schema-version-3 JSON rendering (kind `regression_report`).
+    /// JSON rendering (kind `regression_report`) with the workspace's
+    /// unified `kind` + `schema_version` envelope.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(512);
+        let mut s = sdf_trace::json::document_header("regression_report");
+        s.reserve(512);
         let _ = write!(
             s,
-            "{{\"schema_version\":{},\"kind\":\"regression_report\",\"graph\":\"{}\",\
+            "\"graph\":\"{}\",\
              \"gate_failures\":{},\"warnings\":{},\"matched\":{},\"entries\":[",
-            sdf_trace::SCHEMA_VERSION,
             escape(&self.graph),
             self.gate_failures(),
             self.warnings(),

@@ -161,18 +161,11 @@ impl Profile {
         Ok(())
     }
 
-    /// Serialises the profile as a schema-version-3 JSON document.
+    /// Serialises the profile as a JSON document with the workspace's
+    /// unified `kind` + `schema_version` envelope.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
-        s.push('{');
-        write_kv_num(
-            &mut s,
-            "schema_version",
-            u64::from(sdf_trace::SCHEMA_VERSION),
-        );
-        s.push(',');
-        write_kv_str(&mut s, "kind", "baseline_profile");
-        s.push(',');
+        let mut s = sdf_trace::json::document_header("baseline_profile");
+        s.reserve(1024);
         write_kv_str(&mut s, "graph", &self.graph);
         s.push(',');
         write_kv_num(&mut s, "actors", self.actors);

@@ -1,0 +1,1107 @@
+//! The unified Request/Response API.
+//!
+//! Every way of asking the toolkit a question — the `sdfmem` CLI
+//! subcommands and the `sdfmemd` daemon's wire protocol — goes through
+//! the same two types: a [`ServiceRequest`] names the operation and
+//! its options, [`execute_request`] runs it against the engine, and
+//! the resulting [`ServiceResponse`] owns the typed result.  One API,
+//! two transports.
+//!
+//! On the wire both directions are single-line JSON documents under
+//! the standard envelope (`kind` + `schema_version` first).  Response
+//! envelopes always place the `payload` member **last**, so a client
+//! can lift the embedded result document out as a verbatim byte range
+//! without a round-tripping JSON serializer — byte identity between
+//! cached and fresh results is part of the service contract.
+//!
+//! Requests that embed a graph are *content-addressed*: the graph text
+//! is canonicalised by parsing and re-printing it (normalising
+//! whitespace, comments and `actor` declarations while preserving the
+//! author's actor order — reordering actors can legitimately change
+//! heuristic tie-breaks, so order is semantic here), and the
+//! [`canonical string`](ServiceRequest::canonical_string) prepends the
+//! operation and every option that affects the result.
+
+use std::fmt::Write as _;
+
+use sdf_codegen::{execute_plan, ExecReport, ExecutablePlan};
+use sdf_core::graph::SdfGraph;
+use sdf_core::repetitions::RepetitionsVector;
+use sdf_regress::{diff, DiffOptions, Profile, RegressionReport, ReportFormat as DiffFormat};
+use sdf_trace::json::{self, escape, Json};
+use sdfmem::engine::{AnalysisBuilder, Synthesis};
+use sdfmem::sentinel::{capture_profile, CaptureOptions};
+
+use crate::hash::fingerprint;
+
+/// Topological-sort heuristic selector shared by plan-shaped requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OrderMethod {
+    /// APGAN (bottom-up clustering).
+    #[default]
+    Apgan,
+    /// RPMC (top-down min-cut partitioning).
+    Rpmc,
+}
+
+impl OrderMethod {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OrderMethod::Apgan => "apgan",
+            OrderMethod::Rpmc => "rpmc",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<OrderMethod> {
+        match name {
+            "apgan" => Some(OrderMethod::Apgan),
+            "rpmc" => Some(OrderMethod::Rpmc),
+            _ => None,
+        }
+    }
+}
+
+/// Buffer-model selector shared by plan-shaped requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// One shared pool, lifetime-packed (the paper's contribution).
+    #[default]
+    Shared,
+    /// One array per edge (the DPPO baseline).
+    NonShared,
+}
+
+impl MemoryModel {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemoryModel::Shared => "shared",
+            MemoryModel::NonShared => "nonshared",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<MemoryModel> {
+        match name {
+            "shared" => Some(MemoryModel::Shared),
+            "nonshared" => Some(MemoryModel::NonShared),
+            _ => None,
+        }
+    }
+}
+
+/// Machine-readable failure class of a [`ServiceError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request envelope itself is malformed or names an unknown or
+    /// inapplicable operation.
+    BadRequest,
+    /// An embedded input document (graph or profile) does not parse.
+    ParseError,
+    /// The engine rejected the graph (inconsistency, deadlock, …) or
+    /// failed while executing the operation.
+    EngineError,
+    /// The daemon is shutting down or the job queue dropped the job.
+    Unavailable,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::EngineError => "engine_error",
+            ErrorCode::Unavailable => "unavailable",
+        }
+    }
+}
+
+/// A typed failure: which class, which input (when one is at fault)
+/// and a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Failure class.
+    pub code: ErrorCode,
+    /// The request member at fault (`"graph"`, `"baseline"`,
+    /// `"candidate"`), when the failure is attributable to one.
+    pub input: Option<&'static str>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    fn bad_request(message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code: ErrorCode::BadRequest,
+            input: None,
+            message: message.into(),
+        }
+    }
+
+    fn parse(input: &'static str, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code: ErrorCode::ParseError,
+            input: Some(input),
+            message: message.into(),
+        }
+    }
+
+    fn engine(message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code: ErrorCode::EngineError,
+            input: None,
+            message: message.into(),
+        }
+    }
+}
+
+/// One operation against the synthesis engine.
+///
+/// The first five variants are the CLI's `analyze`, `codegen`/plan,
+/// `simulate`, `baseline` and `compare` in request form; `Stats` and
+/// `Shutdown` are daemon-side control operations and are rejected by
+/// the in-process backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceRequest {
+    /// Sweep the candidate lattice and return the engine report.
+    Analyze {
+        /// Graph text in the [`sdf_core::io`] format.
+        graph: String,
+        /// Evaluate candidates serially instead of in parallel.
+        serial: bool,
+        /// Sweep every loop-optimizer variant, not just SDPPO.
+        full: bool,
+    },
+    /// Lower the graph to an [`ExecutablePlan`].
+    Plan {
+        /// Graph text.
+        graph: String,
+        /// Topological-sort heuristic.
+        method: OrderMethod,
+        /// Buffer model.
+        model: MemoryModel,
+    },
+    /// Lower the graph and execute the plan under the interpreter
+    /// oracle.
+    Simulate {
+        /// Graph text.
+        graph: String,
+        /// Topological-sort heuristic.
+        method: OrderMethod,
+        /// Buffer model.
+        model: MemoryModel,
+    },
+    /// Capture a regression-sentinel baseline profile. Never cached:
+    /// the profile embeds wall-clock timing statistics.
+    Baseline {
+        /// Graph text.
+        graph: String,
+        /// Timing repeats.
+        repeats: u32,
+        /// Sweep every loop-optimizer variant.
+        full: bool,
+        /// Perturbation spec (test hook).
+        perturb: Option<String>,
+    },
+    /// Diff two baseline profiles.
+    Compare {
+        /// Baseline profile document text.
+        baseline: String,
+        /// Candidate profile document text.
+        candidate: String,
+        /// Also gate on timing-band violations.
+        gate: bool,
+        /// Gate exemptions (trailing `*` matches a prefix).
+        allow: Vec<String>,
+    },
+    /// Daemon only: report the `service.*` counters and gauges.
+    Stats,
+    /// Daemon only: stop accepting work and exit (responds with final
+    /// stats).
+    Shutdown,
+}
+
+impl ServiceRequest {
+    /// The wire name of the operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            ServiceRequest::Analyze { .. } => "analyze",
+            ServiceRequest::Plan { .. } => "plan",
+            ServiceRequest::Simulate { .. } => "simulate",
+            ServiceRequest::Baseline { .. } => "baseline",
+            ServiceRequest::Compare { .. } => "compare",
+            ServiceRequest::Stats => "stats",
+            ServiceRequest::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether results of this request may be served from the cache.
+    ///
+    /// `analyze`, `plan` and `simulate` are deterministic functions of
+    /// the canonical request. `baseline` embeds timing statistics and
+    /// `compare` is cheap pure post-processing; neither is cached.
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            ServiceRequest::Analyze { .. }
+                | ServiceRequest::Plan { .. }
+                | ServiceRequest::Simulate { .. }
+        )
+    }
+
+    /// The canonical text this request is content-addressed by: the
+    /// operation, every result-affecting option, and the canonicalised
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the embedded graph does not parse (the same error
+    /// the execution path would report).
+    pub fn canonical_string(&self) -> Result<String, ServiceError> {
+        match self {
+            ServiceRequest::Analyze { graph, full, .. } => {
+                // `serial` is excluded: the engine guarantees the
+                // winner is identical either way, so both forms share
+                // a cache slot (the report's `parallel` field would
+                // differ, so canonicalise to the parallel form on the
+                // daemon — see `execute_request_cached`).
+                let g = parse_graph_input(graph)?;
+                Ok(format!(
+                    "analyze full={full}\n{}",
+                    sdf_core::io::to_text(&g)
+                ))
+            }
+            ServiceRequest::Plan {
+                graph,
+                method,
+                model,
+            } => {
+                let g = parse_graph_input(graph)?;
+                Ok(format!(
+                    "plan method={} model={}\n{}",
+                    method.as_str(),
+                    model.as_str(),
+                    sdf_core::io::to_text(&g)
+                ))
+            }
+            ServiceRequest::Simulate {
+                graph,
+                method,
+                model,
+            } => {
+                let g = parse_graph_input(graph)?;
+                Ok(format!(
+                    "simulate method={} model={}\n{}",
+                    method.as_str(),
+                    model.as_str(),
+                    sdf_core::io::to_text(&g)
+                ))
+            }
+            _ => Err(ServiceError::bad_request(format!(
+                "`{}` requests are not content-addressable",
+                self.op()
+            ))),
+        }
+    }
+
+    /// The `(fingerprint, canonical)` cache key pair, for cacheable
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceRequest::canonical_string`].
+    pub fn cache_key(&self) -> Result<(String, String), ServiceError> {
+        let canonical = self.canonical_string()?;
+        Ok((fingerprint(&canonical), canonical))
+    }
+
+    /// Serializes the request as a one-line wire document.
+    pub fn to_json(&self, request_id: &str) -> String {
+        let mut s = json::document_header("service_request");
+        let _ = write!(
+            s,
+            "\"request_id\":\"{}\",\"op\":\"{}\"",
+            escape(request_id),
+            self.op()
+        );
+        match self {
+            ServiceRequest::Analyze {
+                graph,
+                serial,
+                full,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"serial\":{serial},\"full\":{full},\"graph\":\"{}\"",
+                    escape(graph)
+                );
+            }
+            ServiceRequest::Plan {
+                graph,
+                method,
+                model,
+            }
+            | ServiceRequest::Simulate {
+                graph,
+                method,
+                model,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"method\":\"{}\",\"model\":\"{}\",\"graph\":\"{}\"",
+                    method.as_str(),
+                    model.as_str(),
+                    escape(graph)
+                );
+            }
+            ServiceRequest::Baseline {
+                graph,
+                repeats,
+                full,
+                perturb,
+            } => {
+                let _ = write!(s, ",\"repeats\":{repeats},\"full\":{full}");
+                if let Some(p) = perturb {
+                    let _ = write!(s, ",\"perturb\":\"{}\"", escape(p));
+                }
+                let _ = write!(s, ",\"graph\":\"{}\"", escape(graph));
+            }
+            ServiceRequest::Compare {
+                baseline,
+                candidate,
+                gate,
+                allow,
+            } => {
+                let _ = write!(s, ",\"gate\":{gate},\"allow\":[");
+                for (i, name) in allow.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "\"{}\"", escape(name));
+                }
+                let _ = write!(
+                    s,
+                    "],\"baseline\":\"{}\",\"candidate\":\"{}\"",
+                    escape(baseline),
+                    escape(candidate)
+                );
+            }
+            ServiceRequest::Stats | ServiceRequest::Shutdown => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a wire line into `(request_id, request)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ErrorCode::BadRequest`] error for anything that is
+    /// not a well-formed `service_request` document of the current
+    /// schema version.
+    pub fn parse(line: &str) -> Result<(String, ServiceRequest), ServiceError> {
+        let doc =
+            json::parse(line).map_err(|e| ServiceError::bad_request(format!("bad JSON: {e}")))?;
+        let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("");
+        if kind != "service_request" {
+            return Err(ServiceError::bad_request(format!(
+                "expected kind \"service_request\", got \"{kind}\""
+            )));
+        }
+        let version = doc.get("schema_version").and_then(Json::as_num);
+        if version != Some(f64::from(sdf_trace::SCHEMA_VERSION)) {
+            return Err(ServiceError::bad_request(format!(
+                "unsupported schema_version {:?} (this server speaks {})",
+                version,
+                sdf_trace::SCHEMA_VERSION
+            )));
+        }
+        let request_id = doc
+            .get("request_id")
+            .and_then(Json::as_str)
+            .unwrap_or("-")
+            .to_string();
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::bad_request("missing \"op\""))?;
+        let str_field = |name: &str| doc.get(name).and_then(Json::as_str).map(str::to_string);
+        let bool_field = |name: &str| doc.get(name).and_then(Json::as_bool).unwrap_or(false);
+        let graph = || {
+            str_field("graph").ok_or_else(|| ServiceError::bad_request("missing \"graph\" text"))
+        };
+        let method = || -> Result<OrderMethod, ServiceError> {
+            match doc.get("method").and_then(Json::as_str) {
+                None => Ok(OrderMethod::default()),
+                Some(name) => OrderMethod::parse(name)
+                    .ok_or_else(|| ServiceError::bad_request(format!("bad method \"{name}\""))),
+            }
+        };
+        let model = || -> Result<MemoryModel, ServiceError> {
+            match doc.get("model").and_then(Json::as_str) {
+                None => Ok(MemoryModel::default()),
+                Some(name) => MemoryModel::parse(name)
+                    .ok_or_else(|| ServiceError::bad_request(format!("bad model \"{name}\""))),
+            }
+        };
+        let request = match op {
+            "analyze" => ServiceRequest::Analyze {
+                graph: graph()?,
+                serial: bool_field("serial"),
+                full: bool_field("full"),
+            },
+            "plan" => ServiceRequest::Plan {
+                graph: graph()?,
+                method: method()?,
+                model: model()?,
+            },
+            "simulate" => ServiceRequest::Simulate {
+                graph: graph()?,
+                method: method()?,
+                model: model()?,
+            },
+            "baseline" => {
+                let repeats = match doc.get("repeats").and_then(Json::as_num) {
+                    None => 3,
+                    Some(n) if n >= 1.0 && n.fract() == 0.0 && n <= f64::from(u32::MAX) => n as u32,
+                    Some(n) => {
+                        return Err(ServiceError::bad_request(format!("bad repeats {n}")));
+                    }
+                };
+                ServiceRequest::Baseline {
+                    graph: graph()?,
+                    repeats,
+                    full: bool_field("full"),
+                    perturb: str_field("perturb"),
+                }
+            }
+            "compare" => {
+                let allow = match doc.get("allow") {
+                    None => Vec::new(),
+                    Some(value) => value
+                        .as_array()
+                        .ok_or_else(|| ServiceError::bad_request("\"allow\" must be an array"))?
+                        .iter()
+                        .map(|v| {
+                            v.as_str().map(str::to_string).ok_or_else(|| {
+                                ServiceError::bad_request("\"allow\" entries must be strings")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                ServiceRequest::Compare {
+                    baseline: str_field("baseline")
+                        .ok_or_else(|| ServiceError::bad_request("missing \"baseline\" text"))?,
+                    candidate: str_field("candidate")
+                        .ok_or_else(|| ServiceError::bad_request("missing \"candidate\" text"))?,
+                    gate: bool_field("gate"),
+                    allow,
+                }
+            }
+            "stats" => ServiceRequest::Stats,
+            "shutdown" => ServiceRequest::Shutdown,
+            other => {
+                return Err(ServiceError::bad_request(format!("unknown op \"{other}\"")));
+            }
+        };
+        Ok((request_id, request))
+    }
+}
+
+/// The typed result of a successful request.
+pub enum ResponsePayload {
+    /// `analyze`: the parsed graph (kept for text rendering) and the
+    /// full synthesis.
+    Analyze {
+        /// The parsed input graph.
+        graph: SdfGraph,
+        /// Winner, candidate lattice and engine report.
+        synthesis: Box<Synthesis>,
+    },
+    /// `plan`: the lowered executable plan.
+    Plan {
+        /// The plan.
+        plan: Box<ExecutablePlan>,
+    },
+    /// `simulate`: the plan plus the oracle verdict.
+    Simulate {
+        /// The executed plan.
+        plan: Box<ExecutablePlan>,
+        /// Oracle result (`Err` carries the violation message).
+        exec: Result<ExecReport, String>,
+    },
+    /// `baseline`: the captured profile.
+    Baseline {
+        /// The profile.
+        profile: Box<Profile>,
+    },
+    /// `compare`: the diff report.
+    Compare {
+        /// The regression report.
+        report: Box<RegressionReport>,
+    },
+    /// `stats` / `shutdown`: the daemon's instruments.
+    Stats {
+        /// Counter values, sorted by name.
+        counters: Vec<(String, u64)>,
+        /// Gauge values, sorted by name.
+        gauges: Vec<(String, u64)>,
+    },
+}
+
+impl ResponsePayload {
+    /// Serializes the payload as a complete top-level document (its own
+    /// `kind` + `schema_version` envelope), without a trailing newline.
+    pub fn to_json(&self) -> String {
+        match self {
+            ResponsePayload::Analyze { synthesis, .. } => {
+                synthesis.report.to_json().trim_end().to_string()
+            }
+            ResponsePayload::Plan { plan } => plan.to_json().trim_end().to_string(),
+            ResponsePayload::Simulate { plan, exec } => {
+                simulation_report_json(plan, exec).trim_end().to_string()
+            }
+            ResponsePayload::Baseline { profile } => profile.to_json().trim_end().to_string(),
+            ResponsePayload::Compare { report } => {
+                report.render(DiffFormat::Json).trim_end().to_string()
+            }
+            ResponsePayload::Stats { counters, gauges } => {
+                let mut s = json::document_header("service_stats");
+                let write_table = |s: &mut String, name: &str, rows: &[(String, u64)]| {
+                    let _ = write!(s, "\"{name}\":{{");
+                    for (i, (key, value)) in rows.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "\"{}\":{value}", escape(key));
+                    }
+                    s.push('}');
+                };
+                write_table(&mut s, "counters", counters);
+                s.push(',');
+                write_table(&mut s, "gauges", gauges);
+                s.push('}');
+                s
+            }
+        }
+    }
+}
+
+/// The outcome of a request: success with a payload, backpressure
+/// rejection, or a typed error.
+pub enum ServiceResponse {
+    /// The operation succeeded.
+    Ok(ResponsePayload),
+    /// The daemon's job queue was full; the request never ran.
+    Rejected {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The operation failed.
+    Err(ServiceError),
+}
+
+impl ServiceResponse {
+    /// The wire status string.
+    pub fn status(&self) -> &'static str {
+        match self {
+            ServiceResponse::Ok(_) => "ok",
+            ServiceResponse::Rejected { .. } => "rejected",
+            ServiceResponse::Err(_) => "error",
+        }
+    }
+
+    /// Serializes the full response envelope (one line, newline
+    /// terminated). The `payload` member, when present, is last.
+    pub fn to_json(&self, request_id: &str, cached: bool) -> String {
+        match self {
+            ServiceResponse::Ok(payload) => envelope_ok(request_id, cached, &payload.to_json()),
+            ServiceResponse::Rejected { message } => envelope_error(
+                request_id,
+                "rejected",
+                ErrorCode::Unavailable.as_str(),
+                None,
+                message,
+            ),
+            ServiceResponse::Err(error) => envelope_error(
+                request_id,
+                "error",
+                error.code.as_str(),
+                error.input,
+                &error.message,
+            ),
+        }
+    }
+}
+
+fn envelope_prefix(request_id: &str, status: &str, cached: bool) -> String {
+    let mut s = json::document_header("service_response");
+    let _ = write!(
+        s,
+        "\"request_id\":\"{}\",\"status\":\"{status}\",\"cached\":{cached}",
+        escape(request_id)
+    );
+    s
+}
+
+/// Wraps an already-serialized payload document into an `ok` envelope.
+/// Public to the crate so the server can wrap cached payload bytes
+/// without re-serializing the typed payload.
+pub(crate) fn envelope_ok(request_id: &str, cached: bool, payload_json: &str) -> String {
+    let mut s = envelope_prefix(request_id, "ok", cached);
+    let _ = write!(s, ",\"payload\":{payload_json}}}");
+    s.push('\n');
+    s
+}
+
+pub(crate) fn envelope_error(
+    request_id: &str,
+    status: &str,
+    code: &str,
+    input: Option<&str>,
+    message: &str,
+) -> String {
+    let mut s = envelope_prefix(request_id, status, false);
+    let _ = write!(s, ",\"error\":{{\"code\":\"{code}\"");
+    if let Some(input) = input {
+        let _ = write!(s, ",\"input\":\"{}\"", escape(input));
+    }
+    let _ = write!(s, ",\"message\":\"{}\"}}}}", escape(message));
+    s.push('\n');
+    s
+}
+
+/// Parses graph text, mapping failures to the service's typed error.
+///
+/// # Errors
+///
+/// [`ErrorCode::ParseError`] with `input: "graph"` — shared between
+/// the CLI and daemon paths so both report byte-identical messages.
+pub fn parse_graph_input(text: &str) -> Result<SdfGraph, ServiceError> {
+    sdf_core::io::parse_graph(text).map_err(|e| ServiceError::parse("graph", e.to_string()))
+}
+
+/// Lowers `graph` to the [`ExecutablePlan`] shared by the `plan`,
+/// `simulate` and CLI `codegen` paths: the chosen heuristic order, then
+/// DPPO (non-shared) or SDPPO + first-fit allocation (shared).
+///
+/// # Errors
+///
+/// [`ErrorCode::EngineError`] on consistency, scheduling or lowering
+/// failures.
+pub fn lower_plan(
+    g: &SdfGraph,
+    method: OrderMethod,
+    model: MemoryModel,
+) -> Result<ExecutablePlan, ServiceError> {
+    use sdf_alloc::{allocate, AllocationOrder, PlacementPolicy};
+    use sdf_lifetime::tree::ScheduleTree;
+    use sdf_lifetime::wig::IntersectionGraph;
+    use sdf_sched::{apgan, dppo, rpmc, sdppo};
+
+    let engine = ServiceError::engine;
+    let q = RepetitionsVector::compute(g).map_err(|e| engine(e.to_string()))?;
+    let order = match method {
+        OrderMethod::Apgan => apgan(g, &q),
+        OrderMethod::Rpmc => rpmc(g, &q),
+    }
+    .map_err(|e| engine(e.to_string()))?;
+    match model {
+        MemoryModel::NonShared => {
+            let r = dppo(g, &q, &order).map_err(|e| engine(e.to_string()))?;
+            ExecutablePlan::lower_nonshared(g, &q, &r.tree.to_looped_schedule())
+                .map_err(|e| engine(e.to_string()))
+        }
+        MemoryModel::Shared => {
+            let r = sdppo(g, &q, &order).map_err(|e| engine(e.to_string()))?;
+            let tree = ScheduleTree::build(g, &q, &r.tree).map_err(|e| engine(e.to_string()))?;
+            let wig = IntersectionGraph::build(g, &q, &tree);
+            let alloc = allocate(
+                &wig,
+                AllocationOrder::DurationDescending,
+                PlacementPolicy::FirstFit,
+            );
+            ExecutablePlan::lower_shared(g, &q, &r.tree, &wig, &alloc)
+                .map_err(|e| engine(e.to_string()))
+        }
+    }
+}
+
+/// The `simulation_report` document (also what `sdfmem simulate
+/// --report json` prints).
+fn simulation_report_json(plan: &ExecutablePlan, exec: &Result<ExecReport, String>) -> String {
+    let mut s = json::document_header("simulation_report");
+    let _ = write!(
+        s,
+        "\"graph\":\"{}\",\"model\":\"{}\",\"clean\":{}",
+        escape(&plan.graph),
+        plan.model.as_str(),
+        exec.is_ok()
+    );
+    match exec {
+        Ok(r) => {
+            let _ = write!(
+                s,
+                ",\"exec\":{{\"firings\":{},\"peak_live_words\":{},\
+                 \"peak_live_bytes\":{},\"pool_words\":{}}}",
+                r.firings, r.peak_live_words, r.peak_live_bytes, r.pool_words
+            );
+        }
+        Err(e) => {
+            let _ = write!(s, ",\"error\":\"{}\"", escape(e));
+        }
+    }
+    let _ = write!(s, ",\"plan\":{}}}", plan.to_json());
+    s
+}
+
+/// Executes a request in-process — the single backend behind both the
+/// CLI subcommands and the daemon's workers.
+///
+/// `Stats` and `Shutdown` are daemon-side control operations and
+/// return a [`ErrorCode::BadRequest`] error here.
+pub fn execute_request(request: &ServiceRequest) -> ServiceResponse {
+    match execute_request_inner(request) {
+        Ok(payload) => ServiceResponse::Ok(payload),
+        Err(error) => ServiceResponse::Err(error),
+    }
+}
+
+fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, ServiceError> {
+    match request {
+        ServiceRequest::Analyze {
+            graph,
+            serial,
+            full,
+        } => {
+            let g = parse_graph_input(graph)?;
+            let mut builder = AnalysisBuilder::new().parallel(!serial);
+            if *full {
+                builder = builder.loop_opts(sdf_sched::LoopVariant::ALL);
+            }
+            let synthesis = builder
+                .run_full(&g)
+                .map_err(|e| ServiceError::engine(e.to_string()))?;
+            Ok(ResponsePayload::Analyze {
+                graph: g,
+                synthesis: Box::new(synthesis),
+            })
+        }
+        ServiceRequest::Plan {
+            graph,
+            method,
+            model,
+        } => {
+            let g = parse_graph_input(graph)?;
+            let plan = lower_plan(&g, *method, *model)?;
+            Ok(ResponsePayload::Plan {
+                plan: Box::new(plan),
+            })
+        }
+        ServiceRequest::Simulate {
+            graph,
+            method,
+            model,
+        } => {
+            let g = parse_graph_input(graph)?;
+            let plan = lower_plan(&g, *method, *model)?;
+            let exec = execute_plan(&plan).map_err(|e| e.to_string());
+            Ok(ResponsePayload::Simulate {
+                plan: Box::new(plan),
+                exec,
+            })
+        }
+        ServiceRequest::Baseline {
+            graph,
+            repeats,
+            full,
+            perturb,
+        } => {
+            let g = parse_graph_input(graph)?;
+            let options = CaptureOptions {
+                repeats: *repeats,
+                full: *full,
+                perturb: perturb.clone(),
+            };
+            let profile = capture_profile(&g, &options).map_err(ServiceError::engine)?;
+            Ok(ResponsePayload::Baseline {
+                profile: Box::new(profile),
+            })
+        }
+        ServiceRequest::Compare {
+            baseline,
+            candidate,
+            gate,
+            allow,
+        } => {
+            let base = Profile::parse(baseline).map_err(|e| ServiceError::parse("baseline", e))?;
+            let cand =
+                Profile::parse(candidate).map_err(|e| ServiceError::parse("candidate", e))?;
+            let options = DiffOptions {
+                allow: allow.clone(),
+                gate_timings: *gate,
+                ..DiffOptions::default()
+            };
+            Ok(ResponsePayload::Compare {
+                report: Box::new(diff(&base, &cand, &options)),
+            })
+        }
+        ServiceRequest::Stats | ServiceRequest::Shutdown => {
+            Err(ServiceError::bad_request(format!(
+                "`{}` is a daemon-side operation; submit it to a running sdfmemd",
+                request.op()
+            )))
+        }
+    }
+}
+
+/// Executes a cacheable request the way a daemon worker does: any
+/// `serial` preference is dropped first, so serial and parallel
+/// submissions of the same graph share one cache slot *and* one
+/// payload byte-form (the engine report records `parallel`).
+pub fn execute_request_cached(request: &ServiceRequest) -> ServiceResponse {
+    match request {
+        ServiceRequest::Analyze { graph, full, .. } => execute_request(&ServiceRequest::Analyze {
+            graph: graph.clone(),
+            serial: false,
+            full: *full,
+        }),
+        other => execute_request(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = "graph fig2\nedge A B 20 10\nedge B C 20 10\n";
+
+    #[test]
+    fn request_wire_round_trip() {
+        let requests = [
+            ServiceRequest::Analyze {
+                graph: FIG2.into(),
+                serial: true,
+                full: true,
+            },
+            ServiceRequest::Plan {
+                graph: FIG2.into(),
+                method: OrderMethod::Rpmc,
+                model: MemoryModel::NonShared,
+            },
+            ServiceRequest::Simulate {
+                graph: FIG2.into(),
+                method: OrderMethod::Apgan,
+                model: MemoryModel::Shared,
+            },
+            ServiceRequest::Baseline {
+                graph: FIG2.into(),
+                repeats: 2,
+                full: false,
+                perturb: Some("sched.dppo.cells=+7".into()),
+            },
+            ServiceRequest::Compare {
+                baseline: "{}".into(),
+                candidate: "{}".into(),
+                gate: true,
+                allow: vec!["sched.*".into()],
+            },
+            ServiceRequest::Stats,
+            ServiceRequest::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_json("req-1");
+            let (id, parsed) = ServiceRequest::parse(&line).expect("round trip");
+            assert_eq!(id, "req-1");
+            assert_eq!(parsed, request, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(ServiceRequest::parse("not json").is_err());
+        assert!(ServiceRequest::parse("{\"kind\":\"engine_report\"}").is_err());
+        let wrong_version = format!(
+            "{{\"kind\":\"service_request\",\"schema_version\":{},\"op\":\"stats\"}}",
+            sdf_trace::SCHEMA_VERSION + 1
+        );
+        assert!(ServiceRequest::parse(&wrong_version).is_err());
+        let no_graph = format!(
+            "{{\"kind\":\"service_request\",\"schema_version\":{},\"op\":\"analyze\"}}",
+            sdf_trace::SCHEMA_VERSION
+        );
+        let err = ServiceRequest::parse(&no_graph).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("graph"), "{}", err.message);
+    }
+
+    #[test]
+    fn canonicalisation_ignores_formatting_but_not_actor_order() {
+        let spaced = "graph fig2\n\n# comment\nedge  A  B  20 10\nedge B C 20 10\n";
+        let key = |text: &str| {
+            ServiceRequest::Analyze {
+                graph: text.into(),
+                serial: false,
+                full: false,
+            }
+            .cache_key()
+            .expect("parses")
+            .0
+        };
+        assert_eq!(key(FIG2), key(spaced));
+        // Same topology declared with the actor order flipped is a
+        // *different* canonical graph: order can steer tie-breaks.
+        let flipped = "graph fig2\nactor C\nactor B\nactor A\nedge A B 20 10\nedge B C 20 10\n";
+        assert_ne!(key(FIG2), key(flipped));
+    }
+
+    #[test]
+    fn serial_and_parallel_analyze_share_a_cache_slot() {
+        let key = |serial: bool| {
+            ServiceRequest::Analyze {
+                graph: FIG2.into(),
+                serial,
+                full: false,
+            }
+            .cache_key()
+            .expect("parses")
+            .0
+        };
+        assert_eq!(key(true), key(false));
+        // ... and the cached execution path drops the serial
+        // preference, so the payload a serial submission would insert
+        // is structurally the payload a parallel one expects. (Full
+        // byte identity across *independent* analyze runs is not
+        // claimed — engine reports embed wall-clock timings; the
+        // byte-identity contract is cached-vs-inserting run.)
+        let serial = ServiceRequest::Analyze {
+            graph: FIG2.into(),
+            serial: true,
+            full: false,
+        };
+        let payload = match execute_request_cached(&serial) {
+            ServiceResponse::Ok(p) => p.to_json(),
+            _ => panic!("analyze fails"),
+        };
+        let doc = json::parse(&payload).expect("payload parses");
+        assert_eq!(doc.get("parallel").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn analyze_payload_is_a_complete_engine_report() {
+        let request = ServiceRequest::Analyze {
+            graph: FIG2.into(),
+            serial: true,
+            full: false,
+        };
+        let response = execute_request(&request);
+        assert_eq!(response.status(), "ok");
+        let line = response.to_json("r", false);
+        let doc = json::parse(&line).expect("envelope parses");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("service_response")
+        );
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+        let payload = doc.get("payload").expect("payload");
+        assert_eq!(
+            payload.get("kind").and_then(Json::as_str),
+            Some("engine_report")
+        );
+        assert_eq!(payload.get("graph").and_then(Json::as_str), Some("fig2"));
+    }
+
+    #[test]
+    fn simulate_payload_matches_cli_shape() {
+        let request = ServiceRequest::Simulate {
+            graph: FIG2.into(),
+            method: OrderMethod::Apgan,
+            model: MemoryModel::Shared,
+        };
+        let ServiceResponse::Ok(payload) = execute_request(&request) else {
+            panic!("simulate fails");
+        };
+        let doc = json::parse(&payload.to_json()).expect("payload parses");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("simulation_report")
+        );
+        assert_eq!(doc.get("clean").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("exec")
+                .and_then(|e| e.get("firings"))
+                .and_then(Json::as_num),
+            Some(7.0)
+        );
+        assert_eq!(
+            doc.get("plan")
+                .and_then(|p| p.get("kind"))
+                .and_then(Json::as_str),
+            Some("executable_plan")
+        );
+    }
+
+    #[test]
+    fn bad_graph_is_a_typed_parse_error() {
+        let request = ServiceRequest::Analyze {
+            graph: "graph broken\nedge A".into(),
+            serial: false,
+            full: false,
+        };
+        let ServiceResponse::Err(error) = execute_request(&request) else {
+            panic!("expected error");
+        };
+        assert_eq!(error.code, ErrorCode::ParseError);
+        assert_eq!(error.input, Some("graph"));
+        // The cache-key path reports the identical error.
+        assert_eq!(request.cache_key().unwrap_err(), error);
+    }
+
+    #[test]
+    fn control_ops_are_daemon_side_only() {
+        for request in [ServiceRequest::Stats, ServiceRequest::Shutdown] {
+            let ServiceResponse::Err(error) = execute_request(&request) else {
+                panic!("expected error");
+            };
+            assert_eq!(error.code, ErrorCode::BadRequest);
+            assert!(!request.cacheable());
+        }
+    }
+
+    #[test]
+    fn error_envelope_has_no_payload_and_parses() {
+        let response = ServiceResponse::Err(ServiceError::parse("graph", "line 2: bad edge"));
+        let line = response.to_json("r-9", false);
+        let doc = json::parse(&line).expect("envelope parses");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("error"));
+        assert!(doc.get("payload").is_none());
+        let error = doc.get("error").expect("error object");
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("parse_error")
+        );
+        assert_eq!(error.get("input").and_then(Json::as_str), Some("graph"));
+    }
+
+    #[test]
+    fn stats_payload_is_a_service_stats_document() {
+        let payload = ResponsePayload::Stats {
+            counters: vec![("service.cache.hits".into(), 3)],
+            gauges: vec![("service.queue.depth".into(), 0)],
+        };
+        let doc = json::parse(&payload.to_json()).expect("parses");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("service_stats")
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("service.cache.hits"))
+                .and_then(Json::as_num),
+            Some(3.0)
+        );
+    }
+}

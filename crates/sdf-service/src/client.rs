@@ -1,0 +1,255 @@
+//! Blocking client for the `sdfmemd` wire protocol.
+//!
+//! The client keeps the embedded result document as the **verbatim
+//! byte range** of the response line — the envelope places `payload`
+//! last precisely so this extraction needs no JSON re-serialization,
+//! and a cached payload compares byte-for-byte against a fresh one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sdf_trace::json::{self, Json};
+
+use crate::api::ServiceRequest;
+
+/// The error object of an `error` or `rejected` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable failure class (`bad_request`, `parse_error`,
+    /// `engine_error`, `unavailable`).
+    pub code: String,
+    /// The request member at fault, when attributable.
+    pub input: Option<String>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One parsed response envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Echo of the submitted request id.
+    pub request_id: String,
+    /// `ok`, `rejected` or `error`.
+    pub status: String,
+    /// Whether the payload was served from the result cache.
+    pub cached: bool,
+    /// The embedded result document, verbatim (present iff `ok`).
+    pub payload: Option<String>,
+    /// The error object (present iff not `ok`).
+    pub error: Option<WireError>,
+}
+
+impl WireResponse {
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// Parses a response line, keeping the payload bytes verbatim.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the line is not a well-formed
+    /// `service_response` envelope.
+    pub fn parse(line: &str) -> Result<WireResponse, String> {
+        let doc = json::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+        let kind = doc.get("kind").and_then(Json::as_str).unwrap_or("");
+        if kind != "service_response" {
+            return Err(format!("expected a service_response, got kind \"{kind}\""));
+        }
+        let status = doc
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response missing \"status\"")?
+            .to_string();
+        let payload = if status == "ok" {
+            Some(extract_payload(line)?)
+        } else {
+            None
+        };
+        let error = doc.get("error").map(|e| WireError {
+            code: e
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            input: e.get("input").and_then(Json::as_str).map(str::to_string),
+            message: e
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        });
+        Ok(WireResponse {
+            request_id: doc
+                .get("request_id")
+                .and_then(Json::as_str)
+                .unwrap_or("-")
+                .to_string(),
+            status,
+            cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            payload,
+            error,
+        })
+    }
+}
+
+/// Slices the raw payload document out of an `ok` envelope.
+///
+/// The envelope contract makes this safe: `payload` is the last
+/// member, and the raw byte sequence `,"payload":` cannot occur inside
+/// any JSON string (its quotes would be escaped there), so the first
+/// match is the member boundary.
+fn extract_payload(line: &str) -> Result<String, String> {
+    const MARKER: &str = ",\"payload\":";
+    let start = line.find(MARKER).ok_or("ok response missing \"payload\"")? + MARKER.len();
+    let end = line
+        .trim_end()
+        .strip_suffix('}')
+        .map(str::len)
+        .ok_or("response envelope not closed")?;
+    if start > end {
+        return Err("empty payload".to_string());
+    }
+    Ok(line[start..end].to_string())
+}
+
+/// A blocking connection to a daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the connection fails.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Submits one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on I/O failure or a malformed response
+    /// (protocol errors inside a well-formed envelope come back as a
+    /// [`WireResponse`] with a non-`ok` status instead).
+    pub fn call(
+        &mut self,
+        request_id: &str,
+        request: &ServiceRequest,
+    ) -> Result<WireResponse, String> {
+        self.send_raw(&request.to_json(request_id))
+    }
+
+    /// Like [`Client::call`], but also returns the verbatim response
+    /// line (for callers that relay the envelope, like `sdfmem
+    /// submit`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn call_line(
+        &mut self,
+        request_id: &str,
+        request: &ServiceRequest,
+    ) -> Result<(String, WireResponse), String> {
+        let line = self.exchange(&request.to_json(request_id))?;
+        let parsed = WireResponse::parse(&line)?;
+        Ok((line, parsed))
+    }
+
+    /// Submits a raw request line (for protocol tests) and blocks for
+    /// the response.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn send_raw(&mut self, line: &str) -> Result<WireResponse, String> {
+        let response = self.exchange(line)?;
+        WireResponse::parse(&response)
+    }
+
+    fn exchange(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_extraction_is_verbatim() {
+        let envelope = "{\"kind\":\"service_response\",\"schema_version\":6,\
+                        \"request_id\":\"r\",\"status\":\"ok\",\"cached\":true,\
+                        \"payload\":{\"kind\":\"engine_report\",\"graph\":\"fig2\"}}\n";
+        let r = WireResponse::parse(envelope).expect("parses");
+        assert!(r.is_ok());
+        assert!(r.cached);
+        assert_eq!(
+            r.payload.as_deref(),
+            Some("{\"kind\":\"engine_report\",\"graph\":\"fig2\"}")
+        );
+    }
+
+    #[test]
+    fn payload_marker_in_string_values_is_escaped_away() {
+        // A message containing the text `,"payload":` arrives escaped,
+        // so extraction still finds the real member.
+        let message = "tricky ,\\\"payload\\\": text";
+        let envelope = format!(
+            "{{\"kind\":\"service_response\",\"schema_version\":6,\
+             \"request_id\":\"{message}\",\"status\":\"ok\",\"cached\":false,\
+             \"payload\":{{\"x\":1}}}}\n"
+        );
+        let r = WireResponse::parse(&envelope).expect("parses");
+        assert_eq!(r.payload.as_deref(), Some("{\"x\":1}"));
+    }
+
+    #[test]
+    fn error_envelope_parses_without_payload() {
+        let envelope = "{\"kind\":\"service_response\",\"schema_version\":6,\
+                        \"request_id\":\"r\",\"status\":\"error\",\"cached\":false,\
+                        \"error\":{\"code\":\"parse_error\",\"input\":\"graph\",\
+                        \"message\":\"line 2: bad edge\"}}\n";
+        let r = WireResponse::parse(envelope).expect("parses");
+        assert!(!r.is_ok());
+        assert!(r.payload.is_none());
+        let e = r.error.expect("error object");
+        assert_eq!(e.code, "parse_error");
+        assert_eq!(e.input.as_deref(), Some("graph"));
+    }
+
+    #[test]
+    fn foreign_documents_are_rejected() {
+        assert!(WireResponse::parse("{\"kind\":\"engine_report\"}").is_err());
+        assert!(WireResponse::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Hand-rolled content hashing for cache keys.
+//!
+//! The result cache is *content-addressed*: the key of a request is a
+//! hash of its canonical form (op tag, options, canonicalised graph
+//! text).  The workspace is dependency-free, so the hash is a pair of
+//! independent FNV-1a streams — 128 bits total, far beyond birthday
+//! collisions for any realistic corpus — and the cache additionally
+//! stores the canonical string itself, so even a colliding key can
+//! never serve the wrong payload (see [`crate::cache::ResultCache`]).
+
+/// FNV-1a offset basis (the standard 64-bit parameters).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis of the second, independent stream (the first basis
+/// scrambled once through the FNV round itself, so the two streams
+/// never start in the same state).
+const FNV_OFFSET_B: u64 = (FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(FNV_PRIME);
+
+/// A 128-bit FNV-1a-style streaming hasher (two independent 64-bit
+/// lanes; the second lane also whitens each input byte so the lanes
+/// cannot cancel each other).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv128 {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET_B,
+        }
+    }
+
+    /// Feeds `bytes` into both lanes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b ^ 0x5c)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The 32-hex-digit digest of everything written so far.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.lo, self.hi)
+    }
+}
+
+/// One-shot convenience: the 32-hex-digit fingerprint of `text`.
+pub fn fingerprint(text: &str) -> String {
+    let mut h = Fnv128::new();
+    h.write(text.as_bytes());
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let a = fingerprint("graph fig2\nedge A B 20 10\n");
+        let b = fingerprint("graph fig2\nedge A B 20 10\n");
+        let c = fingerprint("graph fig2\nedge A B 20 11\n");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+        assert!(a.bytes().all(|ch| ch.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv128::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish_hex(), fingerprint("hello world"));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // A one-byte input must move both lanes differently.
+        let a = fingerprint("x");
+        let (lo, hi) = a.split_at(16);
+        assert_ne!(lo, hi);
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthesis as a service.
+//!
+//! One Request/Response API over the `sdfmem` synthesis engine, with
+//! two transports:
+//!
+//! - **in-process** — the CLI subcommands build a [`ServiceRequest`],
+//!   call [`execute_request`] and render the typed
+//!   [`ServiceResponse`];
+//! - **wire** — the `sdfmemd` daemon ([`Server`]) accepts the same
+//!   requests as line-delimited JSON over TCP, runs them on a bounded
+//!   worker pool behind a content-addressed LRU result cache, and
+//!   streams back response envelopes a [`Client`] can consume.
+//!
+//! The service contract that shapes everything here: **a cached
+//! response is byte-identical to a freshly computed one.** Cache keys
+//! are fingerprints of a canonical request form (op + options +
+//! re-printed graph text, actor order preserved), entries verify the
+//! canonical text so hash collisions cannot leak foreign results, and
+//! workers never install a global trace recorder (which would bleed
+//! cross-job counter totals into `engine_report` bytes). The daemon's
+//! own observability — `service.*` counters and gauges, per-job
+//! `service.job` spans — lives on a private [`sdf_trace::Recorder`]
+//! and is exported through the `stats` operation.
+//!
+//! Module map:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`api`] | [`ServiceRequest`] / [`ServiceResponse`], wire envelopes, the in-process backend |
+//! | [`hash`] | dependency-free 128-bit FNV-1a content fingerprints |
+//! | [`cache`] | bounded LRU result cache with collision verification |
+//! | [`job`] | job state machine and the bounded work queue |
+//! | [`server`] | the `sdfmemd` TCP daemon |
+//! | [`client`] | blocking wire client with verbatim payload extraction |
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod job;
+pub mod server;
+
+pub use api::{
+    execute_request, execute_request_cached, lower_plan, parse_graph_input, ErrorCode, MemoryModel,
+    OrderMethod, ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
+};
+pub use cache::{CacheLookup, ResultCache};
+pub use client::{Client, WireError, WireResponse};
+pub use hash::fingerprint;
+pub use job::{Job, JobOutcome, JobQueue, JobState};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,388 @@
+//! The `sdfmemd` daemon: a TCP server over the unified API.
+//!
+//! Protocol: line-delimited JSON. Each connection may submit any
+//! number of [`ServiceRequest`](crate::api::ServiceRequest) lines and
+//! receives one [`ServiceResponse`](crate::api::ServiceResponse) line
+//! per request, in order.
+//!
+//! Architecture: an accept thread spawns one lightweight thread per
+//! connection. Connection threads parse requests, probe the result
+//! cache, and on a miss enqueue a [`Job`] on the bounded queue, then
+//! block on the job's channel; a fixed pool of worker threads drains
+//! the queue through [`execute_request_cached`]. A full queue rejects
+//! the submission immediately (state `rejected`) — backpressure
+//! reaches the client as a response, never as a hang.
+//!
+//! **Byte-identity invariant.** Workers never install a global
+//! [`sdf_trace`] recorder around job execution: engine counters are
+//! process-global totals, so a recorder would make the embedded
+//! `counters` section of an `engine_report` depend on what ran
+//! before, and a cached payload would no longer be byte-identical to
+//! a fresh run. All `service.*` instruments and per-job `service.job`
+//! spans go directly onto the server's private [`Recorder`] instead.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use sdf_trace::Recorder;
+
+use crate::api::{
+    envelope_error, envelope_ok, execute_request_cached, ErrorCode, ResponsePayload,
+    ServiceRequest, ServiceResponse,
+};
+use crate::cache::{CacheLookup, ResultCache};
+use crate::job::{Job, JobOutcome, JobQueue, JobState};
+
+/// Daemon tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the job queue. Zero is allowed (useful
+    /// for deterministic backpressure tests): nothing drains the
+    /// queue, so the first `queue_capacity` misses park and later ones
+    /// are rejected.
+    pub workers: usize,
+    /// Result-cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Job-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 256,
+            queue_capacity: 64,
+        }
+    }
+}
+
+struct Shared {
+    recorder: Arc<Recorder>,
+    cache: Mutex<ResultCache>,
+    queue: JobQueue,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn count(&self, name: &'static str) {
+        self.recorder.counter_add(name, 1);
+    }
+
+    fn stats_payload(&self) -> ResponsePayload {
+        ResponsePayload::Stats {
+            counters: self.recorder.counters(),
+            gauges: self.recorder.gauges(),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; call
+/// [`Server::shutdown`] (or submit a `shutdown` request) and then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the address cannot be bound.
+    pub fn bind(addr: &str, config: ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+        let shared = Arc::new(Shared {
+            recorder: Arc::new(Recorder::new()),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            queue: JobQueue::new(config.queue_capacity),
+            stopping: AtomicBool::new(false),
+            addr: local,
+        });
+        let worker_handles = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sdfmemd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sdfmemd-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|e| format!("cannot spawn accept thread: {e}"))?
+        };
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The daemon's private recorder — `service.*` counters, gauges
+    /// and `service.job` spans.
+    pub fn recorder(&self) -> Arc<Recorder> {
+        Arc::clone(&self.shared.recorder)
+    }
+
+    /// Initiates shutdown: the queue closes (pending jobs are
+    /// dropped), workers drain out and the accept loop is unblocked.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the accept loop and every worker have exited.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.stopping.swap(true, Ordering::SeqCst) {
+        return; // already stopping
+    }
+    shared.queue.close();
+    // Unblock `accept` with a throwaway connection; the loop re-checks
+    // the flag before handling it.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Connection threads are detached: they exit when the client
+        // closes the line or shutdown drops their jobs.
+        let _ = std::thread::Builder::new()
+            .name("sdfmemd-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared
+            .recorder
+            .gauge_set("service.queue.depth", shared.queue.depth() as u64);
+        let started = shared.recorder.now_ns();
+        // Job state: pending → running. No global recorder here — see
+        // the module docs for why that would break byte identity.
+        let response = execute_request_cached(&job.request);
+        let finished = shared.recorder.now_ns();
+        let (outcome, state) = match response {
+            ServiceResponse::Ok(payload) => (
+                JobOutcome::Complete(Arc::new(payload.to_json())),
+                JobState::Complete,
+            ),
+            ServiceResponse::Err(error) => (JobOutcome::Failed(error), JobState::Failed),
+            ServiceResponse::Rejected { message } => (
+                // Unreachable from `execute_request_cached`, but keep
+                // the state machine total.
+                JobOutcome::Failed(crate::api::ServiceError {
+                    code: ErrorCode::Unavailable,
+                    input: None,
+                    message,
+                }),
+                JobState::Failed,
+            ),
+        };
+        shared.count(match state {
+            JobState::Complete => "service.jobs.complete",
+            _ => "service.jobs.failed",
+        });
+        shared.recorder.record_span(
+            "service.job",
+            vec![
+                ("op", job.request.op().to_string()),
+                ("request_id", job.request_id.clone()),
+                ("state", state.as_str().to_string()),
+                (
+                    "queued_ns",
+                    (started.saturating_sub(job.enqueued_ns)).to_string(),
+                ),
+            ],
+            started,
+            finished.saturating_sub(started),
+        );
+        // The submitting connection thread may have gone away; the
+        // outcome is then dropped with the channel.
+        let _ = job.tx.send(outcome);
+    }
+}
+
+fn respond(stream: &mut TcpStream, line: &str) -> bool {
+    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.count("service.requests");
+        let (request_id, request) = match ServiceRequest::parse(&line) {
+            Ok(parsed) => parsed,
+            Err(error) => {
+                shared.count("service.requests.malformed");
+                let envelope = ServiceResponse::Err(error).to_json("-", false);
+                if !respond(&mut writer, &envelope) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let done = match request {
+            ServiceRequest::Stats => {
+                let envelope =
+                    ServiceResponse::Ok(shared.stats_payload()).to_json(&request_id, false);
+                !respond(&mut writer, &envelope)
+            }
+            ServiceRequest::Shutdown => {
+                shared.count("service.requests.shutdown");
+                let envelope =
+                    ServiceResponse::Ok(shared.stats_payload()).to_json(&request_id, false);
+                respond(&mut writer, &envelope);
+                initiate_shutdown(shared);
+                true
+            }
+            request => !handle_job_request(&mut writer, shared, &request_id, request),
+        };
+        if done {
+            break;
+        }
+    }
+}
+
+/// Runs one engine-backed request through cache + queue. Returns
+/// `false` when the client connection is gone.
+fn handle_job_request(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    request_id: &str,
+    request: ServiceRequest,
+) -> bool {
+    // Cacheable requests are content-addressed up front; a graph that
+    // does not parse fails here, before taking a queue slot (state
+    // `failed` without ever being `pending`).
+    let cache_key = if request.cacheable() {
+        match request.cache_key() {
+            Ok(pair) => Some(pair),
+            Err(error) => {
+                shared.count("service.jobs.failed");
+                return respond(
+                    writer,
+                    &ServiceResponse::Err(error).to_json(request_id, false),
+                );
+            }
+        }
+    } else {
+        None
+    };
+    if let Some((fp, canonical)) = &cache_key {
+        let lookup = lock_cache(shared).get(fp, canonical);
+        match lookup {
+            CacheLookup::Hit(payload) => {
+                shared.count("service.cache.hits");
+                return respond(writer, &envelope_ok(request_id, true, &payload));
+            }
+            CacheLookup::Collision => {
+                shared.count("service.cache.collisions");
+                shared.count("service.cache.misses");
+            }
+            CacheLookup::Miss => shared.count("service.cache.misses"),
+        }
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        request_id: request_id.to_string(),
+        cache_key: cache_key.clone(),
+        enqueued_ns: shared.recorder.now_ns(),
+        tx,
+    };
+    match shared.queue.try_push(job) {
+        Err(_rejected) => {
+            shared.count("service.jobs.rejected");
+            let envelope = ServiceResponse::Rejected {
+                message: format!(
+                    "job queue full ({} pending); retry later",
+                    shared.queue.depth()
+                ),
+            }
+            .to_json(request_id, false);
+            respond(writer, &envelope)
+        }
+        Ok(()) => {
+            shared.count("service.jobs.enqueued");
+            shared
+                .recorder
+                .gauge_set("service.queue.depth", shared.queue.depth() as u64);
+            match rx.recv() {
+                Ok(JobOutcome::Complete(payload)) => {
+                    if let Some((fp, canonical)) = cache_key {
+                        let mut cache = lock_cache(shared);
+                        let evicted = cache.insert(fp, canonical, Arc::clone(&payload));
+                        let entries = cache.len() as u64;
+                        drop(cache);
+                        shared
+                            .recorder
+                            .counter_add("service.cache.evictions", evicted as u64);
+                        shared.recorder.gauge_set("service.cache.entries", entries);
+                    }
+                    respond(writer, &envelope_ok(request_id, false, &payload))
+                }
+                Ok(JobOutcome::Failed(error)) => respond(
+                    writer,
+                    &ServiceResponse::Err(error).to_json(request_id, false),
+                ),
+                Err(_) => {
+                    // The queue was closed with the job still pending.
+                    let envelope = envelope_error(
+                        request_id,
+                        "error",
+                        ErrorCode::Unavailable.as_str(),
+                        None,
+                        "server shutting down before the job ran",
+                    );
+                    respond(writer, &envelope)
+                }
+            }
+        }
+    }
+}
+
+fn lock_cache(shared: &Shared) -> std::sync::MutexGuard<'_, ResultCache> {
+    shared.cache.lock().unwrap_or_else(|e| e.into_inner())
+}

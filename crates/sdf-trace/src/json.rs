@@ -103,6 +103,37 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Opens a top-level JSON document with the workspace's unified
+/// envelope: `{"kind":"<kind>","schema_version":N,` — every document
+/// the workspace emits (`engine_report`, `baseline_profile`,
+/// `executable_plan`, `simulation_report`, `regression_report`,
+/// `bench_trajectory`, `service_request`, `service_response`, …) starts
+/// with this exact header so consumers can dispatch on `kind` and
+/// version-check before reading anything else. The caller appends the
+/// document body (starting with its first key) and the closing `}`.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_trace::json::{document_header, parse, Json};
+///
+/// let mut s = document_header("engine_report");
+/// s.push_str("\"graph\":\"fig2\"}");
+/// let doc = parse(&s).unwrap();
+/// assert_eq!(doc.get("kind").and_then(Json::as_str), Some("engine_report"));
+/// assert_eq!(
+///     doc.get("schema_version").and_then(Json::as_num),
+///     Some(f64::from(sdf_trace::SCHEMA_VERSION)),
+/// );
+/// ```
+pub fn document_header(kind: &str) -> String {
+    format!(
+        "{{\"kind\":\"{}\",\"schema_version\":{},",
+        escape(kind),
+        crate::SCHEMA_VERSION
+    )
+}
+
 /// Maximum container nesting depth [`parse`] accepts. The parser is
 /// recursive-descent, so unbounded nesting in untrusted input (a corrupt
 /// baseline file, a hand-edited trace) would overflow the stack; beyond

@@ -69,8 +69,14 @@ use std::time::Instant;
 /// `executable_plan` and `simulation_report` documents (`sdfmem
 /// simulate --report json`) plus the `codegen.*` / `exec.*` counters in
 /// baseline profiles (a deliberate baseline refresh, see
-/// `docs/file-format.md`).
-pub const SCHEMA_VERSION: u32 = 5;
+/// `docs/file-format.md`); `6` unified the document envelope — every
+/// top-level document now opens with the same `kind` +
+/// `schema_version` header written by [`json::document_header`]
+/// (`engine_report` gained its `kind` field) — and added the
+/// `service_request` / `service_response` / `service_stats` documents
+/// of the `sdfmemd` daemon plus its `service.*` counter namespace
+/// (another deliberate baseline refresh).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.
@@ -143,10 +149,55 @@ impl Recorder {
             .record(value);
     }
 
+    /// Nanoseconds elapsed since this recorder's epoch — the time base
+    /// of every event it stores. Pairs with [`Recorder::record_span`]
+    /// for callers that measure their own intervals.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records a completed span directly on this recorder, bypassing
+    /// the process-global facade.
+    ///
+    /// This is for subsystems that *own* a recorder — the `sdfmemd`
+    /// daemon records per-job lifecycle spans on its private recorder
+    /// without installing it globally, so job execution stays
+    /// bit-for-bit identical to an untraced run. `start_ns` is relative
+    /// to this recorder's epoch (see [`Recorder::now_ns`]); the span is
+    /// recorded parentless on the calling thread.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        args: Vec<(&'static str, String)>,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = THREAD_ID.with(|t| *t);
+        self.record(Event {
+            id,
+            parent: None,
+            name,
+            args,
+            thread,
+            start_ns,
+            dur_ns,
+        });
+    }
+
     /// Current counter values, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
         lock(&self.metrics)
             .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Current gauge values, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        lock(&self.metrics)
+            .gauges
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect()

@@ -424,14 +424,8 @@ impl EngineReport {
     /// Serialises the report as a self-contained JSON object (times in
     /// microseconds).
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
-        s.push('{');
-        json_num(
-            &mut s,
-            "schema_version",
-            u64::from(sdf_trace::SCHEMA_VERSION),
-        );
-        s.push(',');
+        let mut s = sdf_trace::json::document_header("engine_report");
+        s.reserve(1024);
         json_str(&mut s, "graph", &self.graph);
         s.push(',');
         json_num(&mut s, "actors", self.actors as u64);

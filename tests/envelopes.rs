@@ -1,0 +1,117 @@
+//! Envelope sweep: every machine-readable document the workspace emits
+//! opens with the same two members, in the same order —
+//! `{"kind":"<kind>","schema_version":<V>,` — so consumers can dispatch
+//! on `kind` and version-check before reading anything else.
+
+use sdf_service::{
+    execute_request, MemoryModel, OrderMethod, ResponsePayload, ServiceRequest, ServiceResponse,
+};
+use sdfmem::sentinel::{capture_profile, CaptureOptions};
+use sdfmem::trace::json::document_header;
+use sdfmem::trace::SCHEMA_VERSION;
+
+const FIG2: &str = "graph fig2\nedge A B 20 10\nedge B C 20 10\n";
+
+fn header(kind: &str) -> String {
+    format!("{{\"kind\":\"{kind}\",\"schema_version\":{SCHEMA_VERSION},")
+}
+
+fn payload_of(request: &ServiceRequest) -> String {
+    match execute_request(request) {
+        ServiceResponse::Ok(payload) => payload.to_json(),
+        other => panic!("{} failed with status {}", request.op(), other.status()),
+    }
+}
+
+#[test]
+fn every_document_kind_opens_with_the_unified_envelope() {
+    let graph = sdfmem::core::io::parse_graph(FIG2).expect("graph");
+    let options = CaptureOptions {
+        repeats: 1,
+        ..CaptureOptions::default()
+    };
+    let profile_json = capture_profile(&graph, &options)
+        .expect("profile")
+        .to_json();
+
+    let mut docs: Vec<(&str, String)> = vec![
+        (
+            "engine_report",
+            payload_of(&ServiceRequest::Analyze {
+                graph: FIG2.to_string(),
+                serial: false,
+                full: false,
+            }),
+        ),
+        (
+            "executable_plan",
+            payload_of(&ServiceRequest::Plan {
+                graph: FIG2.to_string(),
+                method: OrderMethod::Apgan,
+                model: MemoryModel::Shared,
+            }),
+        ),
+        (
+            "simulation_report",
+            payload_of(&ServiceRequest::Simulate {
+                graph: FIG2.to_string(),
+                method: OrderMethod::Apgan,
+                model: MemoryModel::Shared,
+            }),
+        ),
+        (
+            "baseline_profile",
+            payload_of(&ServiceRequest::Baseline {
+                graph: FIG2.to_string(),
+                repeats: 1,
+                full: false,
+                perturb: None,
+            }),
+        ),
+        (
+            "regression_report",
+            payload_of(&ServiceRequest::Compare {
+                baseline: profile_json.clone(),
+                candidate: profile_json.clone(),
+                gate: false,
+                allow: Vec::new(),
+            }),
+        ),
+        (
+            "service_stats",
+            ResponsePayload::Stats {
+                counters: vec![("service.requests".into(), 1)],
+                gauges: Vec::new(),
+            }
+            .to_json(),
+        ),
+        ("service_request", ServiceRequest::Stats.to_json("sweep")),
+    ];
+    // The response envelope wraps a payload; its own header must match
+    // the same shape.
+    let response = execute_request(&ServiceRequest::Plan {
+        graph: FIG2.to_string(),
+        method: OrderMethod::Apgan,
+        model: MemoryModel::Shared,
+    });
+    docs.push(("service_response", response.to_json("sweep", false)));
+
+    for (kind, doc) in &docs {
+        let expected = header(kind);
+        assert!(
+            doc.starts_with(&expected),
+            "{kind} document does not open with {expected}: {}",
+            &doc[..doc.len().min(120)]
+        );
+    }
+}
+
+#[test]
+fn bench_documents_share_the_header_builder() {
+    // The bench binaries build their documents through the same
+    // `document_header` helper, so checking the helper's output pins
+    // their envelopes too.
+    for kind in ["engine_sweep", "bench_trajectory"] {
+        assert_eq!(document_header(kind), header(kind));
+    }
+}

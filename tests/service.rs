@@ -1,0 +1,269 @@
+//! Integration tests for the `sdfmemd` synthesis service.
+//!
+//! These exercise the daemon end to end over real TCP connections:
+//! the content-addressed cache under concurrent clients, the
+//! byte-identity contract between cached and fresh responses,
+//! queue backpressure, malformed-request handling, and the stats
+//! and shutdown control operations.
+
+use std::thread;
+
+use sdf_service::{
+    execute_request, Client, MemoryModel, OrderMethod, Server, ServerConfig, ServiceRequest,
+    ServiceResponse,
+};
+use sdf_trace::json::{self, Json};
+
+const FIG2: &str = "graph fig2\nedge A B 20 10\nedge B C 20 10\n";
+
+fn start(config: ServerConfig) -> (Server, String) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn counter(server: &Server, name: &str) -> u64 {
+    server
+        .recorder()
+        .counters()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| v)
+}
+
+fn analyze(graph: &str) -> ServiceRequest {
+    ServiceRequest::Analyze {
+        graph: graph.to_string(),
+        serial: false,
+        full: false,
+    }
+}
+
+fn plan(graph: &str) -> ServiceRequest {
+    ServiceRequest::Plan {
+        graph: graph.to_string(),
+        method: OrderMethod::Apgan,
+        model: MemoryModel::Shared,
+    }
+}
+
+#[test]
+fn concurrent_clients_hit_the_cache_once_per_distinct_key() {
+    // M threads, each with its own distinct graph, submit N times
+    // sequentially. Every thread's first submission is the miss that
+    // populates its slot; the remaining N-1 are hits, regardless of
+    // how the threads interleave (per-thread submissions are
+    // sequential, so each key is populated before its repeats).
+    const M: usize = 4;
+    const N: usize = 5;
+    let (server, addr) = start(ServerConfig::default());
+    let handles: Vec<_> = (0..M)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let graph = format!("graph g{i}\nedge A B {} {}\n", 6 * (i + 1), 3 * (i + 1));
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut payloads = Vec::new();
+                for rep in 0..N {
+                    let id = format!("t{i}-r{rep}");
+                    let response = client.call(&id, &analyze(&graph)).expect("call");
+                    assert!(response.is_ok(), "{response:?}");
+                    assert_eq!(response.request_id, id);
+                    assert_eq!(response.cached, rep > 0, "rep {rep} of thread {i}");
+                    payloads.push(response.payload.expect("payload"));
+                }
+                payloads
+            })
+        })
+        .collect();
+    for handle in handles {
+        let payloads = handle.join().expect("thread");
+        // Byte identity: every cached payload equals the bytes the
+        // first (miss) submission produced.
+        for repeat in &payloads[1..] {
+            assert_eq!(repeat, &payloads[0]);
+        }
+    }
+    assert_eq!(counter(&server, "service.cache.hits"), (M * (N - 1)) as u64);
+    assert_eq!(counter(&server, "service.cache.misses"), M as u64);
+    assert_eq!(counter(&server, "service.jobs.complete"), M as u64);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn cached_plan_payload_matches_direct_execution_bytes() {
+    // Plan documents embed no wall-clock timings, so the wire payload
+    // must be byte-identical to an in-process run of the same request
+    // — whether served fresh or from cache.
+    let request = plan(FIG2);
+    let direct = match execute_request(&request) {
+        ServiceResponse::Ok(payload) => payload.to_json(),
+        other => panic!("direct execution failed with status {}", other.status()),
+    };
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fresh = client.call("p1", &request).expect("call");
+    let cached = client.call("p2", &request).expect("call");
+    assert!(!fresh.cached && cached.cached);
+    assert_eq!(fresh.payload.as_deref(), Some(direct.as_str()));
+    assert_eq!(cached.payload, fresh.payload);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn serial_analyze_is_served_from_the_parallel_slot() {
+    // The engine guarantees serial and parallel analysis pick the same
+    // winner, so the daemon normalises serial requests onto the
+    // parallel cache slot: the second submission is a hit even though
+    // its options differ.
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let parallel = client.call("a", &analyze(FIG2)).expect("call");
+    let serial = client
+        .call(
+            "b",
+            &ServiceRequest::Analyze {
+                graph: FIG2.to_string(),
+                serial: true,
+                full: false,
+            },
+        )
+        .expect("call");
+    assert!(!parallel.cached);
+    assert!(serial.cached, "{serial:?}");
+    assert_eq!(serial.payload, parallel.payload);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn full_queue_rejects_cleanly_and_shutdown_drains_parked_jobs() {
+    // No workers, a queue of two: the first two submissions park in
+    // the queue, the third bounces with a `rejected` envelope, and
+    // shutdown answers the parked jobs with `unavailable` instead of
+    // hanging their clients.
+    let (server, addr) = start(ServerConfig {
+        workers: 0,
+        cache_capacity: 8,
+        queue_capacity: 2,
+    });
+    let parked: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let graph = format!("graph park{i}\nedge A B 4 2\n");
+                let mut client = Client::connect(&addr).expect("connect");
+                client
+                    .call(&format!("park{i}"), &analyze(&graph))
+                    .expect("call")
+            })
+        })
+        .collect();
+    // Wait until both jobs are actually enqueued before probing.
+    while counter(&server, "service.jobs.enqueued") < 2 {
+        thread::yield_now();
+    }
+    let mut prober = Client::connect(&addr).expect("connect");
+    let bounced = prober
+        .call("probe", &analyze("graph probe\nedge A B 2 1\n"))
+        .expect("call");
+    assert_eq!(bounced.status, "rejected", "{bounced:?}");
+    let error = bounced.error.expect("error object");
+    assert_eq!(error.code, "unavailable");
+    assert_eq!(counter(&server, "service.jobs.rejected"), 1);
+    server.shutdown();
+    for handle in parked {
+        let response = handle.join().expect("thread");
+        assert_eq!(response.status, "error", "{response:?}");
+        assert_eq!(response.error.expect("error").code, "unavailable");
+    }
+    server.wait();
+}
+
+#[test]
+fn malformed_lines_get_error_envelopes_not_disconnects() {
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    for bad in [
+        "this is not json",
+        "{\"kind\":\"engine_report\",\"schema_version\":6}",
+        "{\"kind\":\"service_request\",\"schema_version\":1,\"op\":\"stats\"}",
+        "{\"kind\":\"service_request\",\"schema_version\":6,\"op\":\"conjure\"}",
+    ] {
+        let response = client
+            .send_raw(bad)
+            .expect("error envelope, not a disconnect");
+        assert_eq!(response.status, "error", "{bad}: {response:?}");
+        assert_eq!(response.error.expect("error").code, "bad_request", "{bad}");
+    }
+    // A graph that fails to parse is attributed to the graph input.
+    let response = client
+        .call("bad-graph", &analyze("graph broken\nedge A\n"))
+        .expect("call");
+    assert_eq!(response.status, "error");
+    let error = response.error.expect("error");
+    assert_eq!(error.code, "parse_error");
+    assert_eq!(error.input.as_deref(), Some("graph"));
+    assert_eq!(counter(&server, "service.requests.malformed"), 4);
+    // The connection survived all of it.
+    let ok = client.call("after", &analyze(FIG2)).expect("call");
+    assert!(ok.is_ok());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn stats_reports_live_counters_and_shutdown_is_clean() {
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    for id in ["s1", "s2"] {
+        let response = client.call(id, &analyze(FIG2)).expect("call");
+        assert!(response.is_ok());
+    }
+    let stats = client.call("stats", &ServiceRequest::Stats).expect("call");
+    assert!(stats.is_ok());
+    let doc = json::parse(stats.payload.as_deref().expect("payload")).expect("stats JSON");
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("service_stats")
+    );
+    let counters = doc.get("counters").expect("counters object");
+    let get = |name: &str| counters.get(name).and_then(Json::as_num);
+    assert_eq!(get("service.cache.hits"), Some(1.0));
+    assert_eq!(get("service.cache.misses"), Some(1.0));
+    assert_eq!(get("service.requests"), Some(3.0));
+    // Shutdown also answers with a final stats snapshot.
+    let bye = client.call("bye", &ServiceRequest::Shutdown).expect("call");
+    assert!(bye.is_ok(), "{bye:?}");
+    server.wait();
+    assert!(Client::connect(&addr).is_err(), "daemon still listening");
+}
+
+#[test]
+fn lru_eviction_keeps_the_cache_bounded() {
+    let (server, addr) = start(ServerConfig {
+        workers: 1,
+        cache_capacity: 2,
+        queue_capacity: 8,
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let graphs: Vec<String> = (0..3)
+        .map(|i| format!("graph e{i}\nedge A B {} {}\n", 4 * (i + 1), 2 * (i + 1)))
+        .collect();
+    for (i, graph) in graphs.iter().enumerate() {
+        let response = client
+            .call(&format!("fill{i}"), &analyze(graph))
+            .expect("call");
+        assert!(!response.cached);
+    }
+    // Graph 0 was evicted to admit graph 2; graph 2 is still resident.
+    assert_eq!(counter(&server, "service.cache.evictions"), 1);
+    let revisit = client.call("revisit", &analyze(&graphs[2])).expect("call");
+    assert!(revisit.cached);
+    let evicted = client.call("evicted", &analyze(&graphs[0])).expect("call");
+    assert!(!evicted.cached);
+    server.shutdown();
+    server.wait();
+}
