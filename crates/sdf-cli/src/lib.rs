@@ -79,8 +79,14 @@ pub enum SubmitKind {
     Simulate,
     /// Capture a regression-sentinel baseline profile.
     Baseline,
-    /// Fetch the daemon's `service.*` counters and gauges.
+    /// Fetch the daemon's `service.*` counters, gauges and histogram
+    /// summaries.
     Stats,
+    /// Fetch a Prometheus-style text exposition of the daemon's
+    /// instruments.
+    Metrics,
+    /// Drain the daemon's flight recorder of per-request summaries.
+    Events,
     /// Stop the daemon (responds with final stats).
     Shutdown,
 }
@@ -215,8 +221,8 @@ pub enum Command {
         file: String,
     },
     /// `sdfmem serve <addr> [--workers N] [--cache-cap N]
-    /// [--queue-cap N] [--port-file PATH]` — run the `sdfmemd` daemon
-    /// until a `shutdown` request arrives.
+    /// [--queue-cap N] [--port-file PATH] [--trace-dir DIR]` — run the
+    /// `sdfmemd` daemon until a `shutdown` request arrives.
     Serve {
         /// Address to bind, e.g. `127.0.0.1:7654` (`:0` picks an
         /// ephemeral port, written to `--port-file`).
@@ -230,6 +236,8 @@ pub enum Command {
         /// Write the bound address here once listening (how scripts
         /// discover an ephemeral port).
         port_file: Option<String>,
+        /// Write one chrome://tracing JSON file per completed job here.
+        trace_dir: Option<String>,
     },
     /// `sdfmem submit <addr> [--kind K] [--file G] ...` — submit one
     /// request to a running daemon and print the response envelope.
@@ -250,6 +258,18 @@ pub enum Command {
         full: bool,
         /// Baseline: timing repeats.
         repeats: u32,
+    },
+    /// `sdfmem top <addr> [--interval-ms N] [--count N]` — poll a
+    /// running daemon's `stats` op and render a live table: ops/sec,
+    /// cache hit rate, queue depth, and p50/p95/p99 latency per op.
+    Top {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// Milliseconds between polls.
+        interval_ms: u64,
+        /// Frames to render before exiting (`0` = until the daemon
+        /// goes away).
+        count: u64,
     },
     /// `sdfmem help`.
     Help,
@@ -281,6 +301,8 @@ COMMANDS:
               (takes <addr> instead of a graph file)
     submit    submit one request to a running daemon, print the response
               envelope (takes <addr>; graph-backed kinds need --file)
+    top       poll a running daemon and render a live ops/latency table
+              (takes <addr>)
     help      show this text
 
 OPTIONS:
@@ -303,9 +325,14 @@ OPTIONS:
     --queue-cap <n>          serve: pending-job limit (default 64)
     --port-file <path>       serve: write the bound address here once
                              listening
+    --trace-dir <dir>        serve: write one chrome://tracing JSON file
+                             per completed job into this directory
     --kind <op>              submit: analyze|plan|simulate|baseline|stats|
-                             shutdown (default analyze)
+                             metrics|events|shutdown (default analyze)
     --file <graph>           submit: graph file for graph-backed kinds
+    --interval-ms <n>        top: milliseconds between polls (default 1000)
+    --count <n>              top: frames to render before exiting
+                             (default 0 = until the daemon goes away)
 
 EXIT CODES:
     0  success
@@ -345,7 +372,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "allocate" | "gantt" => &["--method"],
         "codegen" => &["--method", "--model", "--standalone"],
         "simulate" => &["--method", "--model", "--report"],
-        "serve" => &["--workers", "--cache-cap", "--queue-cap", "--port-file"],
+        "serve" => &[
+            "--workers",
+            "--cache-cap",
+            "--queue-cap",
+            "--port-file",
+            "--trace-dir",
+        ],
         "submit" => &[
             "--kind",
             "--file",
@@ -355,10 +388,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--full",
             "--repeats",
         ],
+        "top" => &["--interval-ms", "--count"],
         other => return Err(format!("unknown command `{other}`")),
     };
     let file = it.next().cloned().ok_or_else(|| match cmd {
-        "serve" | "submit" => format!("missing <addr> for `{cmd}`"),
+        "serve" | "submit" | "top" => format!("missing <addr> for `{cmd}`"),
         _ => format!("missing graph file for `{cmd}`"),
     })?;
     // `compare` is the one two-positional command: baseline, candidate.
@@ -387,8 +421,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut cache_cap = 256usize;
     let mut queue_cap = 64usize;
     let mut port_file = None;
+    let mut trace_dir = None;
     let mut kind = SubmitKind::default();
     let mut submit_file = None;
+    let mut interval_ms = 1000u64;
+    let mut count = 0u64;
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
         match value {
             Some(n) => n
@@ -480,6 +517,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     None => return Err("missing --port-file path".to_string()),
                 }
             }
+            "--trace-dir" => {
+                trace_dir = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => return Err("missing --trace-dir directory".to_string()),
+                }
+            }
             "--kind" => {
                 kind = match it.next().map(String::as_str) {
                     Some("analyze") => SubmitKind::Analyze,
@@ -487,8 +530,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     Some("simulate") => SubmitKind::Simulate,
                     Some("baseline") => SubmitKind::Baseline,
                     Some("stats") => SubmitKind::Stats,
+                    Some("metrics") => SubmitKind::Metrics,
+                    Some("events") => SubmitKind::Events,
                     Some("shutdown") => SubmitKind::Shutdown,
                     other => return Err(format!("bad --kind value: {other:?}")),
+                }
+            }
+            "--interval-ms" => {
+                interval_ms = match it.next() {
+                    Some(n) => n
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --interval-ms value: `{n}` is not a number"))?,
+                    None => return Err("missing --interval-ms count".to_string()),
+                }
+            }
+            "--count" => {
+                count = match it.next() {
+                    Some(n) => n
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --count value: `{n}` is not a number"))?,
+                    None => return Err("missing --count count".to_string()),
                 }
             }
             "--file" => {
@@ -550,6 +611,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             cache_cap,
             queue_cap,
             port_file,
+            trace_dir,
         }),
         "submit" => Ok(Command::Submit {
             addr: file,
@@ -560,6 +622,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             serial,
             full,
             repeats,
+        }),
+        "top" => Ok(Command::Top {
+            addr: file,
+            interval_ms,
+            count,
         }),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -584,8 +651,11 @@ const KNOWN_OPTIONS: &[&str] = &[
     "--cache-cap",
     "--queue-cap",
     "--port-file",
+    "--trace-dir",
     "--kind",
     "--file",
+    "--interval-ms",
+    "--count",
 ];
 
 fn load(file: &str) -> Result<SdfGraph, String> {
@@ -979,21 +1049,30 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             cache_cap,
             queue_cap,
             port_file,
+            trace_dir,
         } => {
             let config = ServerConfig {
                 workers: *workers,
                 cache_capacity: *cache_cap,
                 queue_capacity: *queue_cap,
+                trace_dir: trace_dir.as_ref().map(std::path::PathBuf::from),
+                ..ServerConfig::default()
             };
-            let server = Server::bind(addr, config)?;
+            let server = Server::bind(addr, config.clone())?;
             let local = server.local_addr();
             if let Some(path) = port_file {
                 std::fs::write(path, format!("{local}\n"))
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
             }
             eprintln!(
-                "sdfmemd listening on {local} ({} workers, cache {}, queue {})",
-                config.workers, config.cache_capacity, config.queue_capacity
+                "sdfmemd listening on {local} ({} workers, cache {}, queue {}{})",
+                config.workers,
+                config.cache_capacity,
+                config.queue_capacity,
+                match &config.trace_dir {
+                    Some(dir) => format!(", traces to {}", dir.display()),
+                    None => String::new(),
+                }
             );
             server.wait();
             let _ = writeln!(out, "sdfmemd on {local} shut down cleanly");
@@ -1037,6 +1116,8 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                     perturb: std::env::var(PERTURB_ENV).ok(),
                 },
                 SubmitKind::Stats => ServiceRequest::Stats,
+                SubmitKind::Metrics => ServiceRequest::Metrics,
+                SubmitKind::Events => ServiceRequest::Events,
                 SubmitKind::Shutdown => ServiceRequest::Shutdown,
             };
             let mut client = Client::connect(addr)?;
@@ -1058,8 +1139,186 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                 }
             }
         }
+        Command::Top {
+            addr,
+            interval_ms,
+            count,
+        } => {
+            // Frames stream to stdout as they render (the whole point
+            // of a live table); `out` only carries the sign-off line.
+            let frames = top_frames(addr, *interval_ms, *count, &mut |frame: &str| {
+                print!("{frame}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })?;
+            let _ = writeln!(out, "sdfmem top: {frames} frame(s) rendered");
+        }
     }
     Ok((out, code))
+}
+
+/// Per-op latency row: `(op, count, (lo, hi, count) bucket triples)`.
+type OpLatencyRow = (String, u64, Vec<(u64, u64, u64)>);
+
+/// One parsed `service_stats` sample, reduced to what the `top` table
+/// shows.
+struct TopSample {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    queue_depth: u64,
+    complete: u64,
+    failed: u64,
+    ops: Vec<OpLatencyRow>,
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn parse_top_sample(payload: &str) -> Result<TopSample, String> {
+    use sdf_trace::json::Json;
+    let doc = sdf_trace::json::parse(payload).map_err(|e| format!("bad stats payload: {e}"))?;
+    if doc.get("kind").and_then(Json::as_str) != Some("service_stats") {
+        return Err("stats response is not a service_stats document".to_string());
+    }
+    let table = |name: &str, key: &str| -> u64 {
+        doc.get(name)
+            .and_then(|t| t.get(key))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64
+    };
+    let mut ops = Vec::new();
+    if let Some(histograms) = doc.get("histograms").and_then(Json::members) {
+        for (name, h) in histograms {
+            let Some(op) = name
+                .strip_prefix("service.op.")
+                .and_then(|rest| rest.strip_suffix(".latency"))
+            else {
+                continue;
+            };
+            let count = h.get("count").and_then(Json::as_num).unwrap_or(0.0) as u64;
+            let buckets: Vec<(u64, u64, u64)> = h
+                .get("buckets")
+                .and_then(Json::as_array)
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|row| {
+                            let row = row.as_array()?;
+                            let num = |i: usize| Some(row.get(i)?.as_num()? as u64);
+                            Some((num(0)?, num(1)?, num(2)?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            ops.push((op.to_string(), count, buckets));
+        }
+    }
+    Ok(TopSample {
+        requests: table("counters", "service.requests"),
+        hits: table("counters", "service.cache.hits"),
+        misses: table("counters", "service.cache.misses"),
+        queue_depth: table("gauges", "service.queue.depth"),
+        complete: table("counters", "service.jobs.complete"),
+        failed: table("counters", "service.jobs.failed"),
+        ops,
+    })
+}
+
+/// Renders one `top` frame: a summary line plus a per-op latency table.
+fn render_top_frame(addr: &str, frame: u64, sample: &TopSample, rate: Option<f64>) -> String {
+    let mut s = String::new();
+    let rate = match rate {
+        Some(r) => format!("{r:.1}/s"),
+        None => "-".to_string(),
+    };
+    let lookups = sample.hits + sample.misses;
+    let hit_rate = if lookups == 0 {
+        "-".to_string()
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        let pct = 100.0 * sample.hits as f64 / lookups as f64;
+        format!("{pct:.1}%")
+    };
+    let _ = writeln!(s, "sdfmemd {addr} — frame {frame}");
+    let _ = writeln!(
+        s,
+        "requests {} ({rate})   cache hit {hit_rate}   queue {}   jobs {} ok / {} failed",
+        sample.requests, sample.queue_depth, sample.complete, sample.failed
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "op", "count", "p50", "p95", "p99"
+    );
+    for (op, count, buckets) in &sample.ops {
+        let q = |q: f64| match sdf_trace::quantile_from_buckets(buckets, q) {
+            Some(ns) => sdf_trace::export::human_time(ns),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "{op:<12} {count:>8} {:>10} {:>10} {:>10}",
+            q(0.5),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    s.push('\n');
+    s
+}
+
+/// Polls `addr`'s `stats` op every `interval_ms` and feeds rendered
+/// frames to `sink`; `count == 0` keeps polling until the daemon goes
+/// away. Returns the number of frames rendered.
+///
+/// Once at least one frame has rendered, a transport failure is the
+/// expected way an open-ended watch ends (the daemon shut down) and
+/// finishes cleanly; a failure on the *first* poll is an error.
+///
+/// # Errors
+///
+/// A human-readable message when the daemon cannot be reached, answers
+/// with a non-`ok` envelope, or returns a malformed stats payload.
+pub fn top_frames(
+    addr: &str,
+    interval_ms: u64,
+    count: u64,
+    sink: &mut dyn FnMut(&str),
+) -> Result<u64, String> {
+    let mut client = Client::connect(addr)?;
+    let request_id = format!("top-{}", std::process::id());
+    let mut frames = 0u64;
+    let mut prev: Option<(u64, std::time::Instant)> = None;
+    loop {
+        let sample = match client.call(&request_id, &ServiceRequest::Stats) {
+            Ok(response) if response.is_ok() => {
+                let payload = response.payload.as_deref().unwrap_or("");
+                parse_top_sample(payload)?
+            }
+            Ok(response) => {
+                let detail = response
+                    .error
+                    .map(|e| e.message)
+                    .unwrap_or_else(|| response.status.clone());
+                return Err(format!("stats request failed: {detail}"));
+            }
+            Err(e) if frames > 0 => {
+                sink(&format!("sdfmem top: daemon went away ({e})\n"));
+                return Ok(frames);
+            }
+            Err(e) => return Err(e),
+        };
+        let now = std::time::Instant::now();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = prev.map(|(requests, at)| {
+            let elapsed = now.duration_since(at).as_secs_f64().max(1e-9);
+            sample.requests.saturating_sub(requests) as f64 / elapsed
+        });
+        prev = Some((sample.requests, now));
+        frames += 1;
+        sink(&render_top_frame(addr, frames, &sample, rate));
+        if count > 0 && frames >= count {
+            return Ok(frames);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 #[cfg(test)]
@@ -1618,7 +1877,8 @@ mod tests {
                 workers: 2,
                 cache_cap: 256,
                 queue_cap: 64,
-                port_file: None
+                port_file: None,
+                trace_dir: None
             }
         );
         assert_eq!(
@@ -1632,7 +1892,9 @@ mod tests {
                 "--queue-cap",
                 "8",
                 "--port-file",
-                "port.txt"
+                "port.txt",
+                "--trace-dir",
+                "traces"
             ]))
             .unwrap(),
             Command::Serve {
@@ -1640,7 +1902,8 @@ mod tests {
                 workers: 4,
                 cache_cap: 16,
                 queue_cap: 8,
-                port_file: Some("port.txt".into())
+                port_file: Some("port.txt".into()),
+                trace_dir: Some("traces".into())
             }
         );
         assert_eq!(
@@ -1702,6 +1965,51 @@ mod tests {
     }
 
     #[test]
+    fn parse_top_command_and_telemetry_submit_kinds() {
+        assert_eq!(
+            parse_args(&args(&["top", "127.0.0.1:7654"])).unwrap(),
+            Command::Top {
+                addr: "127.0.0.1:7654".into(),
+                interval_ms: 1000,
+                count: 0
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "top",
+                "127.0.0.1:7654",
+                "--interval-ms",
+                "50",
+                "--count",
+                "3"
+            ]))
+            .unwrap(),
+            Command::Top {
+                addr: "127.0.0.1:7654".into(),
+                interval_ms: 50,
+                count: 3
+            }
+        );
+        for kind in ["metrics", "events"] {
+            let parsed = parse_args(&args(&["submit", "a:1", "--kind", kind])).unwrap();
+            let Command::Submit { kind: parsed, .. } = parsed else {
+                panic!("expected a submit command");
+            };
+            let expected = if kind == "metrics" {
+                SubmitKind::Metrics
+            } else {
+                SubmitKind::Events
+            };
+            assert_eq!(parsed, expected);
+        }
+        assert!(parse_args(&args(&["top"])).unwrap_err().contains("addr"));
+        let bad = parse_args(&args(&["top", "a:1", "--interval-ms", "soon"])).unwrap_err();
+        assert!(bad.contains("--interval-ms"), "{bad}");
+        let bad = parse_args(&args(&["top", "a:1", "--count", "all"])).unwrap_err();
+        assert!(bad.contains("--count"), "{bad}");
+    }
+
+    #[test]
     fn options_that_belong_to_other_commands_are_rejected() {
         // The exit-code/flag contract: every command accepts exactly
         // its documented options, and the error names the stray flag.
@@ -1721,7 +2029,11 @@ mod tests {
             (&["simulate", "g", "--standalone"], "--standalone"),
             (&["gantt", "g", "--model", "shared"], "--model"),
             (&["serve", "a:1", "--method", "apgan"], "--method"),
+            (&["serve", "a:1", "--interval-ms", "9"], "--interval-ms"),
             (&["submit", "a:1", "--standalone"], "--standalone"),
+            (&["submit", "a:1", "--trace-dir", "d"], "--trace-dir"),
+            (&["top", "a:1", "--workers", "2"], "--workers"),
+            (&["top", "a:1", "--kind", "stats"], "--kind"),
         ];
         for (argv, flag) in cases {
             let err = parse_args(&args(argv)).unwrap_err();
@@ -1778,10 +2090,37 @@ mod tests {
         assert_eq!(code, 1, "{err}");
         assert!(err.contains("\"status\":\"error\""), "{err}");
         assert!(err.contains("parse_error"), "{err}");
-        // Stats reports the daemon's counters; shutdown stops it.
+        // Stats reports the daemon's counters plus latency histogram
+        // summaries; metrics exposes the same instruments as
+        // Prometheus-style text; events drains the flight recorder.
         let (stats, code) = submit(SubmitKind::Stats, None).unwrap();
         assert_eq!(code, 0, "{stats}");
         assert!(stats.contains("service.cache.hits"), "{stats}");
+        assert!(stats.contains("\"histograms\""), "{stats}");
+        assert!(stats.contains("service.op.analyze.latency"), "{stats}");
+        let (metrics, code) = submit(SubmitKind::Metrics, None).unwrap();
+        assert_eq!(code, 0, "{metrics}");
+        assert!(
+            metrics.contains("\"kind\":\"service_metrics\""),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("service_op_analyze_latency_bucket"),
+            "{metrics}"
+        );
+        let (events, code) = submit(SubmitKind::Events, None).unwrap();
+        assert_eq!(code, 0, "{events}");
+        assert!(events.contains("\"kind\":\"service_events\""), "{events}");
+        assert!(events.contains("\"op\":\"analyze\""), "{events}");
+        // `top` against the live daemon renders the requested number of
+        // frames through the sink and reports per-op quantiles.
+        let mut captured = String::new();
+        let frames = top_frames(&addr, 1, 2, &mut |frame: &str| captured.push_str(frame))
+            .expect("top frames");
+        assert_eq!(frames, 2);
+        assert!(captured.contains("sdfmemd"), "{captured}");
+        assert!(captured.contains("analyze"), "{captured}");
+        assert!(captured.contains("p95"), "{captured}");
         let (bye, code) = submit(SubmitKind::Shutdown, None).unwrap();
         assert_eq!(code, 0, "{bye}");
         server.wait();

@@ -23,13 +23,16 @@
 //! operation and every option that affects the result.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use sdf_codegen::{execute_plan, ExecReport, ExecutablePlan};
 use sdf_core::graph::SdfGraph;
 use sdf_core::repetitions::RepetitionsVector;
 use sdf_regress::{diff, DiffOptions, Profile, RegressionReport, ReportFormat as DiffFormat};
+use sdf_trace::flight::stages_json;
 use sdf_trace::json::{self, escape, Json};
-use sdfmem::engine::{AnalysisBuilder, Synthesis};
+use sdf_trace::{CacheStatus, FlightRecord, Histogram, StageSpan};
+use sdfmem::engine::{AnalysisBuilder, StageTimings, Synthesis};
 use sdfmem::sentinel::{capture_profile, CaptureOptions};
 
 use crate::hash::fingerprint;
@@ -217,8 +220,15 @@ pub enum ServiceRequest {
         /// Gate exemptions (trailing `*` matches a prefix).
         allow: Vec<String>,
     },
-    /// Daemon only: report the `service.*` counters and gauges.
+    /// Daemon only: report the `service.*` counters, gauges and
+    /// histogram summaries.
     Stats,
+    /// Daemon only: dump every instrument as Prometheus-style text
+    /// exposition.
+    Metrics,
+    /// Daemon only: drain the flight recorder (per-request summaries,
+    /// oldest first).
+    Events,
     /// Daemon only: stop accepting work and exit (responds with final
     /// stats).
     Shutdown,
@@ -234,6 +244,8 @@ impl ServiceRequest {
             ServiceRequest::Baseline { .. } => "baseline",
             ServiceRequest::Compare { .. } => "compare",
             ServiceRequest::Stats => "stats",
+            ServiceRequest::Metrics => "metrics",
+            ServiceRequest::Events => "events",
             ServiceRequest::Shutdown => "shutdown",
         }
     }
@@ -389,7 +401,10 @@ impl ServiceRequest {
                     escape(candidate)
                 );
             }
-            ServiceRequest::Stats | ServiceRequest::Shutdown => {}
+            ServiceRequest::Stats
+            | ServiceRequest::Metrics
+            | ServiceRequest::Events
+            | ServiceRequest::Shutdown => {}
         }
         s.push('}');
         s
@@ -502,6 +517,8 @@ impl ServiceRequest {
                 }
             }
             "stats" => ServiceRequest::Stats,
+            "metrics" => ServiceRequest::Metrics,
+            "events" => ServiceRequest::Events,
             "shutdown" => ServiceRequest::Shutdown,
             other => {
                 return Err(ServiceError::bad_request(format!("unknown op \"{other}\"")));
@@ -549,6 +566,23 @@ pub enum ResponsePayload {
         counters: Vec<(String, u64)>,
         /// Gauge values, sorted by name.
         gauges: Vec<(String, u64)>,
+        /// Histogram summaries, sorted by name.
+        histograms: Vec<(String, Histogram)>,
+    },
+    /// `metrics`: the daemon's instruments as Prometheus-style text.
+    Metrics {
+        /// The full exposition document
+        /// (see [`sdf_trace::expo::write_exposition`]).
+        exposition: String,
+    },
+    /// `events`: one flight-recorder drain.
+    Events {
+        /// The ring's configured capacity.
+        capacity: usize,
+        /// Records the ring dropped since the previous drain.
+        dropped: u64,
+        /// The drained records, oldest first.
+        records: Vec<FlightRecord>,
     },
 }
 
@@ -568,7 +602,11 @@ impl ResponsePayload {
             ResponsePayload::Compare { report } => {
                 report.render(DiffFormat::Json).trim_end().to_string()
             }
-            ResponsePayload::Stats { counters, gauges } => {
+            ResponsePayload::Stats {
+                counters,
+                gauges,
+                histograms,
+            } => {
                 let mut s = json::document_header("service_stats");
                 let write_table = |s: &mut String, name: &str, rows: &[(String, u64)]| {
                     let _ = write!(s, "\"{name}\":{{");
@@ -583,9 +621,122 @@ impl ResponsePayload {
                 write_table(&mut s, "counters", counters);
                 s.push(',');
                 write_table(&mut s, "gauges", gauges);
-                s.push('}');
+                s.push_str(",\"histograms\":{");
+                for (i, (name, h)) in histograms.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                        escape(name),
+                        h.count(),
+                        h.sum()
+                    );
+                    for (j, (lo, hi, count)) in h.nonzero_buckets().iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "[{lo},{hi},{count}]");
+                    }
+                    s.push_str("]}");
+                }
+                s.push_str("}}");
                 s
             }
+            ResponsePayload::Metrics { exposition } => {
+                let mut s = json::document_header("service_metrics");
+                let _ = write!(s, "\"exposition\":\"{}\"}}", escape(exposition));
+                s
+            }
+            ResponsePayload::Events {
+                capacity,
+                dropped,
+                records,
+            } => {
+                let mut s = json::document_header("service_events");
+                let _ = write!(
+                    s,
+                    "\"capacity\":{capacity},\"dropped\":{dropped},\"events\":["
+                );
+                for (i, record) in records.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&record.to_json());
+                }
+                s.push_str("]}");
+                s
+            }
+        }
+    }
+}
+
+/// Per-request telemetry, composed by the daemon *outside* the cached
+/// payload bytes.
+///
+/// Cached and fresh responses share payload bytes (the byte-identity
+/// contract) but each gets its own telemetry: how long the request
+/// queued, how long service took, whether the cache answered, the
+/// per-stage breakdown, and which `service.*` counters moved while the
+/// job ran. In the response envelope it is the `telemetry` member,
+/// placed *before* the final `payload` member so payload extraction by
+/// byte range keeps working.
+///
+/// The counter deltas are exact when one job runs at a time and
+/// approximate attribution under concurrency (workers share one
+/// recorder); the timing fields are always request-scoped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestTelemetry {
+    /// Cache interaction of this request.
+    pub cache: CacheStatus,
+    /// Nanoseconds spent queued before a worker started (zero for
+    /// cache hits and inline daemon ops).
+    pub queue_wait_ns: u64,
+    /// Nanoseconds of service time (execution + rendering, or cache
+    /// lookup for hits).
+    pub service_ns: u64,
+    /// Per-stage breakdown of the service time.
+    pub stages: Vec<StageSpan>,
+    /// `service.*` counters that moved while the job ran, as sorted
+    /// `(name, delta)` pairs.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RequestTelemetry {
+    /// The telemetry as a JSON object (an envelope member, not a
+    /// standalone document — no `kind` header).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"cache\":\"{}\",\"queue_wait_ns\":{},\"service_ns\":{},\"stages\":{},\"counters\":{{",
+            self.cache.as_str(),
+            self.queue_wait_ns,
+            self.service_ns,
+            stages_json(&self.stages),
+        );
+        for (i, (name, delta)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{delta}", escape(name));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// The matching flight-recorder entry (`seq` is assigned by the
+    /// recorder; `op`/`outcome` come from the job).
+    pub fn to_flight_record(&self, op: &'static str, outcome: &'static str) -> FlightRecord {
+        FlightRecord {
+            seq: 0,
+            op,
+            outcome,
+            cache: self.cache,
+            queue_wait_ns: self.queue_wait_ns,
+            service_ns: self.service_ns,
+            stages: self.stages.clone(),
         }
     }
 }
@@ -615,16 +766,33 @@ impl ServiceResponse {
     }
 
     /// Serializes the full response envelope (one line, newline
-    /// terminated). The `payload` member, when present, is last.
+    /// terminated) without telemetry — the in-process transport. The
+    /// `payload` member, when present, is last.
     pub fn to_json(&self, request_id: &str, cached: bool) -> String {
+        self.to_json_with_telemetry(request_id, cached, None)
+    }
+
+    /// Serializes the full response envelope with an optional
+    /// `telemetry` member — the daemon's wire transport. Telemetry is
+    /// written *before* the payload (or error) member, keeping the
+    /// payload last for byte-range extraction.
+    pub fn to_json_with_telemetry(
+        &self,
+        request_id: &str,
+        cached: bool,
+        telemetry: Option<&RequestTelemetry>,
+    ) -> String {
         match self {
-            ServiceResponse::Ok(payload) => envelope_ok(request_id, cached, &payload.to_json()),
+            ServiceResponse::Ok(payload) => {
+                envelope_ok(request_id, cached, telemetry, &payload.to_json())
+            }
             ServiceResponse::Rejected { message } => envelope_error(
                 request_id,
                 "rejected",
                 ErrorCode::Unavailable.as_str(),
                 None,
                 message,
+                telemetry,
             ),
             ServiceResponse::Err(error) => envelope_error(
                 request_id,
@@ -632,26 +800,40 @@ impl ServiceResponse {
                 error.code.as_str(),
                 error.input,
                 &error.message,
+                telemetry,
             ),
         }
     }
 }
 
-fn envelope_prefix(request_id: &str, status: &str, cached: bool) -> String {
+fn envelope_prefix(
+    request_id: &str,
+    status: &str,
+    cached: bool,
+    telemetry: Option<&RequestTelemetry>,
+) -> String {
     let mut s = json::document_header("service_response");
     let _ = write!(
         s,
         "\"request_id\":\"{}\",\"status\":\"{status}\",\"cached\":{cached}",
         escape(request_id)
     );
+    if let Some(t) = telemetry {
+        let _ = write!(s, ",\"telemetry\":{}", t.to_json());
+    }
     s
 }
 
 /// Wraps an already-serialized payload document into an `ok` envelope.
 /// Public to the crate so the server can wrap cached payload bytes
 /// without re-serializing the typed payload.
-pub(crate) fn envelope_ok(request_id: &str, cached: bool, payload_json: &str) -> String {
-    let mut s = envelope_prefix(request_id, "ok", cached);
+pub(crate) fn envelope_ok(
+    request_id: &str,
+    cached: bool,
+    telemetry: Option<&RequestTelemetry>,
+    payload_json: &str,
+) -> String {
+    let mut s = envelope_prefix(request_id, "ok", cached, telemetry);
     let _ = write!(s, ",\"payload\":{payload_json}}}");
     s.push('\n');
     s
@@ -663,8 +845,9 @@ pub(crate) fn envelope_error(
     code: &str,
     input: Option<&str>,
     message: &str,
+    telemetry: Option<&RequestTelemetry>,
 ) -> String {
-    let mut s = envelope_prefix(request_id, status, false);
+    let mut s = envelope_prefix(request_id, status, false, telemetry);
     let _ = write!(s, ",\"error\":{{\"code\":\"{code}\"");
     if let Some(input) = input {
         let _ = write!(s, ",\"input\":\"{}\"", escape(input));
@@ -758,33 +941,114 @@ fn simulation_report_json(plan: &ExecutablePlan, exec: &Result<ExecReport, Strin
     s
 }
 
-/// Executes a request in-process — the single backend behind both the
-/// CLI subcommands and the daemon's workers.
+/// Measures coarse request stages directly with [`Instant`], producing
+/// the [`StageSpan`] tree of [`RequestTelemetry`].
 ///
-/// `Stats` and `Shutdown` are daemon-side control operations and
-/// return a [`ErrorCode::BadRequest`] error here.
-pub fn execute_request(request: &ServiceRequest) -> ServiceResponse {
-    match execute_request_inner(request) {
-        Ok(payload) => ServiceResponse::Ok(payload),
-        Err(error) => ServiceResponse::Err(error),
+/// Deliberately *not* built on the global recorder: daemon workers
+/// never install one (the byte-identity contract — a globally traced
+/// run would bleed process-wide counters into `engine_report` payload
+/// bytes), so stage timing measures its own intervals relative to the
+/// start of service.
+struct StageClock {
+    epoch: Instant,
+    stages: Vec<StageSpan>,
+}
+
+impl StageClock {
+    fn new() -> StageClock {
+        StageClock {
+            epoch: Instant::now(),
+            stages: Vec::new(),
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Runs `f` as the named stage, recording its span.
+    fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start_ns = self.elapsed_ns();
+        let value = f();
+        let dur_ns = self.elapsed_ns().saturating_sub(start_ns);
+        self.stages.push(StageSpan::leaf(name, start_ns, dur_ns));
+        value
+    }
+
+    /// Attaches `children` to the most recently recorded stage.
+    fn attach_children(&mut self, children: Vec<StageSpan>) {
+        if let Some(last) = self.stages.last_mut() {
+            last.children = children;
+        }
     }
 }
 
-fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, ServiceError> {
+/// The winner candidate's per-stage timings as child spans of the
+/// `engine` stage, laid end to end from the stage's start. The engine
+/// measured these durations itself; only the offsets are synthesized.
+fn winner_stage_children(start_ns: u64, timings: &StageTimings) -> Vec<StageSpan> {
+    let mut cursor = start_ns;
+    let mut children = Vec::with_capacity(4);
+    for (name, dur_ns) in [
+        ("engine.schedule", timings.schedule_ns),
+        ("engine.lifetime", timings.lifetime_ns),
+        ("engine.wig", timings.wig_ns),
+        ("engine.alloc", timings.alloc_ns),
+    ] {
+        children.push(StageSpan::leaf(name, cursor, dur_ns));
+        cursor = cursor.saturating_add(dur_ns);
+    }
+    children
+}
+
+/// Executes a request in-process — the single backend behind both the
+/// CLI subcommands and the daemon's workers.
+///
+/// `Stats`, `Metrics`, `Events` and `Shutdown` are daemon-side control
+/// operations and return a [`ErrorCode::BadRequest`] error here.
+pub fn execute_request(request: &ServiceRequest) -> ServiceResponse {
+    execute_request_timed(request).0
+}
+
+/// [`execute_request`] plus the measured stage tree, for callers (the
+/// daemon's workers) that compose per-request telemetry.
+pub fn execute_request_timed(request: &ServiceRequest) -> (ServiceResponse, Vec<StageSpan>) {
+    let mut clock = StageClock::new();
+    let response = match execute_request_inner(request, &mut clock) {
+        Ok(payload) => ServiceResponse::Ok(payload),
+        Err(error) => ServiceResponse::Err(error),
+    };
+    (response, clock.stages)
+}
+
+fn execute_request_inner(
+    request: &ServiceRequest,
+    clock: &mut StageClock,
+) -> Result<ResponsePayload, ServiceError> {
     match request {
         ServiceRequest::Analyze {
             graph,
             serial,
             full,
         } => {
-            let g = parse_graph_input(graph)?;
-            let mut builder = AnalysisBuilder::new().parallel(!serial);
-            if *full {
-                builder = builder.loop_opts(sdf_sched::LoopVariant::ALL);
+            let g = clock.time("parse", || parse_graph_input(graph))?;
+            let synthesis = clock.time("engine", || {
+                let mut builder = AnalysisBuilder::new().parallel(!serial);
+                if *full {
+                    builder = builder.loop_opts(sdf_sched::LoopVariant::ALL);
+                }
+                builder
+                    .run_full(&g)
+                    .map_err(|e| ServiceError::engine(e.to_string()))
+            })?;
+            // Break the engine stage down by the winner's own timings.
+            let report = &synthesis.report;
+            if let (Some(stage), Some(winner)) =
+                (clock.stages.last(), report.candidates.get(report.winner))
+            {
+                let children = winner_stage_children(stage.start_ns, &winner.timings);
+                clock.attach_children(children);
             }
-            let synthesis = builder
-                .run_full(&g)
-                .map_err(|e| ServiceError::engine(e.to_string()))?;
             Ok(ResponsePayload::Analyze {
                 graph: g,
                 synthesis: Box::new(synthesis),
@@ -795,8 +1059,8 @@ fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, Se
             method,
             model,
         } => {
-            let g = parse_graph_input(graph)?;
-            let plan = lower_plan(&g, *method, *model)?;
+            let g = clock.time("parse", || parse_graph_input(graph))?;
+            let plan = clock.time("lower", || lower_plan(&g, *method, *model))?;
             Ok(ResponsePayload::Plan {
                 plan: Box::new(plan),
             })
@@ -806,9 +1070,9 @@ fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, Se
             method,
             model,
         } => {
-            let g = parse_graph_input(graph)?;
-            let plan = lower_plan(&g, *method, *model)?;
-            let exec = execute_plan(&plan).map_err(|e| e.to_string());
+            let g = clock.time("parse", || parse_graph_input(graph))?;
+            let plan = clock.time("lower", || lower_plan(&g, *method, *model))?;
+            let exec = clock.time("execute", || execute_plan(&plan).map_err(|e| e.to_string()));
             Ok(ResponsePayload::Simulate {
                 plan: Box::new(plan),
                 exec,
@@ -820,13 +1084,15 @@ fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, Se
             full,
             perturb,
         } => {
-            let g = parse_graph_input(graph)?;
-            let options = CaptureOptions {
-                repeats: *repeats,
-                full: *full,
-                perturb: perturb.clone(),
-            };
-            let profile = capture_profile(&g, &options).map_err(ServiceError::engine)?;
+            let g = clock.time("parse", || parse_graph_input(graph))?;
+            let profile = clock.time("capture", || {
+                let options = CaptureOptions {
+                    repeats: *repeats,
+                    full: *full,
+                    perturb: perturb.clone(),
+                };
+                capture_profile(&g, &options).map_err(ServiceError::engine)
+            })?;
             Ok(ResponsePayload::Baseline {
                 profile: Box::new(profile),
             })
@@ -837,24 +1103,32 @@ fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, Se
             gate,
             allow,
         } => {
-            let base = Profile::parse(baseline).map_err(|e| ServiceError::parse("baseline", e))?;
-            let cand =
-                Profile::parse(candidate).map_err(|e| ServiceError::parse("candidate", e))?;
-            let options = DiffOptions {
-                allow: allow.clone(),
-                gate_timings: *gate,
-                ..DiffOptions::default()
-            };
+            let (base, cand) = clock.time("parse", || {
+                let base =
+                    Profile::parse(baseline).map_err(|e| ServiceError::parse("baseline", e))?;
+                let cand =
+                    Profile::parse(candidate).map_err(|e| ServiceError::parse("candidate", e))?;
+                Ok::<_, ServiceError>((base, cand))
+            })?;
+            let report = clock.time("diff", || {
+                let options = DiffOptions {
+                    allow: allow.clone(),
+                    gate_timings: *gate,
+                    ..DiffOptions::default()
+                };
+                diff(&base, &cand, &options)
+            });
             Ok(ResponsePayload::Compare {
-                report: Box::new(diff(&base, &cand, &options)),
+                report: Box::new(report),
             })
         }
-        ServiceRequest::Stats | ServiceRequest::Shutdown => {
-            Err(ServiceError::bad_request(format!(
-                "`{}` is a daemon-side operation; submit it to a running sdfmemd",
-                request.op()
-            )))
-        }
+        ServiceRequest::Stats
+        | ServiceRequest::Metrics
+        | ServiceRequest::Events
+        | ServiceRequest::Shutdown => Err(ServiceError::bad_request(format!(
+            "`{}` is a daemon-side operation; submit it to a running sdfmemd",
+            request.op()
+        ))),
     }
 }
 
@@ -863,13 +1137,20 @@ fn execute_request_inner(request: &ServiceRequest) -> Result<ResponsePayload, Se
 /// submissions of the same graph share one cache slot *and* one
 /// payload byte-form (the engine report records `parallel`).
 pub fn execute_request_cached(request: &ServiceRequest) -> ServiceResponse {
+    execute_request_cached_timed(request).0
+}
+
+/// [`execute_request_cached`] plus the measured stage tree.
+pub fn execute_request_cached_timed(request: &ServiceRequest) -> (ServiceResponse, Vec<StageSpan>) {
     match request {
-        ServiceRequest::Analyze { graph, full, .. } => execute_request(&ServiceRequest::Analyze {
-            graph: graph.clone(),
-            serial: false,
-            full: *full,
-        }),
-        other => execute_request(other),
+        ServiceRequest::Analyze { graph, full, .. } => {
+            execute_request_timed(&ServiceRequest::Analyze {
+                graph: graph.clone(),
+                serial: false,
+                full: *full,
+            })
+        }
+        other => execute_request_timed(other),
     }
 }
 
@@ -910,6 +1191,8 @@ mod tests {
                 allow: vec!["sched.*".into()],
             },
             ServiceRequest::Stats,
+            ServiceRequest::Metrics,
+            ServiceRequest::Events,
             ServiceRequest::Shutdown,
         ];
         for request in requests {
@@ -1062,7 +1345,12 @@ mod tests {
 
     #[test]
     fn control_ops_are_daemon_side_only() {
-        for request in [ServiceRequest::Stats, ServiceRequest::Shutdown] {
+        for request in [
+            ServiceRequest::Stats,
+            ServiceRequest::Metrics,
+            ServiceRequest::Events,
+            ServiceRequest::Shutdown,
+        ] {
             let ServiceResponse::Err(error) = execute_request(&request) else {
                 panic!("expected error");
             };
@@ -1088,9 +1376,13 @@ mod tests {
 
     #[test]
     fn stats_payload_is_a_service_stats_document() {
+        let mut latency = Histogram::default();
+        latency.record(3);
+        latency.record(700);
         let payload = ResponsePayload::Stats {
             counters: vec![("service.cache.hits".into(), 3)],
             gauges: vec![("service.queue.depth".into(), 0)],
+            histograms: vec![("service.op.analyze.latency".into(), latency)],
         };
         let doc = json::parse(&payload.to_json()).expect("parses");
         assert_eq!(
@@ -1102,6 +1394,126 @@ mod tests {
                 .and_then(|c| c.get("service.cache.hits"))
                 .and_then(Json::as_num),
             Some(3.0)
+        );
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("service.op.analyze.latency"))
+            .expect("histogram summary");
+        assert_eq!(hist.get("count").and_then(Json::as_num), Some(2.0));
+        assert_eq!(hist.get("sum").and_then(Json::as_num), Some(703.0));
+        let buckets = hist.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 2, "two occupied buckets");
+    }
+
+    #[test]
+    fn metrics_payload_embeds_valid_exposition() {
+        let mut h = Histogram::default();
+        h.record(5);
+        let exposition = sdf_trace::expo::write_exposition(
+            &[("service.requests".into(), 4)],
+            &[],
+            &[("service.op.plan.latency".into(), h)],
+        );
+        let payload = ResponsePayload::Metrics { exposition };
+        let doc = json::parse(&payload.to_json()).expect("parses");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("service_metrics")
+        );
+        let text = doc
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition text");
+        sdf_trace::expo::validate_exposition(text).expect("valid exposition");
+        assert!(text.contains("service_requests 4"));
+    }
+
+    #[test]
+    fn events_payload_lists_drained_records() {
+        let telemetry = RequestTelemetry {
+            cache: CacheStatus::Miss,
+            queue_wait_ns: 10,
+            service_ns: 100,
+            stages: vec![StageSpan::leaf("parse", 0, 8)],
+            counters: vec![("service.jobs.complete".into(), 1)],
+        };
+        let mut record = telemetry.to_flight_record("analyze", "complete");
+        record.seq = 7;
+        let payload = ResponsePayload::Events {
+            capacity: 16,
+            dropped: 2,
+            records: vec![record],
+        };
+        let doc = json::parse(&payload.to_json()).expect("parses");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("service_events")
+        );
+        assert_eq!(doc.get("capacity").and_then(Json::as_num), Some(16.0));
+        assert_eq!(doc.get("dropped").and_then(Json::as_num), Some(2.0));
+        let events = doc.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(events[0].get("seq").and_then(Json::as_num), Some(7.0));
+        assert_eq!(
+            events[0].get("outcome").and_then(Json::as_str),
+            Some("complete")
+        );
+    }
+
+    #[test]
+    fn timed_execution_produces_a_stage_tree() {
+        let (response, stages) = execute_request_timed(&ServiceRequest::Analyze {
+            graph: FIG2.into(),
+            serial: false,
+            full: false,
+        });
+        assert_eq!(response.status(), "ok");
+        let names: Vec<&str> = stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["parse", "engine"]);
+        let engine = &stages[1];
+        assert!(engine.start_ns >= stages[0].start_ns);
+        let child_names: Vec<&str> = engine.children.iter().map(|c| c.name).collect();
+        assert_eq!(
+            child_names,
+            [
+                "engine.schedule",
+                "engine.lifetime",
+                "engine.wig",
+                "engine.alloc"
+            ]
+        );
+        // Children are laid end to end inside the engine stage.
+        for pair in engine.children.windows(2) {
+            assert_eq!(pair[1].start_ns, pair[0].start_ns + pair[0].dur_ns);
+        }
+        // A failing stage is still timed.
+        let (response, stages) = execute_request_timed(&ServiceRequest::Analyze {
+            graph: "graph broken\nedge A".into(),
+            serial: false,
+            full: false,
+        });
+        assert_eq!(response.status(), "error");
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].name, "parse");
+    }
+
+    #[test]
+    fn telemetry_json_is_an_object_not_a_document() {
+        let telemetry = RequestTelemetry {
+            cache: CacheStatus::Hit,
+            queue_wait_ns: 0,
+            service_ns: 42,
+            stages: vec![],
+            counters: vec![("service.cache.hits".into(), 1)],
+        };
+        let doc = json::parse(&telemetry.to_json()).expect("parses");
+        assert!(doc.get("kind").is_none(), "envelope member, not a document");
+        assert_eq!(doc.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(doc.get("service_ns").and_then(Json::as_num), Some(42.0));
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("service.cache.hits"))
+                .and_then(Json::as_num),
+            Some(1.0)
         );
     }
 }

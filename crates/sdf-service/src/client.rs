@@ -35,6 +35,10 @@ pub struct WireResponse {
     pub cached: bool,
     /// The embedded result document, verbatim (present iff `ok`).
     pub payload: Option<String>,
+    /// The request-scoped `telemetry` object, verbatim (present on
+    /// responses composed by the daemon's service path; absent from
+    /// envelopes that never took it, like pre-queue parse failures).
+    pub telemetry: Option<String>,
     /// The error object (present iff not `ok`).
     pub error: Option<WireError>,
 }
@@ -89,6 +93,7 @@ impl WireResponse {
             status,
             cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
             payload,
+            telemetry: extract_telemetry(line),
             error,
         })
     }
@@ -112,6 +117,28 @@ fn extract_payload(line: &str) -> Result<String, String> {
         return Err("empty payload".to_string());
     }
     Ok(line[start..end].to_string())
+}
+
+/// Slices the raw `telemetry` object out of an envelope, if present.
+///
+/// Telemetry sits between `cached` and the `payload`/`error` member, so
+/// its verbatim bytes run from the marker to whichever of those
+/// markers follows first (the same escaped-quotes argument that makes
+/// [`extract_payload`] safe applies to all three markers).
+fn extract_telemetry(line: &str) -> Option<String> {
+    const MARKER: &str = ",\"telemetry\":";
+    let start = line.find(MARKER)? + MARKER.len();
+    let rest = &line[start..];
+    let end = [",\"payload\":", ",\"error\":"]
+        .iter()
+        .filter_map(|m| rest.find(m))
+        .min()
+        .unwrap_or_else(|| {
+            rest.trim_end()
+                .strip_suffix('}')
+                .map_or(rest.len(), str::len)
+        });
+    Some(rest[..end].to_string())
 }
 
 /// A blocking connection to a daemon.
@@ -207,16 +234,49 @@ mod tests {
 
     #[test]
     fn payload_extraction_is_verbatim() {
-        let envelope = "{\"kind\":\"service_response\",\"schema_version\":6,\
+        let envelope = "{\"kind\":\"service_response\",\"schema_version\":7,\
                         \"request_id\":\"r\",\"status\":\"ok\",\"cached\":true,\
                         \"payload\":{\"kind\":\"engine_report\",\"graph\":\"fig2\"}}\n";
         let r = WireResponse::parse(envelope).expect("parses");
         assert!(r.is_ok());
         assert!(r.cached);
+        assert!(r.telemetry.is_none());
         assert_eq!(
             r.payload.as_deref(),
             Some("{\"kind\":\"engine_report\",\"graph\":\"fig2\"}")
         );
+    }
+
+    #[test]
+    fn telemetry_extraction_is_verbatim() {
+        let telemetry = "{\"cache\":\"hit\",\"queue_wait_ns\":0,\"service_ns\":41,\
+                         \"stages\":[],\"counters\":{}}";
+        let envelope = format!(
+            "{{\"kind\":\"service_response\",\"schema_version\":7,\
+             \"request_id\":\"r\",\"status\":\"ok\",\"cached\":true,\
+             \"telemetry\":{telemetry},\
+             \"payload\":{{\"kind\":\"engine_report\",\"graph\":\"fig2\"}}}}\n"
+        );
+        let r = WireResponse::parse(&envelope).expect("parses");
+        assert_eq!(r.telemetry.as_deref(), Some(telemetry));
+        assert_eq!(
+            r.payload.as_deref(),
+            Some("{\"kind\":\"engine_report\",\"graph\":\"fig2\"}")
+        );
+    }
+
+    #[test]
+    fn telemetry_extraction_stops_at_the_error_member() {
+        let envelope = "{\"kind\":\"service_response\",\"schema_version\":7,\
+                        \"request_id\":\"r\",\"status\":\"error\",\"cached\":false,\
+                        \"telemetry\":{\"cache\":\"uncached\",\"queue_wait_ns\":2,\
+                        \"service_ns\":9,\"stages\":[],\"counters\":{}},\
+                        \"error\":{\"code\":\"parse_error\",\"message\":\"m\"}}\n";
+        let r = WireResponse::parse(envelope).expect("parses");
+        let t = r.telemetry.expect("telemetry object");
+        assert!(t.starts_with("{\"cache\":\"uncached\""));
+        assert!(t.ends_with("\"counters\":{}}"));
+        assert_eq!(r.error.expect("error").code, "parse_error");
     }
 
     #[test]
@@ -225,7 +285,7 @@ mod tests {
         // so extraction still finds the real member.
         let message = "tricky ,\\\"payload\\\": text";
         let envelope = format!(
-            "{{\"kind\":\"service_response\",\"schema_version\":6,\
+            "{{\"kind\":\"service_response\",\"schema_version\":7,\
              \"request_id\":\"{message}\",\"status\":\"ok\",\"cached\":false,\
              \"payload\":{{\"x\":1}}}}\n"
         );
@@ -235,7 +295,7 @@ mod tests {
 
     #[test]
     fn error_envelope_parses_without_payload() {
-        let envelope = "{\"kind\":\"service_response\",\"schema_version\":6,\
+        let envelope = "{\"kind\":\"service_response\",\"schema_version\":7,\
                         \"request_id\":\"r\",\"status\":\"error\",\"cached\":false,\
                         \"error\":{\"code\":\"parse_error\",\"input\":\"graph\",\
                         \"message\":\"line 2: bad edge\"}}\n";

@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 
-use crate::api::{ServiceError, ServiceRequest};
+use crate::api::{RequestTelemetry, ServiceError, ServiceRequest};
 
 /// Lifecycle of a job. `Pending → Running → Complete | Failed`;
 /// `Rejected` is entered directly from submission when the queue is
@@ -44,12 +44,14 @@ impl JobState {
     }
 }
 
-/// What a worker hands back to the submitting connection thread.
+/// What a worker hands back to the submitting connection thread: the
+/// result plus the request-scoped telemetry the connection thread
+/// composes into the response envelope (outside any cached bytes).
 pub enum JobOutcome {
     /// The request succeeded; the serialized payload document.
-    Complete(std::sync::Arc<String>),
+    Complete(std::sync::Arc<String>, RequestTelemetry),
     /// The request failed inside the engine or on graph parse.
-    Failed(ServiceError),
+    Failed(ServiceError, RequestTelemetry),
 }
 
 /// One unit of queued work.

@@ -18,9 +18,18 @@
 //! canonical text so hash collisions cannot leak foreign results, and
 //! workers never install a global trace recorder (which would bleed
 //! cross-job counter totals into `engine_report` bytes). The daemon's
-//! own observability — `service.*` counters and gauges, per-job
-//! `service.job` spans — lives on a private [`sdf_trace::Recorder`]
-//! and is exported through the `stats` operation.
+//! own observability — `service.*` counters, gauges and latency
+//! histograms, per-job `service.job` spans, a bounded flight recorder
+//! of per-request summaries — lives on a private
+//! [`sdf_trace::Recorder`] and is exported through the `stats`,
+//! `metrics` (Prometheus-style exposition text) and `events`
+//! (flight-recorder drain) operations.
+//!
+//! Every request additionally carries its own story back to the
+//! client: the response envelope's `telemetry` member (cache status,
+//! queue wait, service time, per-stage span tree, counter deltas) is
+//! composed per request *outside* the cached payload bytes, so the
+//! byte-identity contract and per-request observability coexist.
 //!
 //! Module map:
 //!
@@ -43,8 +52,9 @@ pub mod job;
 pub mod server;
 
 pub use api::{
-    execute_request, execute_request_cached, lower_plan, parse_graph_input, ErrorCode, MemoryModel,
-    OrderMethod, ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
+    execute_request, execute_request_cached, execute_request_cached_timed, execute_request_timed,
+    lower_plan, parse_graph_input, ErrorCode, MemoryModel, OrderMethod, RequestTelemetry,
+    ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
 };
 pub use cache::{CacheLookup, ResultCache};
 pub use client::{Client, WireError, WireResponse};

@@ -19,25 +19,33 @@
 //! `counters` section of an `engine_report` depend on what ran
 //! before, and a cached payload would no longer be byte-identical to
 //! a fresh run. All `service.*` instruments and per-job `service.job`
-//! spans go directly onto the server's private [`Recorder`] instead.
+//! spans go directly onto the server's private [`Recorder`] instead —
+//! and the per-request `telemetry` envelope member is composed on the
+//! connection thread from [`RequestTelemetry`], *outside* the cached
+//! payload bytes, so hits and misses share payload bytes while each
+//! carries its own timings.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-use sdf_trace::Recorder;
+use sdf_trace::{
+    expo, CacheStatus, Event, FlightRecorder, Recorder, StageSpan, TraceSnapshot, SCHEMA_VERSION,
+};
 
 use crate::api::{
-    envelope_error, envelope_ok, execute_request_cached, ErrorCode, ResponsePayload,
-    ServiceRequest, ServiceResponse,
+    envelope_error, envelope_ok, execute_request_cached_timed, ErrorCode, RequestTelemetry,
+    ResponsePayload, ServiceRequest, ServiceResponse,
 };
 use crate::cache::{CacheLookup, ResultCache};
 use crate::job::{Job, JobOutcome, JobQueue, JobState};
+use sdf_trace::CounterSnapshot;
 
 /// Daemon tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads draining the job queue. Zero is allowed (useful
     /// for deterministic backpressure tests): nothing drains the
@@ -48,6 +56,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Job-queue capacity; submissions beyond it are rejected.
     pub queue_capacity: usize,
+    /// Flight-recorder capacity: per-request summaries kept for the
+    /// `events` op.
+    pub flight_capacity: usize,
+    /// When set, a Perfetto-format span export is written into this
+    /// directory for every completed job (`job-<seq>.json`).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -56,16 +70,21 @@ impl Default for ServerConfig {
             workers: 2,
             cache_capacity: 256,
             queue_capacity: 64,
+            flight_capacity: 128,
+            trace_dir: None,
         }
     }
 }
 
 struct Shared {
     recorder: Arc<Recorder>,
+    flight: FlightRecorder,
     cache: Mutex<ResultCache>,
     queue: JobQueue,
     stopping: AtomicBool,
     addr: SocketAddr,
+    trace_dir: Option<PathBuf>,
+    trace_seq: AtomicU64,
 }
 
 impl Shared {
@@ -77,7 +96,43 @@ impl Shared {
         ResponsePayload::Stats {
             counters: self.recorder.counters(),
             gauges: self.recorder.gauges(),
+            histograms: self.recorder.histograms(),
         }
+    }
+
+    fn metrics_payload(&self) -> ResponsePayload {
+        ResponsePayload::Metrics {
+            exposition: expo::write_exposition(
+                &self.recorder.counters(),
+                &self.recorder.gauges(),
+                &self.recorder.histograms(),
+            ),
+        }
+    }
+
+    fn events_payload(&self) -> ResponsePayload {
+        let (records, dropped) = self.flight.drain();
+        ResponsePayload::Events {
+            capacity: self.flight.capacity(),
+            dropped,
+            records,
+        }
+    }
+}
+
+/// The latency-histogram name for an op, from a static vocabulary (the
+/// recorder keys instruments by `&'static str`).
+fn op_latency_histogram(op: &str) -> &'static str {
+    match op {
+        "analyze" => "service.op.analyze.latency",
+        "plan" => "service.op.plan.latency",
+        "simulate" => "service.op.simulate.latency",
+        "baseline" => "service.op.baseline.latency",
+        "compare" => "service.op.compare.latency",
+        "stats" => "service.op.stats.latency",
+        "metrics" => "service.op.metrics.latency",
+        "events" => "service.op.events.latency",
+        _ => "service.op.other.latency",
     }
 }
 
@@ -104,10 +159,13 @@ impl Server {
             .map_err(|e| format!("cannot resolve bound address: {e}"))?;
         let shared = Arc::new(Shared {
             recorder: Arc::new(Recorder::new()),
+            flight: FlightRecorder::new(config.flight_capacity),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             queue: JobQueue::new(config.queue_capacity),
             stopping: AtomicBool::new(false),
             addr: local,
+            trace_dir: config.trace_dir.clone(),
+            trace_seq: AtomicU64::new(1),
         });
         let worker_handles = (0..config.workers)
             .map(|i| {
@@ -191,20 +249,31 @@ fn worker_loop(shared: &Shared) {
             .recorder
             .gauge_set("service.queue.depth", shared.queue.depth() as u64);
         let started = shared.recorder.now_ns();
+        let queue_wait_ns = started.saturating_sub(job.enqueued_ns);
+        let counters_before = CounterSnapshot::capture_from(&shared.recorder);
         // Job state: pending → running. No global recorder here — see
-        // the module docs for why that would break byte identity.
-        let response = execute_request_cached(&job.request);
-        let finished = shared.recorder.now_ns();
-        let (outcome, state) = match response {
-            ServiceResponse::Ok(payload) => (
-                JobOutcome::Complete(Arc::new(payload.to_json())),
-                JobState::Complete,
-            ),
-            ServiceResponse::Err(error) => (JobOutcome::Failed(error), JobState::Failed),
+        // the module docs for why that would break byte identity;
+        // stages are measured directly by the timed executor instead.
+        let (response, mut stages) = execute_request_cached_timed(&job.request);
+        let (outcome_result, state) = match response {
+            ServiceResponse::Ok(payload) => {
+                // Rendering the payload is part of service time; time
+                // it as its own stage (offsets relative to `started`).
+                let render_start = shared.recorder.now_ns();
+                let rendered = Arc::new(payload.to_json());
+                let render_end = shared.recorder.now_ns();
+                stages.push(StageSpan::leaf(
+                    "render",
+                    render_start.saturating_sub(started),
+                    render_end.saturating_sub(render_start),
+                ));
+                (Ok(rendered), JobState::Complete)
+            }
+            ServiceResponse::Err(error) => (Err(error), JobState::Failed),
             ServiceResponse::Rejected { message } => (
-                // Unreachable from `execute_request_cached`, but keep
-                // the state machine total.
-                JobOutcome::Failed(crate::api::ServiceError {
+                // Unreachable from `execute_request_cached_timed`, but
+                // keep the state machine total.
+                Err(crate::api::ServiceError {
                     code: ErrorCode::Unavailable,
                     input: None,
                     message,
@@ -212,27 +281,111 @@ fn worker_loop(shared: &Shared) {
                 JobState::Failed,
             ),
         };
+        let finished = shared.recorder.now_ns();
+        let service_ns = finished.saturating_sub(started);
         shared.count(match state {
             JobState::Complete => "service.jobs.complete",
             _ => "service.jobs.failed",
         });
+        let telemetry = RequestTelemetry {
+            cache: if job.cache_key.is_some() {
+                CacheStatus::Miss
+            } else {
+                CacheStatus::Uncached
+            },
+            queue_wait_ns,
+            service_ns,
+            stages,
+            counters: counters_before.delta_since_from(&shared.recorder),
+        };
+        shared
+            .recorder
+            .histogram_record(op_latency_histogram(job.request.op()), service_ns);
+        shared
+            .recorder
+            .histogram_record("service.queue.wait", queue_wait_ns);
+        let seq = shared
+            .flight
+            .record(telemetry.to_flight_record(job.request.op(), state.as_str()));
         shared.recorder.record_span(
             "service.job",
             vec![
                 ("op", job.request.op().to_string()),
                 ("request_id", job.request_id.clone()),
                 ("state", state.as_str().to_string()),
-                (
-                    "queued_ns",
-                    (started.saturating_sub(job.enqueued_ns)).to_string(),
-                ),
+                ("queued_ns", queue_wait_ns.to_string()),
             ],
             started,
-            finished.saturating_sub(started),
+            service_ns,
         );
+        if state == JobState::Complete {
+            write_job_trace(shared, &job, seq, &telemetry);
+        }
+        let outcome = match outcome_result {
+            Ok(payload) => JobOutcome::Complete(payload, telemetry),
+            Err(error) => JobOutcome::Failed(error, telemetry),
+        };
         // The submitting connection thread may have gone away; the
         // outcome is then dropped with the channel.
         let _ = job.tx.send(outcome);
+    }
+}
+
+/// Writes one Perfetto-format trace file for a completed job when the
+/// daemon was started with a trace directory: a synthetic root
+/// `service.job` span plus the telemetry stage tree, rendered through
+/// the standard chrome-tracing exporter. Best-effort — I/O failures
+/// are counted, not fatal.
+fn write_job_trace(shared: &Shared, job: &Job, flight_seq: u64, telemetry: &RequestTelemetry) {
+    let Some(dir) = &shared.trace_dir else { return };
+    let mut events = Vec::new();
+    let mut next_id = 1u64;
+    let root_id = next_id;
+    next_id += 1;
+    events.push(Event {
+        id: root_id,
+        parent: None,
+        name: "service.job",
+        args: vec![
+            ("op", job.request.op().to_string()),
+            ("request_id", job.request_id.clone()),
+            ("cache", telemetry.cache.as_str().to_string()),
+            ("queue_wait_ns", telemetry.queue_wait_ns.to_string()),
+            ("flight_seq", flight_seq.to_string()),
+        ],
+        thread: 1,
+        start_ns: 0,
+        dur_ns: telemetry.service_ns,
+    });
+    fn push_stages(events: &mut Vec<Event>, next_id: &mut u64, parent: u64, stages: &[StageSpan]) {
+        for stage in stages {
+            let id = *next_id;
+            *next_id += 1;
+            events.push(Event {
+                id,
+                parent: Some(parent),
+                name: stage.name,
+                args: vec![],
+                thread: 1,
+                start_ns: stage.start_ns,
+                dur_ns: stage.dur_ns,
+            });
+            push_stages(events, next_id, id, &stage.children);
+        }
+    }
+    push_stages(&mut events, &mut next_id, root_id, &telemetry.stages);
+    let snapshot = TraceSnapshot {
+        schema_version: SCHEMA_VERSION,
+        events,
+        counters: telemetry.counters.clone(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
+    let seq = shared.trace_seq.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("job-{seq:06}.json"));
+    match std::fs::write(&path, snapshot.to_chrome_trace_json()) {
+        Ok(()) => shared.count("service.trace.exports"),
+        Err(_) => shared.count("service.trace.export_errors"),
     }
 }
 
@@ -265,8 +418,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         };
         let done = match request {
             ServiceRequest::Stats => {
+                let envelope = inline_envelope(shared, &request_id, "stats", |s| s.stats_payload());
+                !respond(&mut writer, &envelope)
+            }
+            ServiceRequest::Metrics => {
                 let envelope =
-                    ServiceResponse::Ok(shared.stats_payload()).to_json(&request_id, false);
+                    inline_envelope(shared, &request_id, "metrics", |s| s.metrics_payload());
+                !respond(&mut writer, &envelope)
+            }
+            ServiceRequest::Events => {
+                let envelope =
+                    inline_envelope(shared, &request_id, "events", |s| s.events_payload());
                 !respond(&mut writer, &envelope)
             }
             ServiceRequest::Shutdown => {
@@ -285,6 +447,32 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Serves a daemon-side op on the connection thread (no queue, no
+/// cache) with request-scoped telemetry: one `render` stage covering
+/// payload construction.
+fn inline_envelope(
+    shared: &Shared,
+    request_id: &str,
+    op: &str,
+    payload: impl FnOnce(&Shared) -> ResponsePayload,
+) -> String {
+    let started = shared.recorder.now_ns();
+    let counters_before = CounterSnapshot::capture_from(&shared.recorder);
+    let rendered = payload(shared).to_json();
+    let service_ns = shared.recorder.now_ns().saturating_sub(started);
+    shared
+        .recorder
+        .histogram_record(op_latency_histogram(op), service_ns);
+    let telemetry = RequestTelemetry {
+        cache: CacheStatus::Uncached,
+        queue_wait_ns: 0,
+        service_ns,
+        stages: vec![StageSpan::leaf("render", 0, service_ns)],
+        counters: counters_before.delta_since_from(&shared.recorder),
+    };
+    envelope_ok(request_id, false, Some(&telemetry), &rendered)
+}
+
 /// Runs one engine-backed request through cache + queue. Returns
 /// `false` when the client connection is gone.
 fn handle_job_request(
@@ -293,9 +481,11 @@ fn handle_job_request(
     request_id: &str,
     request: ServiceRequest,
 ) -> bool {
+    let received = shared.recorder.now_ns();
     // Cacheable requests are content-addressed up front; a graph that
     // does not parse fails here, before taking a queue slot (state
-    // `failed` without ever being `pending`).
+    // `failed` without ever being `pending`). No telemetry: the
+    // request never reached the service path.
     let cache_key = if request.cacheable() {
         match request.cache_key() {
             Ok(pair) => Some(pair),
@@ -315,7 +505,26 @@ fn handle_job_request(
         match lookup {
             CacheLookup::Hit(payload) => {
                 shared.count("service.cache.hits");
-                return respond(writer, &envelope_ok(request_id, true, &payload));
+                // A hit's service time is the lookup itself; telemetry
+                // is composed fresh around the shared payload bytes.
+                let service_ns = shared.recorder.now_ns().saturating_sub(received);
+                let telemetry = RequestTelemetry {
+                    cache: CacheStatus::Hit,
+                    queue_wait_ns: 0,
+                    service_ns,
+                    stages: vec![StageSpan::leaf("cache.lookup", 0, service_ns)],
+                    counters: vec![("service.cache.hits".to_string(), 1)],
+                };
+                shared
+                    .recorder
+                    .histogram_record(op_latency_histogram(request.op()), service_ns);
+                shared
+                    .flight
+                    .record(telemetry.to_flight_record(request.op(), JobState::Complete.as_str()));
+                return respond(
+                    writer,
+                    &envelope_ok(request_id, true, Some(&telemetry), &payload),
+                );
             }
             CacheLookup::Collision => {
                 shared.count("service.cache.collisions");
@@ -350,7 +559,7 @@ fn handle_job_request(
                 .recorder
                 .gauge_set("service.queue.depth", shared.queue.depth() as u64);
             match rx.recv() {
-                Ok(JobOutcome::Complete(payload)) => {
+                Ok(JobOutcome::Complete(payload, telemetry)) => {
                     if let Some((fp, canonical)) = cache_key {
                         let mut cache = lock_cache(shared);
                         let evicted = cache.insert(fp, canonical, Arc::clone(&payload));
@@ -361,11 +570,18 @@ fn handle_job_request(
                             .counter_add("service.cache.evictions", evicted as u64);
                         shared.recorder.gauge_set("service.cache.entries", entries);
                     }
-                    respond(writer, &envelope_ok(request_id, false, &payload))
+                    respond(
+                        writer,
+                        &envelope_ok(request_id, false, Some(&telemetry), &payload),
+                    )
                 }
-                Ok(JobOutcome::Failed(error)) => respond(
+                Ok(JobOutcome::Failed(error, telemetry)) => respond(
                     writer,
-                    &ServiceResponse::Err(error).to_json(request_id, false),
+                    &ServiceResponse::Err(error).to_json_with_telemetry(
+                        request_id,
+                        false,
+                        Some(&telemetry),
+                    ),
                 ),
                 Err(_) => {
                     // The queue was closed with the job still pending.
@@ -375,6 +591,7 @@ fn handle_job_request(
                         ErrorCode::Unavailable.as_str(),
                         None,
                         "server shutting down before the job ran",
+                        None,
                     );
                     respond(writer, &envelope)
                 }

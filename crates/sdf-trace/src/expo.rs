@@ -1,0 +1,338 @@
+//! Prometheus-style text exposition for recorder instruments.
+//!
+//! [`write_exposition`] renders counters, gauges and power-of-two
+//! histograms in the Prometheus text format (`# TYPE` declarations,
+//! cumulative `_bucket{le="…"}` lines, `_sum`/`_count`), so any
+//! standard scraper — or a human with `curl` — can read a daemon's
+//! instruments without this crate. Dotted instrument names are
+//! sanitized to the Prometheus charset (`service.cache.hits` →
+//! `service_cache_hits`).
+//!
+//! One deliberate divergence from stock Prometheus: our histogram
+//! buckets are half-open `[lo, hi)` while Prometheus `le` is
+//! inclusive. We emit each bucket's exclusive upper bound as its `le`
+//! value, which over-reports the bound by at most one unit — harmless
+//! at nanosecond resolution and the price of keeping the power-of-two
+//! bucket layout exact.
+//!
+//! [`validate_exposition`] is the matching parser-independent checker:
+//! it verifies line shapes, name charset, `# TYPE` declarations, and
+//! histogram completeness/monotonicity without round-tripping through
+//! the writer, so tests of the wire `metrics` op do not simply compare
+//! the writer against itself.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
+
+/// A dotted instrument name mapped into the Prometheus metric charset:
+/// `[a-zA-Z0-9_:]`, with every other byte replaced by `_`.
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders counters, gauges and histograms as Prometheus text
+/// exposition.
+///
+/// # Examples
+///
+/// ```
+/// use sdf_trace::Histogram;
+/// use sdf_trace::expo::{validate_exposition, write_exposition};
+///
+/// let mut h = Histogram::default();
+/// h.record(3);
+/// let text = write_exposition(
+///     &[("service.cache.hits".into(), 2)],
+///     &[],
+///     &[("service.op.analyze.latency".into(), h)],
+/// );
+/// assert!(text.contains("service_cache_hits 2"));
+/// assert!(text.contains("service_op_analyze_latency_bucket{le=\"4\"} 1"));
+/// validate_exposition(&text).unwrap();
+/// ```
+pub fn write_exposition(
+    counters: &[(String, u64)],
+    gauges: &[(String, u64)],
+    histograms: &[(String, Histogram)],
+) -> String {
+    let mut out = String::new();
+    for (name, value) in counters {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in histograms {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (_, hi, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{name}_sum {}", h.sum());
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// The state accumulated for one declared histogram while scanning.
+#[derive(Default)]
+struct HistogramCheck {
+    last_bucket: Option<u64>,
+    saw_inf: Option<u64>,
+    sum: Option<u64>,
+    count: Option<u64>,
+}
+
+/// Checks that `text` is well-formed Prometheus exposition, without
+/// consulting the writer: every line is a `# TYPE` declaration or a
+/// `name[{le="…"}] <integer>` sample, names use the Prometheus charset,
+/// every sample's metric was declared, and each histogram has monotone
+/// cumulative buckets ending in `le="+Inf"` whose value equals its
+/// `_count` line. Returns the first problem as `Err` with its line
+/// number.
+///
+/// # Errors
+///
+/// Returns `Err(message)` naming the offending 1-based line.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut histograms: HashMap<String, HistogramCheck> = HashMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            return Err(format!("line {lineno}: blank line"));
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(k), None) => (n, k),
+                _ => return Err(format!("line {lineno}: malformed # TYPE line")),
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: bad metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate # TYPE for {name}"));
+            }
+            if kind == "histogram" {
+                histograms.insert(name.to_string(), HistogramCheck::default());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: unsupported comment line"));
+        }
+        // Sample line: `name[{le="…"}] <integer>`.
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample line has no value"))?;
+        let value: u64 = value_part
+            .parse()
+            .map_err(|_| format!("line {lineno}: non-integer sample value {value_part:?}"))?;
+        let (name, le) = match name_part.split_once('{') {
+            Some((name, labels)) => {
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix("\"}"))
+                    .ok_or_else(|| format!("line {lineno}: unsupported labels {labels:?}"))?;
+                (name, Some(le))
+            }
+            None => (name_part, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        // Resolve the declared base metric this sample belongs to.
+        let base = if let Some(b) = name.strip_suffix("_bucket").filter(|_| le.is_some()) {
+            b
+        } else if let Some(b) = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| histograms.contains_key(*b))
+        {
+            b
+        } else {
+            name
+        };
+        let declared = types
+            .get(base)
+            .ok_or_else(|| format!("line {lineno}: sample for undeclared metric {base}"))?;
+        match (declared.as_str(), le) {
+            ("histogram", _) => {}
+            (_, None) => {}
+            (kind, Some(_)) => {
+                return Err(format!("line {lineno}: le label on a {kind} metric"));
+            }
+        }
+        if declared == "histogram" {
+            let check = histograms.get_mut(base).expect("tracked with declaration");
+            if let Some(le) = le {
+                if check.saw_inf.is_some() {
+                    return Err(format!(
+                        "line {lineno}: bucket after le=\"+Inf\" for {base}"
+                    ));
+                }
+                if let Some(last) = check.last_bucket {
+                    if value < last {
+                        return Err(format!(
+                            "line {lineno}: non-monotone cumulative bucket for {base}"
+                        ));
+                    }
+                }
+                check.last_bucket = Some(value);
+                if le == "+Inf" {
+                    check.saw_inf = Some(value);
+                } else if le.parse::<u64>().is_err() {
+                    return Err(format!("line {lineno}: non-numeric le bound {le:?}"));
+                }
+            } else if name.ends_with("_sum") {
+                check.sum = Some(value);
+            } else if name.ends_with("_count") {
+                check.count = Some(value);
+            } else {
+                return Err(format!(
+                    "line {lineno}: bare sample for histogram metric {base}"
+                ));
+            }
+        }
+    }
+    for (name, check) in &histograms {
+        let inf = check
+            .saw_inf
+            .ok_or_else(|| format!("histogram {name} has no le=\"+Inf\" bucket"))?;
+        if check.sum.is_none() {
+            return Err(format!("histogram {name} has no _sum line"));
+        }
+        let count = check
+            .count
+            .ok_or_else(|| format!("histogram {name} has no _count line"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {name}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_to_underscores() {
+        assert_eq!(sanitize_name("service.cache.hits"), "service_cache_hits");
+        assert_eq!(sanitize_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_name("weird name!"), "weird_name_");
+    }
+
+    #[test]
+    fn golden_exposition_for_known_instruments() {
+        let mut latency = Histogram::default();
+        for v in [0u64, 3, 3, 900] {
+            latency.record(v);
+        }
+        let text = write_exposition(
+            &[
+                ("service.cache.hits".into(), 7),
+                ("service.requests".into(), 12),
+            ],
+            &[("service.queue.depth".into(), 1)],
+            &[("service.op.analyze.latency".into(), latency)],
+        );
+        let expected = "\
+# TYPE service_cache_hits counter
+service_cache_hits 7
+# TYPE service_requests counter
+service_requests 12
+# TYPE service_queue_depth gauge
+service_queue_depth 1
+# TYPE service_op_analyze_latency histogram
+service_op_analyze_latency_bucket{le=\"1\"} 1
+service_op_analyze_latency_bucket{le=\"4\"} 3
+service_op_analyze_latency_bucket{le=\"1024\"} 4
+service_op_analyze_latency_bucket{le=\"+Inf\"} 4
+service_op_analyze_latency_sum 906
+service_op_analyze_latency_count 4
+";
+        assert_eq!(text, expected);
+        validate_exposition(&text).expect("golden output validates");
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_sum_count() {
+        let text = write_exposition(&[], &[], &[("x".into(), Histogram::default())]);
+        assert!(text.contains("x_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("x_sum 0"));
+        assert!(text.contains("x_count 0"));
+        validate_exposition(&text).expect("empty histogram validates");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (text, fragment) in [
+            ("service_cache_hits 1\n", "undeclared"),
+            ("# TYPE m counter\nm one\n", "non-integer"),
+            ("# TYPE m widget\n", "unknown metric type"),
+            ("# TYPE m counter\n# TYPE m counter\n", "duplicate"),
+            ("# TYPE m counter\nm{le=\"4\"} 1\n", "le label on a counter"),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"4\"} 2\nm_bucket{le=\"8\"} 1\n",
+                "non-monotone",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"4\"} 1\nm_sum 4\nm_count 1\n",
+                "+Inf",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 2\nm_sum 4\nm_count 1\n",
+                "!= _count",
+            ),
+            (
+                "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 1\nm_count 1\n",
+                "no _sum",
+            ),
+            ("# TYPE 9bad counter\n9bad 1\n", "bad metric name"),
+        ] {
+            let err = validate_exposition(text).expect_err(text);
+            assert!(err.contains(fragment), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn histogram_suffix_names_do_not_shadow_other_metrics() {
+        // A counter legitimately named with a _count suffix validates
+        // even though it is not part of any histogram family.
+        let text = "# TYPE jobs_count counter\njobs_count 3\n";
+        validate_exposition(text).expect("standalone _count counter");
+    }
+}

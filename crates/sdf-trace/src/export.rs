@@ -45,7 +45,13 @@ fn json_us(ns: u64) -> String {
 }
 
 /// Nanoseconds rendered human-readably with an adaptive unit.
-fn human_time(ns: u64) -> String {
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sdf_trace::export::human_time(2_500_000), "2.500ms");
+/// ```
+pub fn human_time(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{}.{:03}s", ns / 1_000_000_000, (ns / 1_000_000) % 1_000)
     } else if ns >= 1_000_000 {

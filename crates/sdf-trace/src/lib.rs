@@ -42,12 +42,15 @@
 
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod export;
+pub mod flight;
 pub mod json;
 mod metrics;
 
 pub use export::TraceSnapshot;
-pub use metrics::Histogram;
+pub use flight::{CacheStatus, FlightRecord, FlightRecorder, StageSpan};
+pub use metrics::{quantile_from_buckets, Histogram};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,8 +78,14 @@ use std::time::Instant;
 /// (`engine_report` gained its `kind` field) — and added the
 /// `service_request` / `service_response` / `service_stats` documents
 /// of the `sdfmemd` daemon plus its `service.*` counter namespace
+/// (another deliberate baseline refresh); `7` added the operational
+/// telemetry layer: response envelopes gained a per-request `telemetry`
+/// member (composed outside the cached payload bytes), `service_stats`
+/// gained histogram summaries, and the daemon grew the
+/// `service_metrics` (Prometheus-style exposition) and `service_events`
+/// (flight-recorder drain) documents plus the `metrics` / `events` ops
 /// (another deliberate baseline refresh).
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.
@@ -200,6 +209,15 @@ impl Recorder {
             .gauges
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Copies of the current histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        lock(&self.metrics)
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
             .collect()
     }
 
@@ -379,6 +397,16 @@ impl CounterSnapshot {
         }
     }
 
+    /// Captures the counter values of a *specific* recorder, bypassing
+    /// the global facade. This is how the `sdfmemd` daemon attributes
+    /// `service.*` counter movement to an individual request on its
+    /// private recorder without installing it globally.
+    pub fn capture_from(recorder: &Recorder) -> Self {
+        CounterSnapshot {
+            values: recorder.counters(),
+        }
+    }
+
     /// Counters that increased since this capture, as sorted
     /// `(name, delta)` pairs; unchanged counters are omitted.
     ///
@@ -386,7 +414,17 @@ impl CounterSnapshot {
     /// captured one while the same recorder stays installed; a recorder
     /// swap in between saturates at zero instead of underflowing.
     pub fn delta_since(&self) -> Vec<(String, u64)> {
-        let now = counter_values();
+        self.delta_against(counter_values())
+    }
+
+    /// Like [`delta_since`](CounterSnapshot::delta_since) but against a
+    /// specific recorder's current counters — the pair of
+    /// [`capture_from`](CounterSnapshot::capture_from).
+    pub fn delta_since_from(&self, recorder: &Recorder) -> Vec<(String, u64)> {
+        self.delta_against(recorder.counters())
+    }
+
+    fn delta_against(&self, now: Vec<(String, u64)>) -> Vec<(String, u64)> {
         let mut base = self.values.iter().peekable();
         let mut delta = Vec::new();
         for (name, value) in now {

@@ -102,6 +102,51 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimated `q`-quantile (`q` clamped into `0.0..=1.0`), or `None`
+    /// when the histogram is empty.
+    ///
+    /// The estimate always lies inside the bounds of the bucket that
+    /// holds the rank-`⌈q·count⌉` sample, so it is never off by more
+    /// than the bucket's width — the precision the power-of-two layout
+    /// pays for its fixed footprint.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.nonzero_buckets(), q)
+    }
+}
+
+/// Quantile estimate from `(lo, hi, count)` bucket triples, ascending —
+/// the shape [`Histogram::nonzero_buckets`] produces and `service_stats`
+/// documents carry, so remote clients (`sdfmem top`) estimate with the
+/// same arithmetic as the in-process path.
+///
+/// Locates the bucket containing the rank-`⌈q·total⌉` sample and
+/// interpolates linearly within its half-open bounds; the result is
+/// always in `[lo, hi)` of that bucket. Returns `None` when the buckets
+/// hold no samples.
+pub fn quantile_from_buckets(buckets: &[(u64, u64, u64)], q: f64) -> Option<u64> {
+    let total: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for &(lo, hi, count) in buckets {
+        if rank <= seen + count {
+            // The rank-th sample is the `pos`-th of `count` samples in
+            // this bucket; interpolate so the estimate stays below the
+            // exclusive upper bound (u128 avoids overflow for the top
+            // buckets, whose width approaches 2^63).
+            let pos = rank - seen;
+            let width = u128::from(hi - lo);
+            let est = u128::from(lo) + width * u128::from(pos) / (u128::from(count) + 1);
+            return Some(u64::try_from(est).unwrap_or(u64::MAX));
+        }
+        seen += count;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -155,5 +200,87 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        assert_eq!(Histogram::default().quantile(0.5), None);
+        assert_eq!(quantile_from_buckets(&[], 0.5), None);
+        assert_eq!(quantile_from_buckets(&[(0, 1, 0)], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_lands_in_the_right_bucket() {
+        let mut h = Histogram::default();
+        // 90 fast samples around 3, 10 slow ones around 1000.
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((2..4).contains(&p50), "p50 {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((512..1024).contains(&p95), "p95 {p95}");
+        // Out-of-range q clamps to the extremes.
+        assert!((2..4).contains(&h.quantile(-1.0).unwrap()));
+        assert!((512..1024).contains(&h.quantile(2.0).unwrap()));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_one_bucket() {
+        // All samples in [64, 128): low quantiles sit near the bottom
+        // of the bucket, high ones near the top, and all stay inside.
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let p01 = h.quantile(0.01).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p01 < p99, "{p01} vs {p99}");
+        assert!((64..128).contains(&p01));
+        assert!((64..128).contains(&p99));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// For any sample set and quantile, the estimate lies inside
+            /// the true bucket of the rank-`⌈q·n⌉` order statistic.
+            #[test]
+            fn quantile_estimate_stays_in_the_true_bucket(
+                samples in prop::collection::vec(
+                    // Right-shifting a uniform draw gives log-uniform
+                    // magnitudes, exercising every bucket scale.
+                    (0u32..64u32, 0u64..u64::MAX).prop_map(|(s, v)| v >> s),
+                    1..128,
+                )
+            ) {
+                let mut h = Histogram::default();
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                for &v in &samples {
+                    h.record(v);
+                }
+                let n = sorted.len() as u64;
+                for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+                    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+                    let order_stat = sorted[(rank - 1) as usize];
+                    let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(order_stat));
+                    let est = h.quantile(q).expect("non-empty histogram");
+                    prop_assert!(
+                        lo <= est && est < hi,
+                        "q={} est={} outside [{}, {}) of sample {}",
+                        q, est, lo, hi, order_stat
+                    );
+                }
+            }
+        }
     }
 }

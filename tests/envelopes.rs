@@ -82,6 +82,23 @@ fn every_document_kind_opens_with_the_unified_envelope() {
             ResponsePayload::Stats {
                 counters: vec![("service.requests".into(), 1)],
                 gauges: Vec::new(),
+                histograms: Vec::new(),
+            }
+            .to_json(),
+        ),
+        (
+            "service_metrics",
+            ResponsePayload::Metrics {
+                exposition: "# TYPE service_requests counter\nservice_requests 1\n".into(),
+            }
+            .to_json(),
+        ),
+        (
+            "service_events",
+            ResponsePayload::Events {
+                capacity: 8,
+                dropped: 0,
+                records: Vec::new(),
             }
             .to_json(),
         ),

@@ -148,6 +148,7 @@ fn full_queue_rejects_cleanly_and_shutdown_drains_parked_jobs() {
         workers: 0,
         cache_capacity: 8,
         queue_capacity: 2,
+        ..ServerConfig::default()
     });
     let parked: Vec<_> = (0..2)
         .map(|i| {
@@ -188,9 +189,9 @@ fn malformed_lines_get_error_envelopes_not_disconnects() {
     let mut client = Client::connect(&addr).expect("connect");
     for bad in [
         "this is not json",
-        "{\"kind\":\"engine_report\",\"schema_version\":6}",
+        "{\"kind\":\"engine_report\",\"schema_version\":7}",
         "{\"kind\":\"service_request\",\"schema_version\":1,\"op\":\"stats\"}",
-        "{\"kind\":\"service_request\",\"schema_version\":6,\"op\":\"conjure\"}",
+        "{\"kind\":\"service_request\",\"schema_version\":7,\"op\":\"conjure\"}",
     ] {
         let response = client
             .send_raw(bad)
@@ -234,6 +235,23 @@ fn stats_reports_live_counters_and_shutdown_is_clean() {
     assert_eq!(get("service.cache.hits"), Some(1.0));
     assert_eq!(get("service.cache.misses"), Some(1.0));
     assert_eq!(get("service.requests"), Some(3.0));
+    // Histogram summaries ride along: both analyze submissions (the
+    // miss and the hit) recorded a latency sample, and the bucket
+    // counts sum to the histogram's count.
+    let latency = doc
+        .get("histograms")
+        .and_then(|h| h.get("service.op.analyze.latency"))
+        .expect("analyze latency histogram");
+    assert_eq!(latency.get("count").and_then(Json::as_num), Some(2.0));
+    let buckets = latency
+        .get("buckets")
+        .and_then(Json::as_array)
+        .expect("bucket triples");
+    let total: f64 = buckets
+        .iter()
+        .filter_map(|b| b.as_array()?.get(2)?.as_num())
+        .sum();
+    assert_eq!(total, 2.0);
     // Shutdown also answers with a final stats snapshot.
     let bye = client.call("bye", &ServiceRequest::Shutdown).expect("call");
     assert!(bye.is_ok(), "{bye:?}");
@@ -247,6 +265,7 @@ fn lru_eviction_keeps_the_cache_bounded() {
         workers: 1,
         cache_capacity: 2,
         queue_capacity: 8,
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(&addr).expect("connect");
     let graphs: Vec<String> = (0..3)
@@ -266,4 +285,187 @@ fn lru_eviction_keeps_the_cache_bounded() {
     assert!(!evicted.cached);
     server.shutdown();
     server.wait();
+}
+
+#[test]
+fn cached_payloads_stay_byte_identical_while_telemetry_differs() {
+    // The tentpole contract: telemetry is composed per request
+    // *outside* the cached bytes, so a hit reuses the payload verbatim
+    // yet tells its own story in the envelope.
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    let fresh = client.call("f", &analyze(FIG2)).expect("call");
+    let cached = client.call("c", &analyze(FIG2)).expect("call");
+    assert!(!fresh.cached && cached.cached);
+    assert_eq!(fresh.payload, cached.payload, "payload bytes must agree");
+    let fresh_t = fresh.telemetry.expect("fresh telemetry");
+    let cached_t = cached.telemetry.expect("cached telemetry");
+    assert_ne!(fresh_t, cached_t, "telemetry must be per-request");
+    // The miss ran the pipeline: its stage tree starts at `parse` and
+    // its counters moved. The hit only touched the cache.
+    let fresh_doc = json::parse(&fresh_t).expect("telemetry JSON");
+    assert_eq!(fresh_doc.get("cache").and_then(Json::as_str), Some("miss"));
+    let stages = fresh_doc
+        .get("stages")
+        .and_then(Json::as_array)
+        .expect("stages");
+    let names: Vec<&str> = stages
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"parse"), "{names:?}");
+    assert!(names.contains(&"engine"), "{names:?}");
+    let cached_doc = json::parse(&cached_t).expect("telemetry JSON");
+    assert_eq!(cached_doc.get("cache").and_then(Json::as_str), Some("hit"));
+    let hit_stages = cached_doc
+        .get("stages")
+        .and_then(Json::as_array)
+        .expect("stages");
+    assert_eq!(
+        hit_stages
+            .first()
+            .and_then(|s| s.get("name").and_then(Json::as_str)),
+        Some("cache.lookup")
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn metrics_op_returns_valid_exposition_text() {
+    let (server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(client.call("a", &analyze(FIG2)).expect("call").is_ok());
+    let metrics = client
+        .call("m", &ServiceRequest::Metrics)
+        .expect("metrics call");
+    assert!(metrics.is_ok(), "{metrics:?}");
+    let doc = json::parse(metrics.payload.as_deref().expect("payload")).expect("metrics JSON");
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("service_metrics")
+    );
+    let text = doc
+        .get("exposition")
+        .and_then(Json::as_str)
+        .expect("exposition text");
+    sdf_trace::expo::validate_exposition(text).expect("exposition validates");
+    assert!(
+        text.contains("# TYPE service_op_analyze_latency histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("service_op_analyze_latency_count 1"),
+        "{text}"
+    );
+    assert!(text.contains("service_requests 2"), "{text}");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn flight_recorder_caps_at_capacity_and_drains_oldest_first() {
+    let (server, addr) = start(ServerConfig {
+        flight_capacity: 4,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    // Six distinct graphs = six misses = six flight records; the ring
+    // holds four, so records 1 and 2 fall off the front.
+    for i in 0..6 {
+        let graph = format!("graph fl{i}\nedge A B {} {}\n", 2 * (i + 1), i + 1);
+        assert!(client
+            .call(&format!("fl{i}"), &analyze(&graph))
+            .expect("call")
+            .is_ok());
+    }
+    let events = client.call("e1", &ServiceRequest::Events).expect("call");
+    let doc = json::parse(events.payload.as_deref().expect("payload")).expect("events JSON");
+    assert_eq!(
+        doc.get("kind").and_then(Json::as_str),
+        Some("service_events")
+    );
+    assert_eq!(doc.get("capacity").and_then(Json::as_num), Some(4.0));
+    assert_eq!(doc.get("dropped").and_then(Json::as_num), Some(2.0));
+    let records = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .expect("events array");
+    let seqs: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.get("seq").and_then(Json::as_num))
+        .collect();
+    assert_eq!(seqs, vec![3.0, 4.0, 5.0, 6.0], "oldest-first, capped");
+    for record in records {
+        assert_eq!(record.get("op").and_then(Json::as_str), Some("analyze"));
+        assert_eq!(
+            record.get("outcome").and_then(Json::as_str),
+            Some("complete")
+        );
+        assert_eq!(record.get("cache").and_then(Json::as_str), Some("miss"));
+    }
+    // Draining resets the ring: a second drain is empty with nothing
+    // newly dropped.
+    let again = client.call("e2", &ServiceRequest::Events).expect("call");
+    let doc = json::parse(again.payload.as_deref().expect("payload")).expect("events JSON");
+    assert_eq!(doc.get("dropped").and_then(Json::as_num), Some(0.0));
+    assert_eq!(
+        doc.get("events").and_then(Json::as_array).map(<[_]>::len),
+        Some(0)
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn trace_dir_writes_one_parseable_trace_per_completed_job() {
+    let dir = std::env::temp_dir().join(format!("sdfmem-trace-dir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    let (server, addr) = start(ServerConfig {
+        trace_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    for (i, graph) in ["graph t0\nedge A B 4 2\n", "graph t1\nedge A B 6 3\n"]
+        .iter()
+        .enumerate()
+    {
+        assert!(client
+            .call(&format!("t{i}"), &analyze(graph))
+            .expect("call")
+            .is_ok());
+    }
+    // A cache hit reuses stored bytes without re-running the job, so
+    // it must NOT add a trace file.
+    assert!(
+        client
+            .call("hit", &analyze("graph t0\nedge A B 4 2\n"))
+            .expect("call")
+            .cached
+    );
+    server.shutdown();
+    server.wait();
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read trace dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 2, "{files:?}");
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("read trace");
+        let parsed = json::parse(&text).expect("chrome trace JSON parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"service.job"), "{names:?}");
+        assert!(names.contains(&"parse"), "{names:?}");
+        assert!(names.contains(&"engine"), "{names:?}");
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_dir(&dir);
 }
