@@ -11,6 +11,8 @@ use sdf_core::error::SdfError;
 use sdf_core::graph::EdgeId;
 use sdf_lifetime::wig::{ConflictGraph, IntersectionGraph};
 
+use crate::provenance::{describe_placement, DecisionEngine, PlacementDecision, ProvenanceLog};
+
 /// The enumeration order fed to the allocator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum AllocationOrder {
@@ -131,6 +133,31 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
     order: AllocationOrder,
     policy: PlacementPolicy,
 ) -> Allocation {
+    allocate_inner(wig, order, policy, None)
+}
+
+/// Like [`allocate`], but also returns the full decision ledger: per
+/// buffer, in placement order, the probes made, the gaps rejected (with
+/// reasons) and the fragmentation words attributed to that decision.
+///
+/// The returned allocation is bit-identical to what [`allocate`] produces
+/// for the same inputs — provenance recording never influences placement.
+pub fn allocate_with_provenance<G: ConflictGraph + ?Sized>(
+    wig: &G,
+    order: AllocationOrder,
+    policy: PlacementPolicy,
+) -> (Allocation, ProvenanceLog) {
+    let mut log = ProvenanceLog::new(DecisionEngine::FirstFit { order, policy });
+    let allocation = allocate_inner(wig, order, policy, Some(&mut log));
+    (allocation, log)
+}
+
+fn allocate_inner<G: ConflictGraph + ?Sized>(
+    wig: &G,
+    order: AllocationOrder,
+    policy: PlacementPolicy,
+    mut provenance: Option<&mut ProvenanceLog>,
+) -> Allocation {
     let n = wig.len();
     let mut sequence: Vec<usize> = (0..n).collect();
     match order {
@@ -156,7 +183,7 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
     // placement loop instead of allocating per buffer.
     let mut ranges: Vec<(u64, u64)> = Vec::new();
     let mut range_merges = 0u64;
-    for &i in &sequence {
+    for (sequence_pos, &i) in sequence.iter().enumerate() {
         let size = wig.size(i);
         // Occupied ranges among already-placed overlapping neighbours.
         ranges.clear();
@@ -167,42 +194,39 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
                 .map(|&j| (offsets[j], offsets[j] + wig.size(j))),
         );
         ranges.sort_unstable();
-        // Coalesce touching/overlapping ranges in place so the fit scan
-        // sees each free gap exactly once.
-        if !ranges.is_empty() {
-            let mut write = 0;
-            for r in 1..ranges.len() {
-                if ranges[r].0 <= ranges[write].1 {
-                    ranges[write].1 = ranges[write].1.max(ranges[r].1);
-                    range_merges += 1;
-                } else {
-                    write += 1;
-                    ranges[write] = ranges[r];
-                }
-            }
-            ranges.truncate(write + 1);
-        }
+        range_merges += crate::provenance::coalesce_ranges(&mut ranges);
         let offset = match policy {
             PlacementPolicy::FirstFit => first_fit_offset(&ranges, size),
             PlacementPolicy::BestFit => best_fit_offset(&ranges, size),
         };
-        if traced {
+        if traced || provenance.is_some() {
             // One probe per conflicting range inspected plus the final
             // placement; a range starting below the chosen offset is a
             // candidate position the buffer could not take. The words in
             // [0, offset) not covered by any conflicting range are gaps
-            // this placement skipped over (fragmentation).
-            probes += ranges.len() as u64 + 1;
-            failures += ranges.iter().filter(|&&(s, _)| s < offset).count() as u64;
-            let mut covered = 0u64;
-            let mut cursor = 0u64;
-            for &(s, e) in &ranges {
-                let (s, e) = (s.min(offset).max(cursor), e.min(offset).max(cursor));
-                covered += e - s;
-                cursor = cursor.max(e);
+            // this placement skipped over (fragmentation). The audit
+            // derivation walks the same coalesced ranges, so the ledger
+            // attribution and the counter agree word for word.
+            let (rejected, decision_fragmentation) = describe_placement(&ranges, offset, size);
+            if traced {
+                probes += ranges.len() as u64 + 1;
+                failures += ranges.iter().filter(|&&(s, _)| s < offset).count() as u64;
+                fragmentation += decision_fragmentation;
+                sdf_trace::histogram_record("alloc.buffer_words", size);
             }
-            fragmentation += offset - covered;
-            sdf_trace::histogram_record("alloc.buffer_words", size);
+            if let Some(log) = provenance.as_deref_mut() {
+                log.decisions.push(PlacementDecision {
+                    buffer: i,
+                    sequence: sequence_pos,
+                    size,
+                    start: wig.start(i),
+                    duration: wig.duration(i),
+                    probes: ranges.len() as u64 + 1,
+                    rejected,
+                    offset,
+                    fragmentation: decision_fragmentation,
+                });
+            }
         }
         offsets[i] = offset;
         placed[i] = true;
@@ -213,6 +237,11 @@ pub fn allocate<G: ConflictGraph + ?Sized>(
         sdf_trace::counter_add("alloc.first_fit.probes", probes);
         sdf_trace::counter_add("alloc.first_fit.placement_failures", failures);
         sdf_trace::counter_add("alloc.first_fit.range_merges", range_merges);
+        // Both shapes on purpose: the gauge is last-writer-wins across
+        // engine candidates (handy for "what did the winning run waste"),
+        // while the counter accumulates per run so the regression sentinel
+        // gates every candidate's fragmentation, not just the last one.
+        sdf_trace::counter_add("alloc.first_fit.fragmentation", fragmentation);
         sdf_trace::gauge_set("alloc.fragmentation_words", fragmentation);
     }
     Allocation { offsets, total }
@@ -543,6 +572,85 @@ mod tests {
         assert_eq!(a.offset(3), 4);
         assert_eq!(a.total(), 5);
         validate_allocation(&w, &a).unwrap();
+    }
+
+    /// A WIG whose last (insertion-order) placement must skip a gap one
+    /// word too small: occupied [0,2) and [10,14), buffer size 9 lands at
+    /// 14 and owns 8 words of fragmentation.
+    fn fragmented_wig() -> IntersectionGraph {
+        wig_of(vec![
+            PeriodicLifetime::solid(0, 20, 2), // @0  -> [0,2)
+            PeriodicLifetime::solid(0, 5, 8),  // @2  -> [2,10)
+            PeriodicLifetime::solid(0, 20, 4), // @10 -> [10,14)
+            PeriodicLifetime::solid(6, 14, 9), // conflicts #0 and #2 only
+        ])
+    }
+
+    #[test]
+    fn provenance_never_changes_the_allocation() {
+        let w = fragmented_wig();
+        for order in [
+            AllocationOrder::DurationDescending,
+            AllocationOrder::StartAscending,
+            AllocationOrder::Insertion,
+        ] {
+            for policy in [PlacementPolicy::FirstFit, PlacementPolicy::BestFit] {
+                let plain = allocate(&w, order, policy);
+                let (audited, log) = allocate_with_provenance(&w, order, policy);
+                assert_eq!(plain, audited, "{order:?}/{policy:?}");
+                assert_eq!(log.decisions.len(), w.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_attributes_the_skipped_gap() {
+        let w = fragmented_wig();
+        let (a, log) =
+            allocate_with_provenance(&w, AllocationOrder::Insertion, PlacementPolicy::FirstFit);
+        assert_eq!(a.offset(3), 14);
+        let d = log.decision_for(3).unwrap();
+        assert_eq!(d.offset, 14);
+        assert_eq!(d.fragmentation, 8);
+        assert_eq!(d.rejected.len(), 1);
+        assert_eq!(d.rejected[0].start, 2);
+        assert_eq!(d.rejected[0].end, 10);
+        assert_eq!(
+            d.rejected[0].reason,
+            crate::provenance::GapRejection::TooSmall { shortfall: 1 }
+        );
+        assert_eq!(log.fragmentation_words(), 8);
+    }
+
+    #[test]
+    fn ledger_sum_matches_traced_instruments() {
+        let w = fragmented_wig();
+        let recorder = std::sync::Arc::new(sdf_trace::Recorder::new());
+        let (_, log) = sdf_trace::scoped(&recorder, || {
+            allocate_with_provenance(&w, AllocationOrder::Insertion, PlacementPolicy::FirstFit)
+        });
+        let snap = recorder.snapshot();
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "alloc.fragmentation_words")
+            .map(|&(_, v)| v)
+            .unwrap();
+        let counter = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "alloc.first_fit.fragmentation")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert_eq!(log.fragmentation_words(), gauge);
+        assert_eq!(gauge, counter);
+        assert_eq!(log.probe_total(), {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == "alloc.first_fit.probes")
+                .map(|&(_, v)| v)
+                .unwrap()
+        });
     }
 
     #[test]

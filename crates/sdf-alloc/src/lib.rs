@@ -30,11 +30,13 @@
 
 pub mod first_fit;
 pub mod optimal;
+pub mod provenance;
 pub mod stats;
 
 pub use first_fit::{
-    allocate, allocate_both_orders, range_of_edge, validate_allocation, Allocation,
-    AllocationOrder, AllocationReport, PlacementPolicy,
+    allocate, allocate_both_orders, allocate_with_provenance, range_of_edge, validate_allocation,
+    Allocation, AllocationOrder, AllocationReport, PlacementPolicy,
 };
-pub use optimal::{optimal_allocation, OptimalResult};
+pub use optimal::{optimal_allocation, optimal_allocation_with_provenance, OptimalResult};
+pub use provenance::{DecisionEngine, GapRejection, PlacementDecision, ProvenanceLog, RejectedGap};
 pub use stats::{allocation_stats, AllocationStats};

@@ -15,6 +15,9 @@
 use sdf_lifetime::wig::ConflictGraph;
 
 use crate::first_fit::{allocate, Allocation, AllocationOrder, PlacementPolicy};
+use crate::provenance::{
+    coalesce_ranges, describe_placement, DecisionEngine, PlacementDecision, ProvenanceLog,
+};
 
 /// Result of the exact search.
 #[derive(Clone, Debug)]
@@ -159,6 +162,66 @@ pub fn optimal_allocation<G: ConflictGraph + ?Sized>(
     })
 }
 
+/// Like [`optimal_allocation`], but also returns the decision ledger of
+/// the winning layout, reconstructed by replaying it in the search's
+/// placement order (descending size).
+///
+/// The ledger explains the *final* allocation — which gaps each buffer's
+/// placement skipped, and what each decision cost — not the search's
+/// internal backtracking.  Per-decision fragmentation attributions still
+/// sum to the layout's total fragmentation.
+pub fn optimal_allocation_with_provenance<G: ConflictGraph + ?Sized>(
+    graph: &G,
+    node_budget: u64,
+) -> Option<(OptimalResult, ProvenanceLog)> {
+    let result = optimal_allocation(graph, node_budget)?;
+    let log = replay_provenance(graph, &result.allocation);
+    Some((result, log))
+}
+
+/// Replays a finished allocation in descending-size order (the exact
+/// search's own placement order) and records one audit decision per
+/// buffer against the buffers replayed before it.
+fn replay_provenance<G: ConflictGraph + ?Sized>(
+    graph: &G,
+    allocation: &Allocation,
+) -> ProvenanceLog {
+    let n = graph.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(graph.size(i)));
+    let mut log = ProvenanceLog::new(DecisionEngine::Optimal);
+    let mut placed = vec![false; n];
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for (sequence, &i) in order.iter().enumerate() {
+        let size = graph.size(i);
+        ranges.clear();
+        ranges.extend(
+            graph
+                .conflicts(i)
+                .iter()
+                .filter(|&&j| placed[j])
+                .map(|&j| (allocation.offset(j), allocation.offset(j) + graph.size(j))),
+        );
+        ranges.sort_unstable();
+        coalesce_ranges(&mut ranges);
+        let offset = allocation.offset(i);
+        let (rejected, fragmentation) = describe_placement(&ranges, offset, size);
+        log.decisions.push(PlacementDecision {
+            buffer: i,
+            sequence,
+            size,
+            start: graph.start(i),
+            duration: graph.duration(i),
+            probes: ranges.len() as u64 + 1,
+            rejected,
+            offset,
+            fragmentation,
+        });
+        placed[i] = true;
+    }
+    log
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +290,27 @@ mod tests {
         let w = wig_of(vec![]);
         let r = optimal_allocation(&w, 10).unwrap();
         assert_eq!(r.allocation.total(), 0);
+    }
+
+    #[test]
+    fn provenance_replay_covers_every_buffer_and_sums() {
+        let w = wig_of(vec![
+            PeriodicLifetime::solid(0, 5, 3),
+            PeriodicLifetime::solid(1, 2, 7),
+            PeriodicLifetime::solid(4, 4, 2),
+            PeriodicLifetime::solid(6, 3, 5),
+            PeriodicLifetime::solid(2, 6, 1),
+        ]);
+        let (r, log) = optimal_allocation_with_provenance(&w, 10_000_000).unwrap();
+        validate_allocation(&w, &r.allocation).unwrap();
+        assert_eq!(log.decisions.len(), w.len());
+        // Every buffer appears exactly once, with its final offset.
+        for d in &log.decisions {
+            assert_eq!(d.offset, r.allocation.offset(d.buffer));
+        }
+        // Replayed in descending size: 7, 5, 3, 2, 1.
+        let sizes: Vec<u64> = log.decisions.iter().map(|d| d.size).collect();
+        assert_eq!(sizes, vec![7, 5, 3, 2, 1]);
     }
 
     #[test]

@@ -23,8 +23,8 @@ use sdf_lifetime::wig::{ConflictGraph, IntersectionGraph};
 use sdf_regress::ReportFormat as DiffFormat;
 use sdf_sched::{apgan, dppo, rpmc, sdppo, LoopVariant};
 use sdf_service::{
-    execute_request, Client, MemoryModel, OrderMethod, ResponsePayload, Server, ServerConfig,
-    ServiceRequest, ServiceResponse,
+    execute_request, Client, ExplainReport, MemoryModel, OrderMethod, ResponsePayload, Server,
+    ServerConfig, ServiceRequest, ServiceResponse,
 };
 use sdfmem::engine::AnalysisBuilder;
 use sdfmem::sentinel::PERTURB_ENV;
@@ -77,6 +77,8 @@ pub enum SubmitKind {
     Plan,
     /// Lower and run the interpreter oracle.
     Simulate,
+    /// Build the allocation-provenance report.
+    Explain,
     /// Capture a regression-sentinel baseline profile.
     Baseline,
     /// Fetch the daemon's `service.*` counters, gauges and histogram
@@ -208,6 +210,23 @@ pub enum Command {
         /// Output format (the JSON form embeds the executable plan).
         report: ReportFormat,
     },
+    /// `sdfmem explain <file> [--buffer NAME] [--report FMT]
+    /// [--trace OUT]` — allocation provenance: per-buffer placement
+    /// stories (probes, rejected gaps, fragmentation attribution) and
+    /// the pool occupancy timeline.
+    Explain {
+        /// Graph file path.
+        file: String,
+        /// Restrict the text story to one buffer (`SRC->SNK` actor
+        /// names).
+        buffer: Option<String>,
+        /// Output format (`json` prints the `allocation_explain`
+        /// document).
+        report: ReportFormat,
+        /// Write a chrome://tracing JSON trace with pool-occupancy
+        /// counter tracks to this path.
+        trace: Option<String>,
+    },
     /// `sdfmem gantt <file> [--method M]` — lifetime chart.
     Gantt {
         /// Graph file path.
@@ -294,6 +313,9 @@ COMMANDS:
     codegen   emit the C implementation
     simulate  execute the plan under the interpreter oracle; exit 1 on a
               violation (token leak, poisoned read, live-buffer overlap)
+    explain   allocation provenance: per-buffer placement stories (probes,
+              rejected gaps, fragmentation attribution) and the pool
+              occupancy timeline
     gantt     ASCII lifetime chart of all buffers
     dot       Graphviz export of the graph
     serve     run the sdfmemd daemon: line-delimited JSON service requests
@@ -308,12 +330,17 @@ COMMANDS:
 OPTIONS:
     --method apgan|rpmc      topological-sort heuristic (default apgan)
     --model  shared|nonshared  buffer model (default shared)
-    --report text|json       analyze/simulate output format (default text)
+    --report text|json       analyze/simulate/explain output format
+                             (default text)
     --standalone             codegen: emit stub actors + main (runnable program)
     --serial                 analyze: evaluate candidates serially
     --full                   analyze/profile/baseline: sweep every loop-optimizer variant
     --trace <out>            analyze: write a chrome://tracing JSON trace
-                             (JSONL when <out> ends in .jsonl)
+                             (JSONL when <out> ends in .jsonl);
+                             explain: same, plus pool-occupancy counter
+                             tracks
+    --buffer <name>          explain: restrict the story to one buffer
+                             (SRC->SNK actor names)
     --out <path>             baseline: write the profile here (default stdout)
     --repeats <n>            baseline: timing repeats (default 3)
     --format text|json|md    compare: report format (default text)
@@ -327,8 +354,8 @@ OPTIONS:
                              listening
     --trace-dir <dir>        serve: write one chrome://tracing JSON file
                              per completed job into this directory
-    --kind <op>              submit: analyze|plan|simulate|baseline|stats|
-                             metrics|events|shutdown (default analyze)
+    --kind <op>              submit: analyze|plan|simulate|explain|baseline|
+                             stats|metrics|events|shutdown (default analyze)
     --file <graph>           submit: graph file for graph-backed kinds
     --interval-ms <n>        top: milliseconds between polls (default 1000)
     --count <n>              top: frames to render before exiting
@@ -372,6 +399,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "allocate" | "gantt" => &["--method"],
         "codegen" => &["--method", "--model", "--standalone"],
         "simulate" => &["--method", "--model", "--report"],
+        "explain" => &["--buffer", "--report", "--trace"],
         "serve" => &[
             "--workers",
             "--cache-cap",
@@ -411,6 +439,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut serial = false;
     let mut full = false;
     let mut trace = None;
+    let mut buffer = None;
     let mut out = None;
     let mut repeats = 3u32;
     let mut gate = false;
@@ -472,6 +501,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     None => return Err("missing --trace output path".to_string()),
                 }
             }
+            "--buffer" => {
+                buffer = match it.next() {
+                    Some(name) => Some(name.clone()),
+                    None => return Err("missing --buffer name".to_string()),
+                }
+            }
             "--out" => {
                 out = match it.next() {
                     Some(path) => Some(path.clone()),
@@ -528,6 +563,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     Some("analyze") => SubmitKind::Analyze,
                     Some("plan") => SubmitKind::Plan,
                     Some("simulate") => SubmitKind::Simulate,
+                    Some("explain") => SubmitKind::Explain,
                     Some("baseline") => SubmitKind::Baseline,
                     Some("stats") => SubmitKind::Stats,
                     Some("metrics") => SubmitKind::Metrics,
@@ -603,6 +639,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             model,
             report,
         }),
+        "explain" => Ok(Command::Explain {
+            file,
+            buffer,
+            report,
+            trace,
+        }),
         "gantt" => Ok(Command::Gantt { file, method }),
         "dot" => Ok(Command::Dot { file }),
         "serve" => Ok(Command::Serve {
@@ -641,6 +683,7 @@ const KNOWN_OPTIONS: &[&str] = &[
     "--serial",
     "--full",
     "--trace",
+    "--buffer",
     "--out",
     "--repeats",
     "--gate",
@@ -1109,6 +1152,9 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                     method: method.service(),
                     model: model.service(),
                 },
+                SubmitKind::Explain => ServiceRequest::Explain {
+                    graph: graph(file)?,
+                },
                 SubmitKind::Baseline => ServiceRequest::Baseline {
                     graph: graph(file)?,
                     repeats: *repeats,
@@ -1139,6 +1185,53 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                 }
             }
         }
+        Command::Explain {
+            file,
+            buffer,
+            report,
+            trace,
+        } => {
+            let request = ServiceRequest::Explain {
+                graph: read_input(file)?,
+            };
+            let recorder = trace
+                .as_ref()
+                .map(|_| std::sync::Arc::new(sdf_trace::Recorder::new()));
+            let response = match &recorder {
+                None => execute_request(&request),
+                Some(r) => sdf_trace::scoped(r, || execute_request(&request)),
+            };
+            let ResponsePayload::Explain { report: explain } =
+                into_payload(response, &[("graph", file)])?
+            else {
+                unreachable!("explain request produced a foreign payload");
+            };
+            if let (Some(path), Some(recorder)) = (trace, &recorder) {
+                let text = recorder
+                    .snapshot()
+                    .to_chrome_trace_json_with_tracks(&occupancy_tracks(&explain));
+                std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            match report {
+                ReportFormat::Json => {
+                    let _ = writeln!(out, "{}", explain.to_json());
+                }
+                ReportFormat::Text => match explain.render_text(buffer.as_deref()) {
+                    Some(text) => out.push_str(&text),
+                    None => {
+                        let known: Vec<&str> =
+                            explain.ledger.iter().map(|e| e.buffer.as_str()).collect();
+                        let _ = writeln!(
+                            out,
+                            "no buffer named `{}` in {file} (buffers: {})",
+                            buffer.as_deref().unwrap_or(""),
+                            known.join(", ")
+                        );
+                        code = 1;
+                    }
+                },
+            }
+        }
         Command::Top {
             addr,
             interval_ms,
@@ -1156,11 +1249,28 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
     Ok((out, code))
 }
 
+/// Pool-occupancy counter tracks for the explain trace export: one
+/// point per timeline sample, with the logical schedule clock mapped
+/// onto the export's microsecond axis (1 step = 1µs).
+fn occupancy_tracks(report: &ExplainReport) -> Vec<sdf_trace::CounterTrack> {
+    let series = |name: &str, value: fn(&sdf_service::ExplainTimelinePoint) -> u64| {
+        sdf_trace::CounterTrack {
+            name: name.to_string(),
+            points: report.timeline.iter().map(|p| (p.time, value(p))).collect(),
+        }
+    };
+    vec![
+        series("pool.live_words", |p| p.live_words),
+        series("pool.occupied_words", |p| p.occupied_words),
+    ]
+}
+
 /// Per-op latency row: `(op, count, (lo, hi, count) bucket triples)`.
 type OpLatencyRow = (String, u64, Vec<(u64, u64, u64)>);
 
 /// One parsed `service_stats` sample, reduced to what the `top` table
 /// shows.
+#[derive(Debug)]
 struct TopSample {
     requests: u64,
     hits: u64,
@@ -1185,7 +1295,15 @@ fn parse_top_sample(payload: &str) -> Result<TopSample, String> {
             .unwrap_or(0.0) as u64
     };
     let mut ops = Vec::new();
-    if let Some(histograms) = doc.get("histograms").and_then(Json::members) {
+    {
+        let histograms = doc
+            .get("histograms")
+            .and_then(Json::members)
+            .ok_or_else(|| {
+                "stats payload has no \"histograms\" table \
+                 (daemon speaking an older schema?)"
+                    .to_string()
+            })?;
         for (name, h) in histograms {
             let Some(op) = name
                 .strip_prefix("service.op.")
@@ -1265,17 +1383,16 @@ fn render_top_frame(addr: &str, frame: u64, sample: &TopSample, rate: Option<f64
 }
 
 /// Polls `addr`'s `stats` op every `interval_ms` and feeds rendered
-/// frames to `sink`; `count == 0` keeps polling until the daemon goes
-/// away. Returns the number of frames rendered.
-///
-/// Once at least one frame has rendered, a transport failure is the
-/// expected way an open-ended watch ends (the daemon shut down) and
-/// finishes cleanly; a failure on the *first* poll is an error.
+/// frames to `sink`; `count == 0` keeps polling until the requested
+/// frame count is reached. Returns the number of frames rendered.
 ///
 /// # Errors
 ///
-/// A human-readable message when the daemon cannot be reached, answers
-/// with a non-`ok` envelope, or returns a malformed stats payload.
+/// A human-readable message when the daemon cannot be reached, drops
+/// the connection mid-session (before the requested frames were
+/// rendered), answers with a non-`ok` envelope, or returns a stats
+/// payload without its `histograms` table. Every path reports which
+/// daemon failed and how — the caller maps these to exit code 2.
 pub fn top_frames(
     addr: &str,
     interval_ms: u64,
@@ -1300,10 +1417,11 @@ pub fn top_frames(
                 return Err(format!("stats request failed: {detail}"));
             }
             Err(e) if frames > 0 => {
-                sink(&format!("sdfmem top: daemon went away ({e})\n"));
-                return Ok(frames);
+                return Err(format!(
+                    "daemon at {addr} dropped the connection after {frames} frame(s): {e}"
+                ));
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(format!("cannot poll daemon at {addr}: {e}")),
         };
         let now = std::time::Instant::now();
         #[allow(clippy::cast_precision_loss)]
@@ -2010,6 +2128,187 @@ mod tests {
     }
 
     #[test]
+    fn parse_explain_command() {
+        assert_eq!(
+            parse_args(&args(&["explain", "g.sdf"])).unwrap(),
+            Command::Explain {
+                file: "g.sdf".into(),
+                buffer: None,
+                report: ReportFormat::Text,
+                trace: None
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "explain", "g.sdf", "--buffer", "A->B", "--report", "json", "--trace", "t.json"
+            ]))
+            .unwrap(),
+            Command::Explain {
+                file: "g.sdf".into(),
+                buffer: Some("A->B".into()),
+                report: ReportFormat::Json,
+                trace: Some("t.json".into())
+            }
+        );
+        let missing = parse_args(&args(&["explain", "g.sdf", "--buffer"])).unwrap_err();
+        assert!(missing.contains("--buffer"), "{missing}");
+        let parsed = parse_args(&args(&["submit", "a:1", "--kind", "explain"])).unwrap();
+        let Command::Submit { kind, .. } = parsed else {
+            panic!("expected a submit command");
+        };
+        assert_eq!(kind, SubmitKind::Explain);
+    }
+
+    #[test]
+    fn end_to_end_explain() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let trace_path = path.with_extension("explain-trace.json");
+        let (text, code) = execute(&Command::Explain {
+            file: file.clone(),
+            buffer: None,
+            report: ReportFormat::Text,
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("allocation provenance for `fig2`"), "{text}");
+        assert!(text.contains("`A->B`"), "{text}");
+        assert!(text.contains("pool occupancy"), "{text}");
+        // The trace carries Perfetto counter tracks for both occupancy
+        // series.
+        let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace_text.contains("\"ph\":\"C\""), "{trace_text}");
+        assert!(trace_text.contains("pool.live_words"), "{trace_text}");
+        assert!(trace_text.contains("pool.occupied_words"), "{trace_text}");
+        sdf_trace::json::parse(&trace_text).expect("trace is valid JSON");
+        let _ = std::fs::remove_file(&trace_path);
+        // The JSON form is the allocation_explain document and its
+        // ledger/timeline invariants hold end to end.
+        let (json_out, code) = execute(&Command::Explain {
+            file: file.clone(),
+            buffer: None,
+            report: ReportFormat::Json,
+            trace: None,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{json_out}");
+        let doc = sdf_trace::json::parse(json_out.trim()).expect("valid JSON");
+        use sdf_trace::json::Json;
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("allocation_explain")
+        );
+        let total = doc
+            .get("fragmentation_words")
+            .and_then(Json::as_num)
+            .unwrap();
+        let ledger_sum: f64 = doc
+            .get("ledger")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| e.get("fragmentation").and_then(Json::as_num).unwrap())
+            .sum();
+        assert_eq!(ledger_sum, total);
+        assert_eq!(
+            doc.get("timeline")
+                .and_then(|t| t.get("peak_occupied"))
+                .and_then(Json::as_num),
+            doc.get("pool_total").and_then(Json::as_num)
+        );
+        // A buffer filter narrows the story; an unknown name is a
+        // domain failure (exit 1), not a usage error.
+        let (only, code) = execute(&Command::Explain {
+            file: file.clone(),
+            buffer: Some("B->C".into()),
+            report: ReportFormat::Text,
+            trace: None,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{only}");
+        assert!(only.contains("`B->C`"), "{only}");
+        assert!(!only.contains("`A->B`"), "{only}");
+        let (missing, code) = execute(&Command::Explain {
+            file,
+            buffer: Some("X->Y".into()),
+            report: ReportFormat::Text,
+            trace: None,
+        })
+        .unwrap();
+        assert_eq!(code, 1, "{missing}");
+        assert!(missing.contains("no buffer named `X->Y`"), "{missing}");
+        assert!(missing.contains("A->B"), "{missing}");
+    }
+
+    /// A single-connection stand-in daemon: answers each scripted line
+    /// in order, then drops the connection.
+    fn fake_daemon(responses: Vec<String>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            for response in responses {
+                let mut line = String::new();
+                if std::io::BufRead::read_line(&mut reader, &mut line).unwrap_or(0) == 0 {
+                    return;
+                }
+                let _ = std::io::Write::write_all(&mut stream, response.as_bytes());
+                let _ = std::io::Write::write_all(&mut stream, b"\n");
+                let _ = std::io::Write::flush(&mut stream);
+            }
+            // Dropping the socket here is the mid-session hangup.
+        });
+        (addr, handle)
+    }
+
+    fn stats_envelope(payload: &str) -> String {
+        format!(
+            "{{\"kind\":\"service_response\",\"schema_version\":{},\"request_id\":\"t\",\
+             \"status\":\"ok\",\"cached\":false,\"payload\":{payload}}}",
+            sdf_trace::SCHEMA_VERSION
+        )
+    }
+
+    #[test]
+    fn top_reports_a_mid_session_hangup_as_a_transport_error() {
+        let payload = format!(
+            "{{\"kind\":\"service_stats\",\"schema_version\":{},\"counters\":{{}},\
+             \"gauges\":{{}},\"histograms\":{{}}}}",
+            sdf_trace::SCHEMA_VERSION
+        );
+        let (addr, handle) = fake_daemon(vec![stats_envelope(&payload)]);
+        // One frame renders, then the daemon hangs up before the second
+        // of three requested frames: a transport error (exit 2 in
+        // main), not a clean finish and not a panic.
+        let mut sink_frames = 0u64;
+        let err = top_frames(&addr, 1, 3, &mut |_| sink_frames += 1).unwrap_err();
+        assert!(err.contains("dropped the connection"), "{err}");
+        assert!(err.contains(&addr), "{err}");
+        assert_eq!(sink_frames, 1);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn top_rejects_a_stats_payload_without_histograms() {
+        let truncated = format!(
+            "{{\"kind\":\"service_stats\",\"schema_version\":{},\"counters\":{{}},\
+             \"gauges\":{{}}}}",
+            sdf_trace::SCHEMA_VERSION
+        );
+        let err = parse_top_sample(&truncated).unwrap_err();
+        assert!(err.contains("histograms"), "{err}");
+        // And through the polling loop: the malformed payload is an
+        // error on the very first frame.
+        let (addr, handle) = fake_daemon(vec![stats_envelope(&truncated)]);
+        let err = top_frames(&addr, 1, 1, &mut |_| {}).unwrap_err();
+        assert!(err.contains("histograms"), "{err}");
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn options_that_belong_to_other_commands_are_rejected() {
         // The exit-code/flag contract: every command accepts exactly
         // its documented options, and the error names the stray flag.
@@ -2034,6 +2333,10 @@ mod tests {
             (&["submit", "a:1", "--trace-dir", "d"], "--trace-dir"),
             (&["top", "a:1", "--workers", "2"], "--workers"),
             (&["top", "a:1", "--kind", "stats"], "--kind"),
+            (&["explain", "g", "--method", "apgan"], "--method"),
+            (&["explain", "g", "--full"], "--full"),
+            (&["analyze", "g", "--buffer", "b"], "--buffer"),
+            (&["simulate", "g", "--buffer", "b"], "--buffer"),
         ];
         for (argv, flag) in cases {
             let err = parse_args(&args(argv)).unwrap_err();

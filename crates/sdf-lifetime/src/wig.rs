@@ -16,23 +16,35 @@ use sdf_core::repetitions::RepetitionsVector;
 use crate::interval::{buffer_lifetime, PeriodicLifetime};
 use crate::tree::ScheduleTree;
 
-/// Start-sorted active-set sweep shared by the coarse and fine
-/// intersection graphs.
+/// One event of the start-sorted envelope sweep.
+pub(crate) enum SweepEvent<'a> {
+    /// Buffer `index` enters at `time` (its earliest start); `active`
+    /// holds the `(envelope_end, index)` pairs of every buffer whose
+    /// envelope contains `time`, *excluding* the entering buffer.
+    Enter {
+        index: usize,
+        time: u64,
+        active: &'a BinaryHeap<Reverse<(u64, usize)>>,
+    },
+    /// Buffer `index` retires at `time` (its envelope end).
+    Retire { index: usize, time: u64 },
+}
+
+/// Start-sorted active-set envelope sweep shared by the intersection
+/// graphs and the pool occupancy timeline.
 ///
 /// Buffers enter in ascending `start` order; a min-heap keyed on envelope
-/// end retires a buffer as soon as the sweep point passes its end, so each
-/// entering buffer runs the precise `test` against exactly the buffers
-/// whose envelopes contain its start.  The candidate set is the set of
-/// envelope-overlapping pairs, so the adjacency is identical to the
-/// brute-force all-pairs construction while doing `O(n log n + candidates)`
-/// work instead of `Θ(n²)`.
-pub(crate) fn sweep_adjacency(
+/// end retires a buffer as soon as the sweep point passes its end.  The
+/// `visit` callback sees every enter and retire event in sweep order
+/// (retirements with `end <= start` fire before the entering buffer, and
+/// all remaining buffers are retired at the end), doing
+/// `O(n log n + events)` work instead of `Θ(n²)`.
+pub(crate) fn envelope_sweep(
     n: usize,
     start: impl Fn(usize) -> u64,
     end: impl Fn(usize) -> u64,
-    mut test: impl FnMut(usize, usize) -> bool,
-) -> Vec<Vec<usize>> {
-    let mut adjacency = vec![Vec::new(); n];
+    mut visit: impl FnMut(SweepEvent),
+) {
     let mut by_start: Vec<usize> = (0..n).collect();
     by_start.sort_by_key(|&i| start(i));
     // Buffers whose envelope end lies beyond the sweep point, cheapest
@@ -40,17 +52,47 @@ pub(crate) fn sweep_adjacency(
     let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     for &i in &by_start {
         let s = start(i);
-        while active.peek().is_some_and(|&Reverse((e, _))| e <= s) {
-            active.pop();
-        }
-        for &Reverse((_, j)) in active.iter() {
-            if test(j, i) {
-                adjacency[i].push(j);
-                adjacency[j].push(i);
+        while let Some(&Reverse((e, j))) = active.peek() {
+            if e > s {
+                break;
             }
+            active.pop();
+            visit(SweepEvent::Retire { index: j, time: e });
         }
+        visit(SweepEvent::Enter {
+            index: i,
+            time: s,
+            active: &active,
+        });
         active.push(Reverse((end(i), i)));
     }
+    while let Some(Reverse((e, j))) = active.pop() {
+        visit(SweepEvent::Retire { index: j, time: e });
+    }
+}
+
+/// Adjacency construction on top of [`envelope_sweep`]: each entering
+/// buffer runs the precise `test` against exactly the buffers whose
+/// envelopes contain its start.  The candidate set is the set of
+/// envelope-overlapping pairs, so the adjacency is identical to the
+/// brute-force all-pairs construction.
+pub(crate) fn sweep_adjacency(
+    n: usize,
+    start: impl Fn(usize) -> u64,
+    end: impl Fn(usize) -> u64,
+    mut test: impl FnMut(usize, usize) -> bool,
+) -> Vec<Vec<usize>> {
+    let mut adjacency = vec![Vec::new(); n];
+    envelope_sweep(n, start, end, |event| {
+        if let SweepEvent::Enter { index, active, .. } = event {
+            for &Reverse((_, j)) in active.iter() {
+                if test(j, index) {
+                    adjacency[index].push(j);
+                    adjacency[j].push(index);
+                }
+            }
+        }
+    });
     for adj in &mut adjacency {
         adj.sort_unstable();
     }

@@ -35,6 +35,7 @@ use sdf_trace::{CacheStatus, FlightRecord, Histogram, StageSpan};
 use sdfmem::engine::{AnalysisBuilder, StageTimings, Synthesis};
 use sdfmem::sentinel::{capture_profile, CaptureOptions};
 
+use crate::explain::ExplainReport;
 use crate::hash::fingerprint;
 
 /// Topological-sort heuristic selector shared by plan-shaped requests.
@@ -152,7 +153,7 @@ impl ServiceError {
         }
     }
 
-    fn engine(message: impl Into<String>) -> ServiceError {
+    pub(crate) fn engine(message: impl Into<String>) -> ServiceError {
         ServiceError {
             code: ErrorCode::EngineError,
             input: None,
@@ -196,6 +197,12 @@ pub enum ServiceRequest {
         method: OrderMethod,
         /// Buffer model.
         model: MemoryModel,
+    },
+    /// Build the allocation-provenance report for the default shared
+    /// lowering (the `allocation_explain` document).
+    Explain {
+        /// Graph text.
+        graph: String,
     },
     /// Capture a regression-sentinel baseline profile. Never cached:
     /// the profile embeds wall-clock timing statistics.
@@ -241,6 +248,7 @@ impl ServiceRequest {
             ServiceRequest::Analyze { .. } => "analyze",
             ServiceRequest::Plan { .. } => "plan",
             ServiceRequest::Simulate { .. } => "simulate",
+            ServiceRequest::Explain { .. } => "explain",
             ServiceRequest::Baseline { .. } => "baseline",
             ServiceRequest::Compare { .. } => "compare",
             ServiceRequest::Stats => "stats",
@@ -252,15 +260,17 @@ impl ServiceRequest {
 
     /// Whether results of this request may be served from the cache.
     ///
-    /// `analyze`, `plan` and `simulate` are deterministic functions of
-    /// the canonical request. `baseline` embeds timing statistics and
-    /// `compare` is cheap pure post-processing; neither is cached.
+    /// `analyze`, `plan`, `simulate` and `explain` are deterministic
+    /// functions of the canonical request. `baseline` embeds timing
+    /// statistics and `compare` is cheap pure post-processing; neither
+    /// is cached.
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
             ServiceRequest::Analyze { .. }
                 | ServiceRequest::Plan { .. }
                 | ServiceRequest::Simulate { .. }
+                | ServiceRequest::Explain { .. }
         )
     }
 
@@ -311,6 +321,10 @@ impl ServiceRequest {
                     model.as_str(),
                     sdf_core::io::to_text(&g)
                 ))
+            }
+            ServiceRequest::Explain { graph } => {
+                let g = parse_graph_input(graph)?;
+                Ok(format!("explain\n{}", sdf_core::io::to_text(&g)))
             }
             _ => Err(ServiceError::bad_request(format!(
                 "`{}` requests are not content-addressable",
@@ -368,6 +382,9 @@ impl ServiceRequest {
                     model.as_str(),
                     escape(graph)
                 );
+            }
+            ServiceRequest::Explain { graph } => {
+                let _ = write!(s, ",\"graph\":\"{}\"", escape(graph));
             }
             ServiceRequest::Baseline {
                 graph,
@@ -478,6 +495,7 @@ impl ServiceRequest {
                 method: method()?,
                 model: model()?,
             },
+            "explain" => ServiceRequest::Explain { graph: graph()? },
             "baseline" => {
                 let repeats = match doc.get("repeats").and_then(Json::as_num) {
                     None => 3,
@@ -550,6 +568,11 @@ pub enum ResponsePayload {
         /// Oracle result (`Err` carries the violation message).
         exec: Result<ExecReport, String>,
     },
+    /// `explain`: the allocation-provenance report.
+    Explain {
+        /// The report (ledger, occupancy timeline, waste breakdown).
+        report: Box<ExplainReport>,
+    },
     /// `baseline`: the captured profile.
     Baseline {
         /// The profile.
@@ -598,6 +621,7 @@ impl ResponsePayload {
             ResponsePayload::Simulate { plan, exec } => {
                 simulation_report_json(plan, exec).trim_end().to_string()
             }
+            ResponsePayload::Explain { report } => report.to_json(),
             ResponsePayload::Baseline { profile } => profile.to_json().trim_end().to_string(),
             ResponsePayload::Compare { report } => {
                 report.render(DiffFormat::Json).trim_end().to_string()
@@ -1076,6 +1100,13 @@ fn execute_request_inner(
             Ok(ResponsePayload::Simulate {
                 plan: Box::new(plan),
                 exec,
+            })
+        }
+        ServiceRequest::Explain { graph } => {
+            let g = clock.time("parse", || parse_graph_input(graph))?;
+            let report = clock.time("explain", || ExplainReport::build(&g))?;
+            Ok(ResponsePayload::Explain {
+                report: Box::new(report),
             })
         }
         ServiceRequest::Baseline {

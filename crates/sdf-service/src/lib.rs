@@ -47,6 +47,7 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+pub mod explain;
 pub mod hash;
 pub mod job;
 pub mod server;
@@ -58,6 +59,7 @@ pub use api::{
 };
 pub use cache::{CacheLookup, ResultCache};
 pub use client::{Client, WireError, WireResponse};
+pub use explain::{ExplainLedgerEntry, ExplainRejectedGap, ExplainReport, ExplainTimelinePoint};
 pub use hash::fingerprint;
 pub use job::{Job, JobOutcome, JobQueue, JobState};
 pub use server::{Server, ServerConfig};

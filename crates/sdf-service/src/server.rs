@@ -127,6 +127,7 @@ fn op_latency_histogram(op: &str) -> &'static str {
         "analyze" => "service.op.analyze.latency",
         "plan" => "service.op.plan.latency",
         "simulate" => "service.op.simulate.latency",
+        "explain" => "service.op.explain.latency",
         "baseline" => "service.op.baseline.latency",
         "compare" => "service.op.compare.latency",
         "stats" => "service.op.stats.latency",

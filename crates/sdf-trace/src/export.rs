@@ -99,6 +99,21 @@ fn histogram_buckets_json(h: &Histogram) -> String {
     out
 }
 
+/// A counter track for the chrome trace export: a named step series of
+/// `(timestamp, value)` points rendered by Perfetto as a filled counter
+/// lane (`"ph":"C"` events) alongside the span tracks.
+///
+/// Timestamps are in the export's native microseconds; callers plotting
+/// logical (schedule-clock) series rather than wall time simply use one
+/// microsecond per logical step.
+#[derive(Clone, Debug)]
+pub struct CounterTrack {
+    /// Track (and counter series) name.
+    pub name: String,
+    /// `(timestamp_us, value)` step points, ascending in time.
+    pub points: Vec<(u64, u64)>,
+}
+
 impl TraceSnapshot {
     /// Renders the snapshot as a chrome://tracing `trace_events` JSON
     /// document (object form). Each completed span becomes a `"ph":"X"`
@@ -107,16 +122,26 @@ impl TraceSnapshot {
     /// histograms ride along as top-level sections that Perfetto
     /// ignores but downstream tools can parse.
     pub fn to_chrome_trace_json(&self) -> String {
+        self.to_chrome_trace_json_with_tracks(&[])
+    }
+
+    /// Like [`to_chrome_trace_json`](Self::to_chrome_trace_json), but
+    /// additionally renders each [`CounterTrack`] as a series of
+    /// `"ph":"C"` counter events, which Perfetto draws as a dedicated
+    /// counter lane (used for the pool occupancy timeline).
+    pub fn to_chrome_trace_json_with_tracks(&self, tracks: &[CounterTrack]) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
             "{{\"schema_version\":{},\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
             self.schema_version
         );
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for e in &self.events {
+            if !first {
                 out.push(',');
             }
+            first = false;
             let _ = write!(
                 out,
                 "{{\"name\":\"{}\",\"cat\":\"sdf\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{}}}",
@@ -126,6 +151,22 @@ impl TraceSnapshot {
                 json_us(e.dur_ns),
                 args_object(&e.args),
             );
+        }
+        for track in tracks {
+            for &(ts, value) in &track.points {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"sdf\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\"args\":{{\"{}\":{}}}}}",
+                    escape(&track.name),
+                    ts,
+                    escape(&track.name),
+                    value,
+                );
+            }
         }
         let _ = write!(
             out,
@@ -438,6 +479,42 @@ mod tests {
             .unwrap();
         assert_eq!(hist.get("count").and_then(Json::as_num), Some(2.0));
         assert_eq!(hist.get("sum").and_then(Json::as_num), Some(103.0));
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_events() {
+        let snap = sample();
+        let tracks = vec![CounterTrack {
+            name: "pool.occupied_words".to_string(),
+            points: vec![(0, 40), (4, 60), (8, 0)],
+        }];
+        let doc = parse(&snap.to_chrome_trace_json_with_tracks(&tracks)).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // 4 spans + 3 counter points.
+        assert_eq!(events.len(), 7);
+        let c = &events[4];
+        assert_eq!(c.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            c.get("name").and_then(Json::as_str),
+            Some("pool.occupied_words")
+        );
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("pool.occupied_words"))
+                .and_then(Json::as_num),
+            Some(40.0)
+        );
+        let last = &events[6];
+        assert_eq!(last.get("ts").and_then(Json::as_num), Some(8.0));
+        // Tracks on an empty snapshot still produce a valid document.
+        let empty = TraceSnapshot {
+            schema_version: crate::SCHEMA_VERSION,
+            events: vec![],
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        parse(&empty.to_chrome_trace_json_with_tracks(&tracks)).expect("valid JSON");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod flight;
 pub mod json;
 mod metrics;
 
-pub use export::TraceSnapshot;
+pub use export::{CounterTrack, TraceSnapshot};
 pub use flight::{CacheStatus, FlightRecord, FlightRecorder, StageSpan};
 pub use metrics::{quantile_from_buckets, Histogram};
 
@@ -84,8 +84,13 @@ use std::time::Instant;
 /// gained histogram summaries, and the daemon grew the
 /// `service_metrics` (Prometheus-style exposition) and `service_events`
 /// (flight-recorder drain) documents plus the `metrics` / `events` ops
-/// (another deliberate baseline refresh).
-pub const SCHEMA_VERSION: u32 = 7;
+/// (another deliberate baseline refresh); `8` added the allocation
+/// provenance layer: the `allocation_explain` document (`sdfmem
+/// explain`, the daemon's `explain` op), the per-run
+/// `alloc.first_fit.fragmentation` counter next to the last-writer-wins
+/// gauge, and Perfetto counter-track (`"ph":"C"`) events in the chrome
+/// trace export (another deliberate baseline refresh).
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.

@@ -60,6 +60,12 @@ fn every_document_kind_opens_with_the_unified_envelope() {
             }),
         ),
         (
+            "allocation_explain",
+            payload_of(&ServiceRequest::Explain {
+                graph: FIG2.to_string(),
+            }),
+        ),
+        (
             "baseline_profile",
             payload_of(&ServiceRequest::Baseline {
                 graph: FIG2.to_string(),

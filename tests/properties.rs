@@ -137,6 +137,66 @@ proptest! {
     }
 
     #[test]
+    fn provenance_ledger_and_occupancy_invariants(seed in 0u64..500, size in 3usize..24) {
+        use sdfmem::alloc::allocate_with_provenance;
+        use sdfmem::lifetime::occupancy::OccupancyTimeline;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graph = random_sdf_graph(&RandomGraphConfig::paper_style(size), &mut rng);
+        let q = RepetitionsVector::compute(&graph).expect("consistent by construction");
+        let order = apgan(&graph, &q).expect("acyclic");
+        let shared = sdppo(&graph, &q, &order).expect("sdppo");
+        let tree = ScheduleTree::build(&graph, &q, &shared.tree).expect("tree");
+        let wig = IntersectionGraph::build(&graph, &q, &tree);
+        for (ord, pol) in [
+            (AllocationOrder::DurationDescending, PlacementPolicy::FirstFit),
+            (AllocationOrder::StartAscending, PlacementPolicy::FirstFit),
+            (AllocationOrder::Insertion, PlacementPolicy::FirstFit),
+            (AllocationOrder::DurationDescending, PlacementPolicy::BestFit),
+        ] {
+            // The audit layer is pure observation: same offsets as the
+            // plain allocator.
+            let plain = allocate(&wig, ord, pol);
+            let recorder = std::sync::Arc::new(sdfmem::trace::Recorder::new());
+            let (alloc, log) = sdfmem::trace::scoped(&recorder, || {
+                allocate_with_provenance(&wig, ord, pol)
+            });
+            prop_assert_eq!(plain.offsets(), alloc.offsets());
+
+            // Ledger invariant: the per-decision fragmentation
+            // attributions sum exactly to the run's traced total.
+            let snap = recorder.snapshot();
+            let run_total = snap
+                .gauges
+                .iter()
+                .find(|(n, _)| n == "alloc.fragmentation_words")
+                .map(|&(_, v)| v)
+                .expect("traced run records the fragmentation gauge");
+            let ledger_sum: u64 = log.decisions.iter().map(|d| d.fragmentation).sum();
+            prop_assert_eq!(ledger_sum, run_total);
+            prop_assert_eq!(log.fragmentation_words(), run_total);
+            // The per-run counter (regression-sentinel gate) agrees.
+            let counter = snap
+                .counters
+                .iter()
+                .find(|(n, _)| n == "alloc.first_fit.fragmentation")
+                .map(|&(_, v)| v)
+                .expect("per-run fragmentation counter");
+            prop_assert_eq!(counter, run_total);
+
+            // Occupancy invariant: the timeline's occupied peak equals
+            // the allocator's pool size bit for bit, and the live peak
+            // bounds it from below.
+            let timeline = OccupancyTimeline::build(&wig, alloc.offsets());
+            prop_assert_eq!(timeline.peak_occupied(), alloc.total());
+            // The MCW lower bound never exceeds what any allocator
+            // actually uses (the envelope-model live peak can, when
+            // exact lifetimes interleave inside overlapping envelopes).
+            prop_assert!(sdfmem::lifetime::mcw_optimistic(&wig) <= alloc.total());
+        }
+    }
+
+    #[test]
     fn loopify_round_trips_and_never_grows(seq_spec in prop::collection::vec(0u8..4, 1..40)) {
         use sdfmem::core::ActorId;
         use sdfmem::sched::loopify::compress;

@@ -187,11 +187,17 @@ fn full_queue_rejects_cleanly_and_shutdown_drains_parked_jobs() {
 fn malformed_lines_get_error_envelopes_not_disconnects() {
     let (server, addr) = start(ServerConfig::default());
     let mut client = Client::connect(&addr).expect("connect");
+    // The unknown-op line must carry the *current* schema version, or
+    // the version check would reject it before the op dispatch runs.
+    let unknown_op = format!(
+        "{{\"kind\":\"service_request\",\"schema_version\":{},\"op\":\"conjure\"}}",
+        sdf_trace::SCHEMA_VERSION
+    );
     for bad in [
         "this is not json",
         "{\"kind\":\"engine_report\",\"schema_version\":7}",
         "{\"kind\":\"service_request\",\"schema_version\":1,\"op\":\"stats\"}",
-        "{\"kind\":\"service_request\",\"schema_version\":7,\"op\":\"conjure\"}",
+        unknown_op.as_str(),
     ] {
         let response = client
             .send_raw(bad)
@@ -326,6 +332,29 @@ fn cached_payloads_stay_byte_identical_while_telemetry_differs() {
             .first()
             .and_then(|s| s.get("name").and_then(Json::as_str)),
         Some("cache.lookup")
+    );
+    // The same contract holds for `explain`: the allocation_explain
+    // payload repeats byte-for-byte from the cache while each response
+    // carries its own telemetry.
+    let explain = ServiceRequest::Explain {
+        graph: FIG2.to_string(),
+    };
+    let explain_fresh = client.call("ef", &explain).expect("call");
+    let explain_cached = client.call("ec", &explain).expect("call");
+    assert!(!explain_fresh.cached && explain_cached.cached);
+    assert_eq!(
+        explain_fresh.payload, explain_cached.payload,
+        "explain payload bytes must agree"
+    );
+    let explain_doc =
+        json::parse(explain_fresh.payload.as_deref().expect("payload")).expect("payload JSON");
+    assert_eq!(
+        explain_doc.get("kind").and_then(Json::as_str),
+        Some("allocation_explain")
+    );
+    assert_ne!(
+        explain_fresh.telemetry, explain_cached.telemetry,
+        "telemetry must be per-request"
     );
     server.shutdown();
     server.wait();
