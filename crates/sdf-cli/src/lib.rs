@@ -277,10 +277,30 @@ pub enum Command {
         full: bool,
         /// Baseline: timing repeats.
         repeats: u32,
+        /// Connect-retry budget in milliseconds (0 = single attempt).
+        timeout_ms: u64,
+    },
+    /// `sdfmem edit <addr> --file <graph> --edits <script>
+    /// [--timeout-ms N]` — submit an incremental re-synthesis request:
+    /// a base graph plus an edit script. A daemon holding a live
+    /// session for the base rides the delta path (warm chain-DP memo,
+    /// lifetime/WIG/allocation splicing); otherwise it runs cold and
+    /// seeds a session for the next edit.
+    Edit {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// Base graph file.
+        file: Option<String>,
+        /// Edit-script file (`set-rate`/`set-delay`/`add-edge`/
+        /// `remove-edge` lines).
+        edits: Option<String>,
+        /// Connect-retry budget in milliseconds (0 = single attempt).
+        timeout_ms: u64,
     },
     /// `sdfmem top <addr> [--interval-ms N] [--count N]` — poll a
     /// running daemon's `stats` op and render a live table: ops/sec,
-    /// cache hit rate, queue depth, and p50/p95/p99 latency per op.
+    /// cache hit rate, queue depth, incremental-edit activity, and
+    /// p50/p95/p99 latency per op.
     Top {
         /// Daemon address (`host:port`).
         addr: String,
@@ -289,6 +309,8 @@ pub enum Command {
         /// Frames to render before exiting (`0` = until the daemon
         /// goes away).
         count: u64,
+        /// Connect-retry budget in milliseconds (0 = single attempt).
+        timeout_ms: u64,
     },
     /// `sdfmem help`.
     Help,
@@ -323,6 +345,9 @@ COMMANDS:
               (takes <addr> instead of a graph file)
     submit    submit one request to a running daemon, print the response
               envelope (takes <addr>; graph-backed kinds need --file)
+    edit      submit an incremental re-synthesis request: a base graph
+              (--file) plus an edit script (--edits); a daemon session
+              holding the base rides the delta path
     top       poll a running daemon and render a live ops/latency table
               (takes <addr>)
     help      show this text
@@ -356,7 +381,14 @@ OPTIONS:
                              per completed job into this directory
     --kind <op>              submit: analyze|plan|simulate|explain|baseline|
                              stats|metrics|events|shutdown (default analyze)
-    --file <graph>           submit: graph file for graph-backed kinds
+    --file <graph>           submit/edit: graph file
+    --edits <script>         edit: edit-script file; lines are
+                             set-rate SRC SNK PROD CONS, set-delay SRC SNK D,
+                             add-edge SRC SNK PROD CONS [delay D],
+                             remove-edge SRC SNK, # comments
+    --timeout-ms <n>         submit/edit/top: keep retrying the connection
+                             with capped backoff for this long before
+                             giving up (default 0 = single attempt)
     --interval-ms <n>        top: milliseconds between polls (default 1000)
     --count <n>              top: frames to render before exiting
                              (default 0 = until the daemon goes away)
@@ -415,12 +447,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--serial",
             "--full",
             "--repeats",
+            "--timeout-ms",
         ],
-        "top" => &["--interval-ms", "--count"],
+        "edit" => &["--file", "--edits", "--timeout-ms"],
+        "top" => &["--interval-ms", "--count", "--timeout-ms"],
         other => return Err(format!("unknown command `{other}`")),
     };
     let file = it.next().cloned().ok_or_else(|| match cmd {
-        "serve" | "submit" | "top" => format!("missing <addr> for `{cmd}`"),
+        "serve" | "submit" | "edit" | "top" => format!("missing <addr> for `{cmd}`"),
         _ => format!("missing graph file for `{cmd}`"),
     })?;
     // `compare` is the one two-positional command: baseline, candidate.
@@ -453,8 +487,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut trace_dir = None;
     let mut kind = SubmitKind::default();
     let mut submit_file = None;
+    let mut edits_file = None;
     let mut interval_ms = 1000u64;
     let mut count = 0u64;
+    let mut timeout_ms = 0u64;
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
         match value {
             Some(n) => n
@@ -594,6 +630,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     None => return Err("missing --file graph path".to_string()),
                 }
             }
+            "--edits" => {
+                edits_file = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => return Err("missing --edits script path".to_string()),
+                }
+            }
+            "--timeout-ms" => {
+                timeout_ms = match it.next() {
+                    Some(n) => n
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --timeout-ms value: `{n}` is not a number"))?,
+                    None => return Err("missing --timeout-ms count".to_string()),
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -664,11 +714,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             serial,
             full,
             repeats,
+            timeout_ms,
+        }),
+        "edit" => Ok(Command::Edit {
+            addr: file,
+            file: submit_file,
+            edits: edits_file,
+            timeout_ms,
         }),
         "top" => Ok(Command::Top {
             addr: file,
             interval_ms,
             count,
+            timeout_ms,
         }),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -697,8 +755,10 @@ const KNOWN_OPTIONS: &[&str] = &[
     "--trace-dir",
     "--kind",
     "--file",
+    "--edits",
     "--interval-ms",
     "--count",
+    "--timeout-ms",
 ];
 
 fn load(file: &str) -> Result<SdfGraph, String> {
@@ -1129,6 +1189,7 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
             serial,
             full,
             repeats,
+            timeout_ms,
         } => {
             let graph = |file: &Option<String>| -> Result<String, String> {
                 let path = file
@@ -1166,7 +1227,7 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                 SubmitKind::Events => ServiceRequest::Events,
                 SubmitKind::Shutdown => ServiceRequest::Shutdown,
             };
-            let mut client = Client::connect(addr)?;
+            let mut client = connect_with_retry(addr, *timeout_ms)?;
             let request_id = format!("cli-{}", std::process::id());
             let (line, response) = client.call_line(&request_id, &request)?;
             out.push_str(&line);
@@ -1232,21 +1293,84 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                 },
             }
         }
+        Command::Edit {
+            addr,
+            file,
+            edits,
+            timeout_ms,
+        } => {
+            let graph = read_input(file.as_deref().ok_or(
+                "`edit` needs a base graph: sdfmem edit <addr> --file <graph> --edits <script>",
+            )?)?;
+            let script = read_input(edits.as_deref().ok_or(
+                "`edit` needs an edit script: sdfmem edit <addr> --file <graph> --edits <script>",
+            )?)?;
+            let request = ServiceRequest::Edit {
+                graph,
+                edits: script,
+            };
+            let mut client = connect_with_retry(addr, *timeout_ms)?;
+            let request_id = format!("cli-{}", std::process::id());
+            let (line, response) = client.call_line(&request_id, &request)?;
+            out.push_str(&line);
+            if !response.is_ok() {
+                code = 1;
+            }
+        }
         Command::Top {
             addr,
             interval_ms,
             count,
+            timeout_ms,
         } => {
             // Frames stream to stdout as they render (the whole point
             // of a live table); `out` only carries the sign-off line.
-            let frames = top_frames(addr, *interval_ms, *count, &mut |frame: &str| {
-                print!("{frame}");
-                let _ = std::io::Write::flush(&mut std::io::stdout());
-            })?;
+            let frames = top_frames(
+                addr,
+                *interval_ms,
+                *count,
+                *timeout_ms,
+                &mut |frame: &str| {
+                    print!("{frame}");
+                    let _ = std::io::Write::flush(&mut std::io::stdout());
+                },
+            )?;
             let _ = writeln!(out, "sdfmem top: {frames} frame(s) rendered");
         }
     }
     Ok((out, code))
+}
+
+/// Connects to `addr`, retrying transport failures with capped
+/// exponential backoff (10ms doubling to 200ms) until `timeout_ms` has
+/// elapsed. `0` preserves the single-attempt behaviour. The final
+/// error names the address and the budget, and reaches the shell as
+/// exit code 2 like every other connect failure.
+///
+/// # Errors
+///
+/// The last connect error once the budget is spent.
+pub fn connect_with_retry(addr: &str, timeout_ms: u64) -> Result<Client, String> {
+    let start = std::time::Instant::now();
+    let mut backoff_ms = 10u64;
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+                if elapsed >= timeout_ms {
+                    return Err(if timeout_ms == 0 {
+                        e
+                    } else {
+                        format!("cannot connect to {addr} within {timeout_ms}ms: {e}")
+                    });
+                }
+                let remaining = timeout_ms - elapsed;
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms.min(remaining)));
+                backoff_ms = (backoff_ms * 2).min(200);
+            }
+        }
+    }
 }
 
 /// Pool-occupancy counter tracks for the explain trace export: one
@@ -1278,6 +1402,13 @@ struct TopSample {
     queue_depth: u64,
     complete: u64,
     failed: u64,
+    // Incremental-edit activity; all default to 0 against a daemon
+    // from before the `edit` op existed.
+    delta_runs: u64,
+    cold_runs: u64,
+    memo_occupancy: u64,
+    memo_capacity: u64,
+    sessions: u64,
     ops: Vec<OpLatencyRow>,
 }
 
@@ -1335,6 +1466,11 @@ fn parse_top_sample(payload: &str) -> Result<TopSample, String> {
         queue_depth: table("gauges", "service.queue.depth"),
         complete: table("counters", "service.jobs.complete"),
         failed: table("counters", "service.jobs.failed"),
+        delta_runs: table("counters", "engine.incremental.delta_runs"),
+        cold_runs: table("counters", "engine.incremental.cold_runs"),
+        memo_occupancy: table("gauges", "engine.incremental.memo.occupancy"),
+        memo_capacity: table("gauges", "engine.incremental.memo.capacity"),
+        sessions: table("gauges", "engine.incremental.sessions"),
         ops,
     })
 }
@@ -1359,6 +1495,15 @@ fn render_top_frame(addr: &str, frame: u64, sample: &TopSample, rate: Option<f64
         s,
         "requests {} ({rate})   cache hit {hit_rate}   queue {}   jobs {} ok / {} failed",
         sample.requests, sample.queue_depth, sample.complete, sample.failed
+    );
+    let _ = writeln!(
+        s,
+        "edits {} delta / {} cold   memo {}/{}   sessions {}",
+        sample.delta_runs,
+        sample.cold_runs,
+        sample.memo_occupancy,
+        sample.memo_capacity,
+        sample.sessions
     );
     let _ = writeln!(
         s,
@@ -1397,9 +1542,10 @@ pub fn top_frames(
     addr: &str,
     interval_ms: u64,
     count: u64,
+    timeout_ms: u64,
     sink: &mut dyn FnMut(&str),
 ) -> Result<u64, String> {
-    let mut client = Client::connect(addr)?;
+    let mut client = connect_with_retry(addr, timeout_ms)?;
     let request_id = format!("top-{}", std::process::id());
     let mut frames = 0u64;
     let mut prev: Option<(u64, std::time::Instant)> = None;
@@ -2034,7 +2180,8 @@ mod tests {
                 model: Model::Shared,
                 serial: false,
                 full: false,
-                repeats: 3
+                repeats: 3,
+                timeout_ms: 0
             }
         );
         assert_eq!(
@@ -2059,7 +2206,8 @@ mod tests {
                 model: Model::NonShared,
                 serial: false,
                 full: false,
-                repeats: 3
+                repeats: 3,
+                timeout_ms: 0
             }
         );
         assert_eq!(
@@ -2072,7 +2220,8 @@ mod tests {
                 model: Model::Shared,
                 serial: false,
                 full: false,
-                repeats: 3
+                repeats: 3,
+                timeout_ms: 0
             }
         );
         assert!(parse_args(&args(&["serve"])).unwrap_err().contains("addr"));
@@ -2089,7 +2238,8 @@ mod tests {
             Command::Top {
                 addr: "127.0.0.1:7654".into(),
                 interval_ms: 1000,
-                count: 0
+                count: 0,
+                timeout_ms: 0
             }
         );
         assert_eq!(
@@ -2105,7 +2255,8 @@ mod tests {
             Command::Top {
                 addr: "127.0.0.1:7654".into(),
                 interval_ms: 50,
-                count: 3
+                count: 3,
+                timeout_ms: 0
             }
         );
         for kind in ["metrics", "events"] {
@@ -2284,7 +2435,7 @@ mod tests {
         // of three requested frames: a transport error (exit 2 in
         // main), not a clean finish and not a panic.
         let mut sink_frames = 0u64;
-        let err = top_frames(&addr, 1, 3, &mut |_| sink_frames += 1).unwrap_err();
+        let err = top_frames(&addr, 1, 3, 0, &mut |_| sink_frames += 1).unwrap_err();
         assert!(err.contains("dropped the connection"), "{err}");
         assert!(err.contains(&addr), "{err}");
         assert_eq!(sink_frames, 1);
@@ -2303,7 +2454,7 @@ mod tests {
         // And through the polling loop: the malformed payload is an
         // error on the very first frame.
         let (addr, handle) = fake_daemon(vec![stats_envelope(&truncated)]);
-        let err = top_frames(&addr, 1, 1, &mut |_| {}).unwrap_err();
+        let err = top_frames(&addr, 1, 1, 0, &mut |_| {}).unwrap_err();
         assert!(err.contains("histograms"), "{err}");
         handle.join().unwrap();
     }
@@ -2337,6 +2488,11 @@ mod tests {
             (&["explain", "g", "--full"], "--full"),
             (&["analyze", "g", "--buffer", "b"], "--buffer"),
             (&["simulate", "g", "--buffer", "b"], "--buffer"),
+            (&["edit", "a:1", "--kind", "stats"], "--kind"),
+            (&["edit", "a:1", "--method", "apgan"], "--method"),
+            (&["submit", "a:1", "--edits", "e"], "--edits"),
+            (&["analyze", "g", "--timeout-ms", "5"], "--timeout-ms"),
+            (&["serve", "a:1", "--timeout-ms", "5"], "--timeout-ms"),
         ];
         for (argv, flag) in cases {
             let err = parse_args(&args(argv)).unwrap_err();
@@ -2362,6 +2518,7 @@ mod tests {
                 serial: false,
                 full: false,
                 repeats: 2,
+                timeout_ms: 0,
             })
         };
         // First analyze computes, the repeat is served from cache —
@@ -2418,7 +2575,7 @@ mod tests {
         // `top` against the live daemon renders the requested number of
         // frames through the sink and reports per-op quantiles.
         let mut captured = String::new();
-        let frames = top_frames(&addr, 1, 2, &mut |frame: &str| captured.push_str(frame))
+        let frames = top_frames(&addr, 1, 2, 0, &mut |frame: &str| captured.push_str(frame))
             .expect("top frames");
         assert_eq!(frames, 2);
         assert!(captured.contains("sdfmemd"), "{captured}");
@@ -2432,5 +2589,155 @@ mod tests {
         let refused = submit(SubmitKind::Stats, None);
         assert!(refused.is_err(), "{refused:?}");
         let _ = std::fs::remove_file(broken);
+    }
+
+    #[test]
+    fn parse_edit_command_and_timeouts() {
+        assert_eq!(
+            parse_args(&args(&[
+                "edit",
+                "127.0.0.1:7654",
+                "--file",
+                "g.sdf",
+                "--edits",
+                "g.edits",
+                "--timeout-ms",
+                "2000"
+            ]))
+            .unwrap(),
+            Command::Edit {
+                addr: "127.0.0.1:7654".into(),
+                file: Some("g.sdf".into()),
+                edits: Some("g.edits".into()),
+                timeout_ms: 2000
+            }
+        );
+        // --timeout-ms defaults to 0 (single attempt) everywhere.
+        assert_eq!(
+            parse_args(&args(&["edit", "a:1"])).unwrap(),
+            Command::Edit {
+                addr: "a:1".into(),
+                file: None,
+                edits: None,
+                timeout_ms: 0
+            }
+        );
+        let Command::Submit { timeout_ms, .. } =
+            parse_args(&args(&["submit", "a:1", "--timeout-ms", "150"])).unwrap()
+        else {
+            panic!("expected a submit command");
+        };
+        assert_eq!(timeout_ms, 150);
+        let Command::Top { timeout_ms, .. } =
+            parse_args(&args(&["top", "a:1", "--timeout-ms", "75"])).unwrap()
+        else {
+            panic!("expected a top command");
+        };
+        assert_eq!(timeout_ms, 75);
+        assert!(parse_args(&args(&["edit"])).unwrap_err().contains("addr"));
+        let bad = parse_args(&args(&["edit", "a:1", "--timeout-ms", "soon"])).unwrap_err();
+        assert!(bad.contains("--timeout-ms"), "{bad}");
+        let bad = parse_args(&args(&["edit", "a:1", "--edits"])).unwrap_err();
+        assert!(bad.contains("--edits"), "{bad}");
+    }
+
+    #[test]
+    fn connect_retry_gives_up_after_the_budget() {
+        // Grab a port the OS hands out, then close it: connections are
+        // refused from then on.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().unwrap().to_string()
+        };
+        let fail = |timeout_ms: u64| match connect_with_retry(&dead, timeout_ms) {
+            Err(e) => e,
+            Ok(_) => panic!("connecting to a closed port must fail"),
+        };
+        // Zero budget: the single-attempt error, verbatim.
+        let plain = fail(0);
+        assert!(!plain.contains("within"), "{plain}");
+        // A real budget: retries happen (elapsed >= budget) and the
+        // error names the address and the budget.
+        let start = std::time::Instant::now();
+        let err = fail(80);
+        assert!(start.elapsed().as_millis() >= 80, "{err}");
+        assert!(err.contains(&dead), "{err}");
+        assert!(err.contains("within 80ms"), "{err}");
+    }
+
+    #[test]
+    fn connect_retry_reaches_a_daemon_that_starts_late() {
+        // Reserve a port, release it, and bring the scripted daemon up
+        // on it only after a delay — the retry loop must bridge the
+        // gap where a single attempt would fail.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().unwrap().to_string()
+        };
+        let late_addr = addr.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            let listener = std::net::TcpListener::bind(&late_addr).expect("rebind");
+            let _ = listener.accept();
+        });
+        assert!(Client::connect(&addr).is_err(), "port must start closed");
+        let client = connect_with_retry(&addr, 5_000);
+        assert!(client.is_ok(), "{:?}", client.as_ref().err());
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn end_to_end_edit_against_a_live_daemon() {
+        let path = write_fig2();
+        let file = path.to_string_lossy().into_owned();
+        let edits_path = path.with_extension("edits");
+        std::fs::write(&edits_path, "# slow A down\nset-rate A B 40 10\n").unwrap();
+        let edits = edits_path.to_string_lossy().into_owned();
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let edit = |file: Option<String>, edits: Option<String>| {
+            execute(&Command::Edit {
+                addr: addr.clone(),
+                file,
+                edits,
+                timeout_ms: 0,
+            })
+        };
+        let (out, code) = edit(Some(file.clone()), Some(edits.clone())).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
+        assert!(out.contains("\"kind\":\"edit_report\""), "{out}");
+        assert!(out.contains("\"edits_applied\":1"), "{out}");
+        // The identical request is served from the result cache with
+        // byte-identical payload bytes.
+        let (again, code) = edit(Some(file.clone()), Some(edits.clone())).unwrap();
+        assert_eq!(code, 0, "{again}");
+        assert!(again.contains("\"cached\":true"), "{again}");
+        // A bad script is a domain failure: error envelope, exit 1,
+        // attributed to the edits input.
+        let bad_path = path.with_extension("bad.edits");
+        std::fs::write(&bad_path, "frobnicate A B\n").unwrap();
+        let (err, code) = edit(
+            Some(file.clone()),
+            Some(bad_path.to_string_lossy().into_owned()),
+        )
+        .unwrap();
+        assert_eq!(code, 1, "{err}");
+        assert!(err.contains("\"input\":\"edits\""), "{err}");
+        // Missing inputs are usage errors (exit 2 in main).
+        assert!(edit(None, Some(edits.clone())).is_err());
+        assert!(edit(Some(file), None).is_err());
+        // `top` surfaces the incremental columns fed by the edit.
+        let mut captured = String::new();
+        let frames = top_frames(&addr, 1, 1, 0, &mut |frame: &str| captured.push_str(frame))
+            .expect("top frame");
+        assert_eq!(frames, 1);
+        assert!(captured.contains("edits 0 delta / 1 cold"), "{captured}");
+        assert!(captured.contains("sessions 1"), "{captured}");
+        server.shutdown();
+        server.wait();
+        let _ = std::fs::remove_file(edits_path);
+        let _ = std::fs::remove_file(bad_path);
     }
 }

@@ -57,4 +57,4 @@ pub use interval::{buffer_lifetime, Period, PeriodicLifetime};
 pub use merge::{CbpSpec, MergedGraph};
 pub use occupancy::{OccupancySample, OccupancyTimeline};
 pub use tree::{ScheduleTree, TreeNodeId};
-pub use wig::{Buffer, ConflictGraph, IntersectionGraph};
+pub use wig::{Buffer, ConflictGraph, IntersectionGraph, WigSpliceStats};

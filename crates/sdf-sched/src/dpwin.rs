@@ -68,6 +68,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::chain::ChainTables;
+use crate::memo::{MemoEntry, MemoStore};
 
 /// How the chain DPs scan split positions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -146,6 +147,11 @@ pub(crate) struct Solver<'a, C: Fn(usize, usize, usize) -> u64> {
     mode: DpMode,
     combine: Combine,
     crossing: C,
+    /// Cross-run memo: the store and this DP's domain tag.  Only active
+    /// in windowed mode on tables built with a content hasher; a hit
+    /// replays exactly the (value, smallest-argmin split) the scan below
+    /// would recompute, so results are bit-identical either way.
+    memo: Option<(&'a MemoStore, u8)>,
     /// Admissible lower bounds `LB[i*n + j]`; empty in exact mode.
     lb: Vec<u64>,
     /// `v[i*n + j]` for `i <= j`; diagonal 0, [`UNSET`] where unfilled.
@@ -157,13 +163,32 @@ pub(crate) struct Solver<'a, C: Fn(usize, usize, usize) -> u64> {
 }
 
 impl<'a, C: Fn(usize, usize, usize) -> u64> Solver<'a, C> {
+    #[cfg(test)]
     pub(crate) fn new(ct: &'a ChainTables, mode: DpMode, combine: Combine, crossing: C) -> Self {
+        Self::new_memo(ct, mode, combine, crossing, None)
+    }
+
+    /// [`Solver::new`] with an optional cross-run memo.  The memo is
+    /// ignored in exact mode (which stays the verification reference)
+    /// and on tables built without a hasher.
+    pub(crate) fn new_memo(
+        ct: &'a ChainTables,
+        mode: DpMode,
+        combine: Combine,
+        crossing: C,
+        memo: Option<(&'a MemoStore, u8)>,
+    ) -> Self {
         let n = ct.len();
+        let memo = match mode {
+            DpMode::Windowed if ct.hasher().is_some() => memo,
+            _ => None,
+        };
         let mut s = Solver {
             ct,
             mode,
             combine,
             crossing,
+            memo,
             lb: Vec::new(),
             value: vec![UNSET; n * n],
             split: vec![0; n * n],
@@ -243,6 +268,22 @@ impl<'a, C: Fn(usize, usize, usize) -> u64> Solver<'a, C> {
             matches!(self.mode, DpMode::Windowed),
             "dense fill missed cell ({i}, {j})"
         );
+        // Cross-run memo probe: the key is a content hash of exactly the
+        // inputs the scan below reads, so a hit short-circuits the cell
+        // (and, transitively, every child it would have resolved).
+        let key = self.memo.map(|(_, tag)| {
+            self.ct
+                .hasher()
+                .expect("memo implies hasher")
+                .subchain_key(i, j, tag)
+        });
+        if let (Some((store, _)), Some(key)) = (self.memo, key) {
+            if let Some(entry) = store.lookup(&key) {
+                self.value[idx] = entry.value;
+                self.split[idx] = i + entry.split_rel as usize;
+                return entry.value;
+            }
+        }
         let mut heap: BinaryHeap<Reverse<(u64, usize, bool)>> =
             BinaryHeap::with_capacity(j - i + 1);
         for k in i..j {
@@ -258,6 +299,15 @@ impl<'a, C: Fn(usize, usize, usize) -> u64> Solver<'a, C> {
             if resolved {
                 self.value[idx] = score;
                 self.split[idx] = k;
+                if let (Some((store, _)), Some(key)) = (self.memo, key) {
+                    store.insert(
+                        key,
+                        MemoEntry {
+                            value: score,
+                            split_rel: (k - i) as u32,
+                        },
+                    );
+                }
                 return score;
             }
             let l = self.value(i, k);

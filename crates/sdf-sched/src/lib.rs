@@ -51,6 +51,7 @@ pub mod dpwin;
 pub mod exhaustive;
 pub mod local_search;
 pub mod loopify;
+pub mod memo;
 pub mod rpmc;
 pub mod sdppo;
 pub mod topsort;
@@ -61,9 +62,16 @@ pub use apgan::apgan;
 pub use chain::ChainTables;
 pub use chain_precise::{chain_precise, ChainPreciseResult, CostTriple};
 pub use demand::demand_driven_schedule;
-pub use dppo::{dppo, dppo_from_tables, dppo_with_mode, DppoResult};
+pub use dppo::{dppo, dppo_from_tables, dppo_from_tables_memo, dppo_with_mode, DppoResult};
 pub use dpwin::DpMode;
+pub use memo::{MemoEntry, MemoKey, MemoStats, MemoStore};
 pub use rpmc::rpmc;
-pub use sdppo::{sdppo, sdppo_from_tables, sdppo_with_policy, FactoringPolicy, SdppoResult};
+pub use sdppo::{
+    sdppo, sdppo_from_tables, sdppo_from_tables_memo, sdppo_with_policy, FactoringPolicy,
+    SdppoResult,
+};
 pub use topsort::random_topological_sort;
-pub use variant::{schedule_variant, schedule_variant_from_tables, LoopVariant, ScheduledVariant};
+pub use variant::{
+    schedule_variant, schedule_variant_from_tables, schedule_variant_from_tables_memo, LoopVariant,
+    ScheduledVariant,
+};

@@ -16,9 +16,10 @@ use sdf_core::schedule::SasTree;
 
 use crate::chain::ChainTables;
 use crate::chain_precise::{chain_precise, DEFAULT_FRONTIER_CAP};
-use crate::dppo::{dppo, dppo_from_tables};
+use crate::dppo::{dppo, dppo_from_tables_memo};
 use crate::dpwin::DpMode;
-use crate::sdppo::{sdppo, sdppo_from_tables, FactoringPolicy};
+use crate::memo::MemoStore;
+use crate::sdppo::{sdppo, sdppo_from_tables_memo, FactoringPolicy};
 
 /// Which loop-hierarchy dynamic program to run over a lexical order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -176,16 +177,35 @@ pub fn schedule_variant_from_tables(
     variant: LoopVariant,
     mode: DpMode,
 ) -> Result<ScheduledVariant, SdfError> {
+    schedule_variant_from_tables_memo(graph, q, ct, variant, mode, None)
+}
+
+/// Like [`schedule_variant_from_tables`], plus an optional cross-run
+/// [`MemoStore`] the chain DPs probe for content-addressed subchain
+/// results. Chain-precise has no windowed formulation and ignores the
+/// store. Results are bit-identical with and without a store.
+///
+/// # Errors
+///
+/// Same as [`schedule_variant_from_tables`].
+pub fn schedule_variant_from_tables_memo(
+    graph: &SdfGraph,
+    q: &RepetitionsVector,
+    ct: &ChainTables,
+    variant: LoopVariant,
+    mode: DpMode,
+    memo: Option<&MemoStore>,
+) -> Result<ScheduledVariant, SdfError> {
     match variant {
         LoopVariant::Sdppo => {
-            let r = sdppo_from_tables(ct, q, FactoringPolicy::Heuristic, mode);
+            let r = sdppo_from_tables_memo(ct, q, FactoringPolicy::Heuristic, mode, memo);
             Ok(ScheduledVariant {
                 tree: r.tree,
                 cost_estimate: r.shared_cost,
             })
         }
         LoopVariant::Dppo => {
-            let r = dppo_from_tables(ct, q, mode);
+            let r = dppo_from_tables_memo(ct, q, mode, memo);
             Ok(ScheduledVariant {
                 tree: r.tree,
                 cost_estimate: r.bufmem,

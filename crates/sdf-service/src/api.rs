@@ -33,6 +33,8 @@ use sdf_trace::flight::stages_json;
 use sdf_trace::json::{self, escape, Json};
 use sdf_trace::{CacheStatus, FlightRecord, Histogram, StageSpan};
 use sdfmem::engine::{AnalysisBuilder, StageTimings, Synthesis};
+use sdfmem::incremental::{apply_edits, dirty_edges, EditScript};
+use sdfmem::pipeline::Analysis;
 use sdfmem::sentinel::{capture_profile, CaptureOptions};
 
 use crate::explain::ExplainReport;
@@ -204,6 +206,20 @@ pub enum ServiceRequest {
         /// Graph text.
         graph: String,
     },
+    /// Re-synthesise an edited graph: a base graph plus a textual edit
+    /// script ([`EditScript`] lines). The daemon routes this through a
+    /// per-graph [`sdfmem::IncrementalSession`] (delta path, warm
+    /// chain-DP memo), falling back to a cold run when no session
+    /// matches the base; the in-process backend always runs cold. The
+    /// payload is deterministic either way — the delta path is
+    /// bit-identical to cold synthesis — so `edit` is cacheable.
+    Edit {
+        /// Base graph text.
+        graph: String,
+        /// Edit script text (`set-rate`/`set-delay`/`add-edge`/
+        /// `remove-edge` lines).
+        edits: String,
+    },
     /// Capture a regression-sentinel baseline profile. Never cached:
     /// the profile embeds wall-clock timing statistics.
     Baseline {
@@ -249,6 +265,7 @@ impl ServiceRequest {
             ServiceRequest::Plan { .. } => "plan",
             ServiceRequest::Simulate { .. } => "simulate",
             ServiceRequest::Explain { .. } => "explain",
+            ServiceRequest::Edit { .. } => "edit",
             ServiceRequest::Baseline { .. } => "baseline",
             ServiceRequest::Compare { .. } => "compare",
             ServiceRequest::Stats => "stats",
@@ -260,10 +277,11 @@ impl ServiceRequest {
 
     /// Whether results of this request may be served from the cache.
     ///
-    /// `analyze`, `plan`, `simulate` and `explain` are deterministic
-    /// functions of the canonical request. `baseline` embeds timing
-    /// statistics and `compare` is cheap pure post-processing; neither
-    /// is cached.
+    /// `analyze`, `plan`, `simulate`, `explain` and `edit` are
+    /// deterministic functions of the canonical request (`edit`'s delta
+    /// path is bit-identical to a cold run, so both produce the same
+    /// payload bytes). `baseline` embeds timing statistics and
+    /// `compare` is cheap pure post-processing; neither is cached.
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
@@ -271,6 +289,7 @@ impl ServiceRequest {
                 | ServiceRequest::Plan { .. }
                 | ServiceRequest::Simulate { .. }
                 | ServiceRequest::Explain { .. }
+                | ServiceRequest::Edit { .. }
         )
     }
 
@@ -325,6 +344,21 @@ impl ServiceRequest {
             ServiceRequest::Explain { graph } => {
                 let g = parse_graph_input(graph)?;
                 Ok(format!("explain\n{}", sdf_core::io::to_text(&g)))
+            }
+            ServiceRequest::Edit { graph, edits } => {
+                // The key covers the *base* graph and the canonical
+                // edit script, because the payload reports the edit
+                // delta (dirty edges) alongside the edited graph's
+                // synthesis. A `@edits` line separates the two parts;
+                // it cannot collide with canonical graph text (whose
+                // lines all start with `graph`/`actor`/`edge`).
+                let g = parse_graph_input(graph)?;
+                let script = parse_edits_input(edits)?;
+                Ok(format!(
+                    "edit\n{}@edits\n{}",
+                    sdf_core::io::to_text(&g),
+                    script.to_text()
+                ))
             }
             _ => Err(ServiceError::bad_request(format!(
                 "`{}` requests are not content-addressable",
@@ -385,6 +419,14 @@ impl ServiceRequest {
             }
             ServiceRequest::Explain { graph } => {
                 let _ = write!(s, ",\"graph\":\"{}\"", escape(graph));
+            }
+            ServiceRequest::Edit { graph, edits } => {
+                let _ = write!(
+                    s,
+                    ",\"edits\":\"{}\",\"graph\":\"{}\"",
+                    escape(edits),
+                    escape(graph)
+                );
             }
             ServiceRequest::Baseline {
                 graph,
@@ -496,6 +538,11 @@ impl ServiceRequest {
                 model: model()?,
             },
             "explain" => ServiceRequest::Explain { graph: graph()? },
+            "edit" => ServiceRequest::Edit {
+                graph: graph()?,
+                edits: str_field("edits")
+                    .ok_or_else(|| ServiceError::bad_request("missing \"edits\" text"))?,
+            },
             "baseline" => {
                 let repeats = match doc.get("repeats").and_then(Json::as_num) {
                     None => 3,
@@ -573,6 +620,26 @@ pub enum ResponsePayload {
         /// The report (ledger, occupancy timeline, waste breakdown).
         report: Box<ExplainReport>,
     },
+    /// `edit`: the edited graph's synthesis plus the edit delta.
+    ///
+    /// Every member is a deterministic function of (base graph, edit
+    /// script): the delta path is bit-identical to a cold run, so this
+    /// payload is cacheable. Session statistics (memo hits, splice
+    /// counts, elapsed time) are *not* here — they depend on daemon
+    /// history and travel in the per-request telemetry instead.
+    Edit {
+        /// The edited graph.
+        graph: SdfGraph,
+        /// The winning analysis of the edited graph.
+        analysis: Box<Analysis>,
+        /// The lowered shared-model plan of the winning analysis.
+        plan: Box<ExecutablePlan>,
+        /// Operations the edit script applied.
+        edits_applied: usize,
+        /// Edited-graph edges whose record or endpoints changed from
+        /// the base (positional diff, as the delta path sees it).
+        dirty_edges: usize,
+    },
     /// `baseline`: the captured profile.
     Baseline {
         /// The profile.
@@ -622,6 +689,35 @@ impl ResponsePayload {
                 simulation_report_json(plan, exec).trim_end().to_string()
             }
             ResponsePayload::Explain { report } => report.to_json(),
+            ResponsePayload::Edit {
+                graph,
+                analysis,
+                plan,
+                edits_applied,
+                dirty_edges,
+            } => {
+                let mut s = json::document_header("edit_report");
+                let _ = write!(
+                    s,
+                    "\"graph\":\"{}\",\"edits_applied\":{edits_applied},\
+                     \"dirty_edges\":{dirty_edges},\"total_edges\":{},\
+                     \"nonshared_bufmem\":{},\"shared_total\":{},\
+                     \"schedule\":\"{}\",\"plan\":{}}}",
+                    escape(graph.name()),
+                    graph.edge_count(),
+                    analysis.nonshared_bufmem,
+                    analysis.shared_total(),
+                    escape(
+                        &analysis
+                            .schedule
+                            .to_looped_schedule()
+                            .display(graph)
+                            .to_string()
+                    ),
+                    plan.to_json().trim_end()
+                );
+                s
+            }
             ResponsePayload::Baseline { profile } => profile.to_json().trim_end().to_string(),
             ResponsePayload::Compare { report } => {
                 report.render(DiffFormat::Json).trim_end().to_string()
@@ -891,6 +987,43 @@ pub fn parse_graph_input(text: &str) -> Result<SdfGraph, ServiceError> {
     sdf_core::io::parse_graph(text).map_err(|e| ServiceError::parse("graph", e.to_string()))
 }
 
+/// Parses edit-script text, mapping failures to the service's typed
+/// error ([`ErrorCode::ParseError`] with `input: "edits"`).
+///
+/// # Errors
+///
+/// [`ErrorCode::ParseError`] when any line fails to parse.
+pub fn parse_edits_input(text: &str) -> Result<EditScript, ServiceError> {
+    EditScript::parse(text).map_err(|e| ServiceError::parse("edits", e))
+}
+
+/// Assembles the deterministic `edit` payload from an edited graph and
+/// its analysis. Shared between the in-process cold path and the
+/// daemon's session-backed delta path so both produce identical bytes
+/// (the cache contract).
+///
+/// # Errors
+///
+/// [`ErrorCode::EngineError`] when the shared-model lowering fails.
+pub(crate) fn edit_payload(
+    base: &SdfGraph,
+    edited: SdfGraph,
+    analysis: Analysis,
+    edits_applied: usize,
+) -> Result<ResponsePayload, ServiceError> {
+    let plan = analysis
+        .plan(&edited)
+        .map_err(|e| ServiceError::engine(e.to_string()))?;
+    let dirty = dirty_edges(base, &edited).iter().filter(|d| **d).count();
+    Ok(ResponsePayload::Edit {
+        graph: edited,
+        analysis: Box::new(analysis),
+        plan: Box::new(plan),
+        edits_applied,
+        dirty_edges: dirty,
+    })
+}
+
 /// Lowers `graph` to the [`ExecutablePlan`] shared by the `plan`,
 /// `simulate` and CLI `codegen` paths: the chosen heuristic order, then
 /// DPPO (non-shared) or SDPPO + first-fit allocation (shared).
@@ -973,13 +1106,13 @@ fn simulation_report_json(plan: &ExecutablePlan, exec: &Result<ExecReport, Strin
 /// run would bleed process-wide counters into `engine_report` payload
 /// bytes), so stage timing measures its own intervals relative to the
 /// start of service.
-struct StageClock {
+pub(crate) struct StageClock {
     epoch: Instant,
-    stages: Vec<StageSpan>,
+    pub(crate) stages: Vec<StageSpan>,
 }
 
 impl StageClock {
-    fn new() -> StageClock {
+    pub(crate) fn new() -> StageClock {
         StageClock {
             epoch: Instant::now(),
             stages: Vec::new(),
@@ -991,7 +1124,7 @@ impl StageClock {
     }
 
     /// Runs `f` as the named stage, recording its span.
-    fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+    pub(crate) fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
         let start_ns = self.elapsed_ns();
         let value = f();
         let dur_ns = self.elapsed_ns().saturating_sub(start_ns);
@@ -1109,6 +1242,22 @@ fn execute_request_inner(
                 report: Box::new(report),
             })
         }
+        ServiceRequest::Edit { graph, edits } => {
+            let (base, script) = clock.time("parse", || {
+                let g = parse_graph_input(graph)?;
+                let s = parse_edits_input(edits)?;
+                Ok::<_, ServiceError>((g, s))
+            })?;
+            let edited = clock.time("apply", || {
+                apply_edits(&base, &script).map_err(|e| ServiceError::engine(e.to_string()))
+            })?;
+            let analysis = clock.time("engine", || {
+                AnalysisBuilder::new()
+                    .run(&edited)
+                    .map_err(|e| ServiceError::engine(e.to_string()))
+            })?;
+            edit_payload(&base, edited, analysis, script.ops.len())
+        }
         ServiceRequest::Baseline {
             graph,
             repeats,
@@ -1221,6 +1370,10 @@ mod tests {
                 gate: true,
                 allow: vec!["sched.*".into()],
             },
+            ServiceRequest::Edit {
+                graph: FIG2.into(),
+                edits: "set-rate A B 40 10\nset-delay B C 3\n".into(),
+            },
             ServiceRequest::Stats,
             ServiceRequest::Metrics,
             ServiceRequest::Events,
@@ -1232,6 +1385,87 @@ mod tests {
             assert_eq!(id, "req-1");
             assert_eq!(parsed, request, "{line}");
         }
+    }
+
+    #[test]
+    fn edit_payload_reports_the_edited_graph() {
+        let request = ServiceRequest::Edit {
+            graph: FIG2.into(),
+            edits: "# double A's rate\nset-rate A B 40 10\n".into(),
+        };
+        let response = execute_request(&request);
+        assert_eq!(response.status(), "ok");
+        let line = response.to_json("r", false);
+        let doc = json::parse(&line).expect("envelope parses");
+        let payload = doc.get("payload").expect("payload");
+        assert_eq!(
+            payload.get("kind").and_then(Json::as_str),
+            Some("edit_report")
+        );
+        assert_eq!(
+            payload.get("edits_applied").and_then(Json::as_num),
+            Some(1.0)
+        );
+        assert_eq!(payload.get("dirty_edges").and_then(Json::as_num), Some(1.0));
+        assert_eq!(payload.get("total_edges").and_then(Json::as_num), Some(2.0));
+        // The report describes the *edited* graph: A B 40 10 doubles
+        // the A->B buffer versus the base's 20.
+        let nonshared = payload
+            .get("nonshared_bufmem")
+            .and_then(Json::as_num)
+            .expect("nonshared_bufmem");
+        assert!(nonshared > 0.0);
+        assert!(payload.get("plan").is_some(), "embedded executable plan");
+        assert!(payload.get("schedule").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn edit_errors_are_typed_by_input() {
+        let bad_script = ServiceRequest::Edit {
+            graph: FIG2.into(),
+            edits: "frobnicate A B\n".into(),
+        };
+        let ServiceResponse::Err(err) = execute_request(&bad_script) else {
+            panic!("bad edit script must fail");
+        };
+        assert_eq!(err.code, ErrorCode::ParseError);
+        assert_eq!(err.input, Some("edits"));
+        let bad_target = ServiceRequest::Edit {
+            graph: FIG2.into(),
+            edits: "remove-edge X Y\n".into(),
+        };
+        let ServiceResponse::Err(err) = execute_request(&bad_target) else {
+            panic!("edit addressing a nonexistent edge must fail");
+        };
+        assert_eq!(err.code, ErrorCode::EngineError);
+    }
+
+    #[test]
+    fn edit_cache_key_separates_graph_from_script() {
+        let key = |graph: &str, edits: &str| {
+            ServiceRequest::Edit {
+                graph: graph.into(),
+                edits: edits.into(),
+            }
+            .cache_key()
+            .expect("parses")
+            .0
+        };
+        // Formatting of the script does not change the key...
+        assert_eq!(
+            key(FIG2, "set-delay A B 2\n"),
+            key(FIG2, "# note\nset-delay  A  B  2\n")
+        );
+        // ...but different edits, or a different base, do.
+        assert_ne!(
+            key(FIG2, "set-delay A B 2\n"),
+            key(FIG2, "set-delay A B 3\n")
+        );
+        let other = "graph fig2\nedge A B 20 10\nedge B C 10 10\n";
+        assert_ne!(
+            key(FIG2, "set-delay A B 2\n"),
+            key(other, "set-delay A B 2\n")
+        );
     }
 
     #[test]

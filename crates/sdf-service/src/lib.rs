@@ -39,6 +39,7 @@
 //! | [`hash`] | dependency-free 128-bit FNV-1a content fingerprints |
 //! | [`cache`] | bounded LRU result cache with collision verification |
 //! | [`job`] | job state machine and the bounded work queue |
+//! | [`session`] | incremental edit sessions sharing a cross-request memo store |
 //! | [`server`] | the `sdfmemd` TCP daemon |
 //! | [`client`] | blocking wire client with verbatim payload extraction |
 
@@ -51,11 +52,12 @@ pub mod explain;
 pub mod hash;
 pub mod job;
 pub mod server;
+pub mod session;
 
 pub use api::{
     execute_request, execute_request_cached, execute_request_cached_timed, execute_request_timed,
-    lower_plan, parse_graph_input, ErrorCode, MemoryModel, OrderMethod, RequestTelemetry,
-    ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
+    lower_plan, parse_edits_input, parse_graph_input, ErrorCode, MemoryModel, OrderMethod,
+    RequestTelemetry, ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
 };
 pub use cache::{CacheLookup, ResultCache};
 pub use client::{Client, WireError, WireResponse};
@@ -63,3 +65,4 @@ pub use explain::{ExplainLedgerEntry, ExplainRejectedGap, ExplainReport, Explain
 pub use hash::fingerprint;
 pub use job::{Job, JobOutcome, JobQueue, JobState};
 pub use server::{Server, ServerConfig};
+pub use session::SessionRegistry;

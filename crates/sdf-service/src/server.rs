@@ -42,7 +42,9 @@ use crate::api::{
 };
 use crate::cache::{CacheLookup, ResultCache};
 use crate::job::{Job, JobOutcome, JobQueue, JobState};
+use crate::session::SessionRegistry;
 use sdf_trace::CounterSnapshot;
+use sdfmem::incremental::DeltaStats;
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -81,6 +83,7 @@ struct Shared {
     flight: FlightRecorder,
     cache: Mutex<ResultCache>,
     queue: JobQueue,
+    sessions: SessionRegistry,
     stopping: AtomicBool,
     addr: SocketAddr,
     trace_dir: Option<PathBuf>,
@@ -118,6 +121,38 @@ impl Shared {
             records,
         }
     }
+
+    /// Folds one edit's [`DeltaStats`] (absent when the request failed
+    /// before the engine ran) into the `engine.incremental.*` counters
+    /// and refreshes the memo/session gauges. These live on the private
+    /// recorder like every other instrument, so they surface through
+    /// `stats` and `metrics` — and, being counters, their per-request
+    /// deltas ride the telemetry envelope too.
+    fn record_incremental(&self, stats: Option<&DeltaStats>) {
+        let r = &self.recorder;
+        if let Some(s) = stats {
+            if s.cold {
+                r.counter_add("engine.incremental.cold_runs", 1);
+            } else {
+                r.counter_add("engine.incremental.delta_runs", 1);
+            }
+            r.counter_add("engine.incremental.dirty_edges", s.dirty_edges);
+            r.counter_add("engine.incremental.memo.hits", s.memo_hits);
+            r.counter_add("engine.incremental.memo.misses", s.memo_misses);
+            r.counter_add("engine.incremental.lifetimes.reused", s.lifetimes_reused);
+            r.counter_add(
+                "engine.incremental.alloc.placements_reused",
+                s.placements_reused,
+            );
+        }
+        let memo = self.sessions.memo_stats();
+        r.gauge_set("engine.incremental.memo.occupancy", memo.occupancy);
+        r.gauge_set("engine.incremental.memo.capacity", memo.capacity);
+        r.gauge_set(
+            "engine.incremental.sessions",
+            self.sessions.session_count() as u64,
+        );
+    }
 }
 
 /// The latency-histogram name for an op, from a static vocabulary (the
@@ -128,6 +163,7 @@ fn op_latency_histogram(op: &str) -> &'static str {
         "plan" => "service.op.plan.latency",
         "simulate" => "service.op.simulate.latency",
         "explain" => "service.op.explain.latency",
+        "edit" => "service.op.edit.latency",
         "baseline" => "service.op.baseline.latency",
         "compare" => "service.op.compare.latency",
         "stats" => "service.op.stats.latency",
@@ -163,6 +199,7 @@ impl Server {
             flight: FlightRecorder::new(config.flight_capacity),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             queue: JobQueue::new(config.queue_capacity),
+            sessions: SessionRegistry::new(),
             stopping: AtomicBool::new(false),
             addr: local,
             trace_dir: config.trace_dir.clone(),
@@ -255,7 +292,18 @@ fn worker_loop(shared: &Shared) {
         // Job state: pending → running. No global recorder here — see
         // the module docs for why that would break byte identity;
         // stages are measured directly by the timed executor instead.
-        let (response, mut stages) = execute_request_cached_timed(&job.request);
+        let (response, mut stages) = match &job.request {
+            // Edits route through the stateful session registry: delta
+            // path on a live session, cold seed otherwise. Payload
+            // bytes are identical either way (the incremental module's
+            // bit-identity contract), so the result cache stays sound.
+            ServiceRequest::Edit { graph, edits } => {
+                let (response, stages, stats) = shared.sessions.execute_edit_timed(graph, edits);
+                shared.record_incremental(stats.as_ref());
+                (response, stages)
+            }
+            other => execute_request_cached_timed(other),
+        };
         let (outcome_result, state) = match response {
             ServiceResponse::Ok(payload) => {
                 // Rendering the payload is part of service time; time

@@ -89,8 +89,13 @@ use std::time::Instant;
 /// explain`, the daemon's `explain` op), the per-run
 /// `alloc.first_fit.fragmentation` counter next to the last-writer-wins
 /// gauge, and Perfetto counter-track (`"ph":"C"`) events in the chrome
-/// trace export (another deliberate baseline refresh).
-pub const SCHEMA_VERSION: u32 = 8;
+/// trace export (another deliberate baseline refresh); `9` added the
+/// incremental re-synthesis layer: the `edit` op and its `edit_report`
+/// document, the `engine.incremental.*` counter/gauge namespace
+/// (session and memo-store accounting in stats, metrics and per-request
+/// telemetry), and the `edit_bench` trajectory in `BENCH_9.json`
+/// (another deliberate baseline refresh).
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.

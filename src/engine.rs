@@ -59,8 +59,8 @@ use sdf_core::schedule::SasTree;
 use sdf_lifetime::clique::{mcw_optimistic, mcw_pessimistic};
 use sdf_lifetime::tree::ScheduleTree;
 use sdf_lifetime::wig::IntersectionGraph;
-use sdf_sched::variant::{schedule_variant_from_tables, LoopVariant};
-use sdf_sched::{apgan, dppo_from_tables, rpmc, ChainTables, DpMode};
+use sdf_sched::variant::{schedule_variant_from_tables_memo, LoopVariant};
+use sdf_sched::{apgan, dppo_from_tables_memo, rpmc, ChainTables, DpMode, MemoStore};
 
 use crate::pipeline::Analysis;
 
@@ -149,6 +149,14 @@ pub struct SynthesisOptions {
     /// default) probes far fewer splits on long chains, and
     /// [`DpMode::Exact`] remains as the verification/ablation reference.
     pub dp_mode: DpMode,
+    /// Cross-run memo store for the windowed chain DPs. When set, chain
+    /// tables are built with subchain hashers and every DP cell is
+    /// content-addressed in the store, so repeated synthesis of similar
+    /// graphs resolves shared subchains without recomputation. Results
+    /// are bit-identical with and without a store; `None` (the default)
+    /// keeps the classic single-shot behaviour and is required by the
+    /// regression sentinel's deterministic-counter capture.
+    pub memo: Option<Arc<MemoStore>>,
 }
 
 impl Default for SynthesisOptions {
@@ -163,6 +171,7 @@ impl Default for SynthesisOptions {
             allocation_orders: AllocationOrder::PAPER.to_vec(),
             parallel: true,
             dp_mode: DpMode::default(),
+            memo: None,
         }
     }
 }
@@ -228,6 +237,15 @@ impl AnalysisBuilder {
     #[must_use]
     pub fn dp_mode(mut self, mode: DpMode) -> Self {
         self.options.dp_mode = mode;
+        self
+    }
+
+    /// Installs a cross-run [`MemoStore`] for the windowed chain DPs.
+    /// Results are bit-identical with and without one; warm stores skip
+    /// the quadratic DP sweep for every content-matched subchain.
+    #[must_use]
+    pub fn memo(mut self, store: Arc<MemoStore>) -> Self {
+        self.options.memo = Some(store);
         self
     }
 
@@ -672,8 +690,13 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
                 sdf_trace::counter_inc("engine.dppo_memo_misses");
                 let t = Instant::now();
                 let _span = sdf_trace::span!("engine.baseline", heuristic = heuristic);
-                let ct = Arc::new(ChainTables::build(graph, &q, order)?);
-                let b = dppo_from_tables(&ct, &q, options.dp_mode);
+                // A cross-run memo wants content-hashed tables; without
+                // one the hasher build would be dead weight.
+                let ct = Arc::new(match options.memo {
+                    Some(_) => ChainTables::build_hashed(graph, &q, order)?,
+                    None => ChainTables::build(graph, &q, order)?,
+                });
+                let b = dppo_from_tables_memo(&ct, &q, options.dp_mode, options.memo.as_deref());
                 let ns = elapsed_ns(t);
                 tables.insert(order.as_slice(), ct);
                 baselines.insert(order.as_slice(), (b.clone(), ns));
@@ -732,6 +755,7 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
     // candidate; parallel cells interleave, so they skip attribution.
     let attribute_counters = !options.parallel && sdf_trace::enabled();
     let dp_mode = options.dp_mode;
+    let memo = options.memo.clone();
     let evaluate = |cell: Cell| -> Result<Vec<Candidate>, SdfError> {
         let _cell_span = sdf_trace::span!(
             "engine.candidate",
@@ -753,12 +777,13 @@ fn run_engine(graph: &SdfGraph, options: &SynthesisOptions) -> Result<Synthesis,
                         sdf_trace::counter_inc("engine.chain_tables.reuses");
                     }
                     (
-                        schedule_variant_from_tables(
+                        schedule_variant_from_tables_memo(
                             graph,
                             &q,
                             &cell.tables,
                             cell.loop_opt,
                             dp_mode,
+                            memo.as_deref(),
                         )?
                         .tree,
                         false,

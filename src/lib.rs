@@ -23,8 +23,11 @@
 //! [`engine`] sweeps the candidate lattice (heuristic × loop optimizer ×
 //! allocation order, optionally in parallel) behind the
 //! [`AnalysisBuilder`] seam, [`pipeline`] keeps the classic one-call
-//! [`Analysis`](pipeline::Analysis) wrapper over it, and [`sentinel`]
-//! captures regression-sentinel baseline profiles from engine runs.
+//! [`Analysis`](pipeline::Analysis) wrapper over it, [`incremental`]
+//! re-synthesises edited graphs along a delta path (cross-run chain-DP
+//! memoization plus lifetime/WIG/allocation splicing, bit-identical to
+//! cold runs), and [`sentinel`] captures regression-sentinel baseline
+//! profiles from engine runs.
 //!
 //! # Examples
 //!
@@ -66,12 +69,14 @@
 //! ```
 
 pub mod engine;
+pub mod incremental;
 pub mod pipeline;
 pub mod sentinel;
 
 pub use engine::{
     AnalysisBuilder, Candidate, EngineReport, Heuristic, StageTimings, Synthesis, SynthesisOptions,
 };
+pub use incremental::{DeltaStats, EditOp, EditScript, IncrementalResult, IncrementalSession};
 pub use pipeline::Analysis;
 
 pub use sdf_alloc as alloc;
