@@ -1,6 +1,9 @@
 //! Writes application graphs from the `sdf-apps` registry to
 //! `examples/graphs/*.sdf` text files — the corpus the regression
-//! sentinel (`engine_sweep --baseline/--gate`) runs over.
+//! sentinel (`engine_sweep --baseline/--gate`) runs over — and the
+//! registered multi-mode scenario graphs to `*.sdfm` files (the
+//! `sdfmem modes` examples; the distinct extension keeps them out of
+//! the single-graph sentinel corpus).
 //!
 //! ```text
 //! cargo run --release --bin export_graphs -- [--dir DIR] [NAME...]
@@ -18,6 +21,8 @@ const DEFAULT_CORPUS: &[&str] = &[
     "qmf12_2d",
     "16qamModem",
     "scale_chain_128",
+    "modem_acq_track",
+    "codec_ip",
 ];
 
 /// Table 1 names resolve through the registry; `scale_*` names fall back
@@ -47,6 +52,17 @@ fn real_main() -> Result<(), String> {
     }
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
     for name in &names {
+        if let Some(mg) = sdf_apps::modes::mode_graph_by_name(name) {
+            let path = format!("{dir}/{}.sdfm", mg.name());
+            std::fs::write(&path, sdf_core::mode::to_mode_text(&mg))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path} ({} modes, {} persistent)",
+                mg.modes().len(),
+                mg.persistent().len()
+            );
+            continue;
+        }
         let graph = by_name(name).ok_or_else(|| format!("unknown registry graph `{name}`"))?;
         let path = format!("{dir}/{}.sdf", graph.name());
         std::fs::write(&path, sdf_core::io::to_text(&graph))

@@ -10,6 +10,9 @@
 //!   (16-QAM modem, 4-PAM link, block vocoder, overlap-add FFT, phased
 //!   array) plus the CD-to-DAT chain;
 //! * [`homogeneous`] — the M×N graphs of §10.2 (Fig. 26);
+//! * [`modes`] — multi-mode scenario graphs (modem acquisition/
+//!   tracking, intra/predicted video coder) plus a random mode-set
+//!   generator for property tests;
 //! * [`random`] — consistent-by-construction random SDF graphs (§10.3);
 //! * [`registry`] — all Table 1 systems by name;
 //! * [`scale`] — deterministic large systems (128–2048 actors) for the
@@ -32,6 +35,7 @@ pub mod dsp;
 pub mod extended;
 pub mod filterbank;
 pub mod homogeneous;
+pub mod modes;
 pub mod random;
 pub mod registry;
 pub mod satrec;

@@ -1,0 +1,245 @@
+//! Multi-mode benchmark scenario graphs.
+//!
+//! Two hand-built mode graphs exercise the cross-mode shared pool:
+//!
+//! * [`modem_acq_track`] — a receiver that alternates between an
+//!   acquisition mode (wideband search) and a tracking mode (narrow
+//!   equalised loop), carrying the symbol-timing state on a persistent
+//!   `sync -> demod` buffer;
+//! * [`codec_ip`] — a video coder alternating between intra-coded and
+//!   predicted frames, carrying the reconstructed reference frame on a
+//!   persistent `recon -> predict` buffer.
+//!
+//! [`random_mode_graph`] extends the §10.3 random-graph generator to
+//! mode sets for property tests: every mode is an independent random
+//! SDF graph plus one shared persistent `ps -> pd` edge with identical
+//! rates and delay in all modes.
+
+use rand::Rng;
+
+use sdf_core::graph::SdfGraph;
+use sdf_core::mode::ModeGraph;
+
+use crate::random::{random_sdf_graph, RandomGraphConfig};
+
+/// Builds the modem acquisition/tracking scenario graph: two modes over
+/// the same front end (`src -> agc -> sync -> demod -> sink`), tracking
+/// adding an equaliser branch, with the symbol-timing state carried on
+/// the persistent `sync -> demod` edge (2 delay tokens).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::modes::modem_acq_track;
+///
+/// let mg = modem_acq_track();
+/// assert_eq!(mg.modes().len(), 2);
+/// mg.validate().unwrap();
+/// ```
+pub fn modem_acq_track() -> ModeGraph {
+    let mut mg = ModeGraph::new("modem_acq_track");
+
+    let mut acq = SdfGraph::new("acquisition");
+    {
+        let src = acq.add_actor("src");
+        let agc = acq.add_actor("agc");
+        let sync = acq.add_actor("sync");
+        let demod = acq.add_actor("demod");
+        let sink = acq.add_actor("sink");
+        acq.add_edge(src, agc, 2, 1).expect("valid rates");
+        acq.add_edge(agc, sync, 2, 1).expect("valid rates");
+        acq.add_edge_with_delay(sync, demod, 1, 2, 2)
+            .expect("valid rates");
+        acq.add_edge(demod, sink, 2, 1).expect("valid rates");
+    }
+    mg.add_mode(acq);
+
+    let mut track = SdfGraph::new("tracking");
+    {
+        let src = track.add_actor("src");
+        let agc = track.add_actor("agc");
+        let eq = track.add_actor("eq");
+        let sync = track.add_actor("sync");
+        let demod = track.add_actor("demod");
+        let sink = track.add_actor("sink");
+        track.add_edge(src, agc, 2, 1).expect("valid rates");
+        track.add_edge(agc, eq, 1, 1).expect("valid rates");
+        track.add_edge(eq, demod, 1, 1).expect("valid rates");
+        track.add_edge(agc, sync, 2, 1).expect("valid rates");
+        track
+            .add_edge_with_delay(sync, demod, 1, 2, 2)
+            .expect("valid rates");
+        track.add_edge(demod, sink, 1, 2).expect("valid rates");
+    }
+    mg.add_mode(track);
+
+    mg.add_persistent("sync", "demod");
+    mg
+}
+
+/// Builds the intra/predicted video-coder scenario graph: an `i_frame`
+/// mode (`src -> transf -> quant -> vlc -> sink` with a reconstruction
+/// side chain) and a `p_frame` mode (difference coding against the
+/// prediction), with the reference frame carried on the persistent
+/// `recon -> predict` edge (1 delay token).
+///
+/// # Examples
+///
+/// ```
+/// use sdf_apps::modes::codec_ip;
+///
+/// let mg = codec_ip();
+/// assert_eq!(mg.modes().len(), 2);
+/// mg.validate().unwrap();
+/// ```
+pub fn codec_ip() -> ModeGraph {
+    let mut mg = ModeGraph::new("codec_ip");
+
+    let mut ifr = SdfGraph::new("i_frame");
+    {
+        let src = ifr.add_actor("src");
+        let transf = ifr.add_actor("transf");
+        let quant = ifr.add_actor("quant");
+        let vlc = ifr.add_actor("vlc");
+        let sink = ifr.add_actor("sink");
+        let recon = ifr.add_actor("recon");
+        let predict = ifr.add_actor("predict");
+        ifr.add_edge(src, transf, 4, 1).expect("valid rates");
+        ifr.add_edge(transf, quant, 1, 1).expect("valid rates");
+        ifr.add_edge(quant, vlc, 2, 1).expect("valid rates");
+        ifr.add_edge(vlc, sink, 1, 4).expect("valid rates");
+        ifr.add_edge(quant, recon, 1, 2).expect("valid rates");
+        ifr.add_edge_with_delay(recon, predict, 1, 1, 1)
+            .expect("valid rates");
+    }
+    mg.add_mode(ifr);
+
+    let mut pfr = SdfGraph::new("p_frame");
+    {
+        let src = pfr.add_actor("src");
+        let diff = pfr.add_actor("diff");
+        let recon = pfr.add_actor("recon");
+        let predict = pfr.add_actor("predict");
+        let transf = pfr.add_actor("transf");
+        let quant = pfr.add_actor("quant");
+        let vlc = pfr.add_actor("vlc");
+        let sink = pfr.add_actor("sink");
+        pfr.add_edge(src, diff, 4, 1).expect("valid rates");
+        pfr.add_edge(src, recon, 2, 1).expect("valid rates");
+        pfr.add_edge_with_delay(recon, predict, 1, 1, 1)
+            .expect("valid rates");
+        pfr.add_edge(predict, diff, 2, 1).expect("valid rates");
+        pfr.add_edge(diff, transf, 1, 1).expect("valid rates");
+        pfr.add_edge(transf, quant, 1, 1).expect("valid rates");
+        pfr.add_edge(quant, vlc, 2, 1).expect("valid rates");
+        pfr.add_edge(vlc, sink, 1, 4).expect("valid rates");
+    }
+    mg.add_mode(pfr);
+
+    mg.add_persistent("recon", "predict");
+    mg
+}
+
+/// Every registered mode graph as `(name, builder result)`, the
+/// multi-mode counterpart of [`crate::registry::table1_systems`].
+pub fn mode_graphs() -> Vec<(&'static str, ModeGraph)> {
+    vec![
+        ("modem_acq_track", modem_acq_track()),
+        ("codec_ip", codec_ip()),
+    ]
+}
+
+/// Looks a registered mode graph up by name.
+pub fn mode_graph_by_name(name: &str) -> Option<ModeGraph> {
+    mode_graphs()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, mg)| mg)
+}
+
+/// Generates a random mode graph for property tests: `n_modes`
+/// independent random SDF graphs (per `config`), each extended with the
+/// same persistent `ps -> pd` chain — `n0 -> ps` at unit rates keeps
+/// the graph connected, and `ps -> pd` carries identical `(1, 1)` rates
+/// and `delay` initial tokens in every mode, as
+/// [`sdf_core::mode::ModeGraph::validate`] requires.
+///
+/// # Panics
+///
+/// Panics if `n_modes < 2` or `delay == 0` (the resulting graph could
+/// never validate).
+pub fn random_mode_graph<R: Rng + ?Sized>(
+    config: &RandomGraphConfig,
+    n_modes: usize,
+    delay: u64,
+    rng: &mut R,
+) -> ModeGraph {
+    assert!(n_modes >= 2, "a mode graph needs at least two modes");
+    assert!(delay >= 1, "persistent edges need at least one delay token");
+    let mut mg = ModeGraph::new(format!("random_modes_{n_modes}"));
+    for m in 0..n_modes {
+        let base = random_sdf_graph(config, rng);
+        // Rebuild under a unique per-mode name, then graft the
+        // persistent chain onto actor n0.
+        let mut g = SdfGraph::new(format!("m{m}"));
+        let ids: Vec<_> = base
+            .actors()
+            .map(|a| g.add_actor(base.actor_name(a)))
+            .collect();
+        for (_, e) in base.edges() {
+            g.add_edge_with_delay(
+                ids[e.src.index()],
+                ids[e.snk.index()],
+                e.prod,
+                e.cons,
+                e.delay,
+            )
+            .expect("copied rates stay valid");
+        }
+        let ps = g.add_actor("ps");
+        let pd = g.add_actor("pd");
+        g.add_edge(ids[0], ps, 1, 1).expect("valid rates");
+        g.add_edge_with_delay(ps, pd, 1, 1, delay)
+            .expect("valid rates");
+        mg.add_mode(g);
+    }
+    mg.add_persistent("ps", "pd");
+    mg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registered_mode_graphs_validate() {
+        for (name, mg) in mode_graphs() {
+            assert_eq!(mg.name(), name);
+            mg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            for mode in mg.modes() {
+                assert!(
+                    sdf_core::RepetitionsVector::compute(&mode.graph).is_ok(),
+                    "{name}/{} is inconsistent",
+                    mode.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_mode_graphs_validate() {
+        let cfg = RandomGraphConfig::paper_style(8);
+        for seed in 0..10 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mg = random_mode_graph(&cfg, 2 + (seed as usize % 3), 1 + seed % 3, &mut rng);
+            mg.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(mode_graph_by_name("codec_ip").is_some());
+        assert!(mode_graph_by_name("nope").is_none());
+    }
+}

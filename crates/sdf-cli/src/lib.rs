@@ -79,6 +79,8 @@ pub enum SubmitKind {
     Simulate,
     /// Build the allocation-provenance report.
     Explain,
+    /// Synthesise a multi-mode scenario graph into one shared pool.
+    Modes,
     /// Capture a regression-sentinel baseline profile.
     Baseline,
     /// Fetch the daemon's `service.*` counters, gauges and histogram
@@ -227,6 +229,18 @@ pub enum Command {
         /// counter tracks to this path.
         trace: Option<String>,
     },
+    /// `sdfmem modes <file> [--report FMT]` — synthesise a multi-mode
+    /// scenario graph (`.sdfm`) into one shared pool across all modes:
+    /// per-mode plans on the candidate lattice, a merged cross-mode
+    /// allocation whose persistent buffers keep their offsets across
+    /// transitions, and the transition oracle's verdict; exit 1 when
+    /// the oracle finds a violation.
+    Modes {
+        /// Mode-graph file path.
+        file: String,
+        /// Output format (`json` prints the `mode_report` document).
+        report: ReportFormat,
+    },
     /// `sdfmem gantt <file> [--method M]` — lifetime chart.
     Gantt {
         /// Graph file path.
@@ -338,6 +352,10 @@ COMMANDS:
     explain   allocation provenance: per-buffer placement stories (probes,
               rejected gaps, fragmentation attribution) and the pool
               occupancy timeline
+    modes     synthesise a multi-mode scenario graph (.sdfm) into one
+              shared pool across all modes: persistent buffers keep one
+              offset everywhere, mode-local buffers of different modes
+              overlap; exit 1 on an unclean transition oracle
     gantt     ASCII lifetime chart of all buffers
     dot       Graphviz export of the graph
     serve     run the sdfmemd daemon: line-delimited JSON service requests
@@ -355,7 +373,7 @@ COMMANDS:
 OPTIONS:
     --method apgan|rpmc      topological-sort heuristic (default apgan)
     --model  shared|nonshared  buffer model (default shared)
-    --report text|json       analyze/simulate/explain output format
+    --report text|json       analyze/simulate/explain/modes output format
                              (default text)
     --standalone             codegen: emit stub actors + main (runnable program)
     --serial                 analyze: evaluate candidates serially
@@ -379,8 +397,9 @@ OPTIONS:
                              listening
     --trace-dir <dir>        serve: write one chrome://tracing JSON file
                              per completed job into this directory
-    --kind <op>              submit: analyze|plan|simulate|explain|baseline|
-                             stats|metrics|events|shutdown (default analyze)
+    --kind <op>              submit: analyze|plan|simulate|explain|modes|
+                             baseline|stats|metrics|events|shutdown
+                             (default analyze)
     --file <graph>           submit/edit: graph file
     --edits <script>         edit: edit-script file; lines are
                              set-rate SRC SNK PROD CONS, set-delay SRC SNK D,
@@ -404,6 +423,15 @@ GRAPH FILE FORMAT:
     graph NAME
     actor NAME
     edge SRC SNK PROD CONS [delay D]
+
+MODE GRAPH FILE FORMAT (modes):
+    modegraph NAME
+    persistent SRC SNK
+    mode NAME
+    actor NAME
+    edge SRC SNK PROD CONS [delay D]
+    mode NAME
+    ...
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -432,6 +460,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "codegen" => &["--method", "--model", "--standalone"],
         "simulate" => &["--method", "--model", "--report"],
         "explain" => &["--buffer", "--report", "--trace"],
+        "modes" => &["--report"],
         "serve" => &[
             "--workers",
             "--cache-cap",
@@ -600,6 +629,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     Some("plan") => SubmitKind::Plan,
                     Some("simulate") => SubmitKind::Simulate,
                     Some("explain") => SubmitKind::Explain,
+                    Some("modes") => SubmitKind::Modes,
                     Some("baseline") => SubmitKind::Baseline,
                     Some("stats") => SubmitKind::Stats,
                     Some("metrics") => SubmitKind::Metrics,
@@ -695,6 +725,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             report,
             trace,
         }),
+        "modes" => Ok(Command::Modes { file, report }),
         "gantt" => Ok(Command::Gantt { file, method }),
         "dot" => Ok(Command::Dot { file }),
         "serve" => Ok(Command::Serve {
@@ -1216,6 +1247,9 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                 SubmitKind::Explain => ServiceRequest::Explain {
                     graph: graph(file)?,
                 },
+                SubmitKind::Modes => ServiceRequest::Modes {
+                    graph: graph(file)?,
+                },
                 SubmitKind::Baseline => ServiceRequest::Baseline {
                     graph: graph(file)?,
                     repeats: *repeats,
@@ -1291,6 +1325,94 @@ pub fn execute(command: &Command) -> Result<(String, i32), String> {
                         code = 1;
                     }
                 },
+            }
+        }
+        Command::Modes { file, report } => {
+            let request = ServiceRequest::Modes {
+                graph: read_input(file)?,
+            };
+            let payload = into_payload(execute_request(&request), &[("graph", file)])?;
+            let ResponsePayload::Modes { synthesis } = &payload else {
+                unreachable!("modes request produced a foreign payload");
+            };
+            if synthesis.exec.is_err() {
+                code = 1;
+            }
+            match report {
+                ReportFormat::Json => {
+                    let _ = writeln!(out, "{}", payload.to_json());
+                }
+                ReportFormat::Text => {
+                    let _ = writeln!(
+                        out,
+                        "modegraph {}: {} modes, {} persistent buffer{}",
+                        synthesis.plan.graph,
+                        synthesis.summaries.len(),
+                        synthesis.plan.persistent.len(),
+                        if synthesis.plan.persistent.len() == 1 {
+                            ""
+                        } else {
+                            "s"
+                        }
+                    );
+                    for s in &synthesis.summaries {
+                        let _ = writeln!(
+                            out,
+                            "  mode {}: {} actors, {} edges, standalone pool {} words \
+                             (period {} firings)",
+                            s.name, s.actors, s.edges, s.standalone_pool_words, s.firings
+                        );
+                    }
+                    if !synthesis.plan.persistent.is_empty() {
+                        let _ = writeln!(out, "persistent buffers (one offset, every mode):");
+                        for p in &synthesis.plan.persistent {
+                            let _ = writeln!(
+                                out,
+                                "  {}->{}: offset {}, {} words, {} delay token{}",
+                                p.src,
+                                p.snk,
+                                p.offset,
+                                p.size,
+                                p.delay,
+                                if p.delay == 1 { "" } else { "s" }
+                            );
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "merged pool: {} words ({:.1}% saved over separate pools {})",
+                        synthesis.merged_pool_words,
+                        synthesis.savings_percent(),
+                        synthesis.sum_pool_words
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  gate: merged {} <= max standalone {} + persistent {} = {}  [{}]",
+                        synthesis.merged_pool_words,
+                        synthesis.max_pool_words,
+                        synthesis.persistent_words,
+                        synthesis.gate_bound,
+                        if synthesis.gate_ok { "ok" } else { "EXCEEDED" }
+                    );
+                    match &synthesis.exec {
+                        Ok(r) => {
+                            let _ = writeln!(
+                                out,
+                                "transitions: oracle clean ({} activations, {} switches, \
+                                 {} firings, peak live {}/{} words)",
+                                r.activations.len(),
+                                r.transitions,
+                                r.firings,
+                                r.peak_live_words,
+                                r.pool_words
+                            );
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "transitions: ORACLE VIOLATION");
+                            let _ = writeln!(out, "  {e}");
+                        }
+                    }
+                }
             }
         }
         Command::Edit {
@@ -2739,5 +2861,92 @@ mod tests {
         server.wait();
         let _ = std::fs::remove_file(edits_path);
         let _ = std::fs::remove_file(bad_path);
+    }
+
+    #[test]
+    fn parse_modes_command() {
+        assert_eq!(
+            parse_args(&args(&["modes", "g.sdfm"])).unwrap(),
+            Command::Modes {
+                file: "g.sdfm".into(),
+                report: ReportFormat::Text
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["modes", "g.sdfm", "--report", "json"])).unwrap(),
+            Command::Modes {
+                file: "g.sdfm".into(),
+                report: ReportFormat::Json
+            }
+        );
+        assert!(parse_args(&args(&["modes"])).is_err());
+        assert!(parse_args(&args(&["modes", "g.sdfm", "--count", "3"])).is_err());
+        let parsed = parse_args(&args(&["submit", "a:1", "--kind", "modes"])).unwrap();
+        let Command::Submit { kind, .. } = parsed else {
+            panic!("expected a submit command");
+        };
+        assert_eq!(kind, SubmitKind::Modes);
+    }
+
+    fn write_mode_graph() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sdfmem-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("toy-{}.sdfm", std::process::id()));
+        // The registered modem acquisition/tracking scenario graph
+        // (examples/graphs/modem_acq_track.sdfm).
+        let text = "modegraph modem_acq_track\n\
+                    persistent sync demod\n\
+                    mode acquisition\n\
+                    edge src agc 2 1\n\
+                    edge agc sync 2 1\n\
+                    edge sync demod 1 2 delay 2\n\
+                    edge demod sink 2 1\n\
+                    mode tracking\n\
+                    edge src agc 2 1\n\
+                    edge agc eq 1 1\n\
+                    edge eq demod 1 1\n\
+                    edge agc sync 2 1\n\
+                    edge sync demod 1 2 delay 2\n\
+                    edge demod sink 1 2\n";
+        std::fs::write(&path, text).expect("write temp mode graph");
+        path
+    }
+
+    #[test]
+    fn end_to_end_modes() {
+        let path = write_mode_graph();
+        let file = path.to_string_lossy().into_owned();
+        let (text, code) = execute(&Command::Modes {
+            file: file.clone(),
+            report: ReportFormat::Text,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("modegraph modem_acq_track: 2 modes"),
+            "{text}"
+        );
+        assert!(text.contains("mode acquisition:"), "{text}");
+        assert!(text.contains("mode tracking:"), "{text}");
+        assert!(text.contains("persistent buffers"), "{text}");
+        assert!(text.contains("merged pool:"), "{text}");
+        assert!(text.contains("[ok]"), "{text}");
+        assert!(text.contains("transitions: oracle clean"), "{text}");
+        // The JSON form is the mode_report document and carries the
+        // per-mode plans plus the transition-oracle verdict.
+        let (json_out, code) = execute(&Command::Modes {
+            file,
+            report: ReportFormat::Json,
+        })
+        .unwrap();
+        assert_eq!(code, 0, "{json_out}");
+        let doc = sdf_trace::json::parse(json_out.trim()).expect("valid JSON");
+        use sdf_trace::json::Json;
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("mode_report"));
+        assert_eq!(doc.get("gate_ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("clean").and_then(Json::as_bool), Some(true));
+        let merged = doc.get("merged_pool_words").and_then(Json::as_num).unwrap();
+        let sum = doc.get("sum_pool_words").and_then(Json::as_num).unwrap();
+        assert!(merged < sum, "merged {merged} must beat separate {sum}");
     }
 }

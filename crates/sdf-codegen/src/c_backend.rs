@@ -141,6 +141,16 @@ fn emit_ops(plan: &ExecutablePlan, out: &mut String) {
                 indent -= 4;
                 let _ = writeln!(out, "{:indent$}}}", "", indent = indent);
             }
+            PlanOp::ModeSwitch { next } => {
+                // Single-mode emission never sees this op; a multi-mode
+                // driver would branch to the next mode's period here.
+                let _ = writeln!(
+                    out,
+                    "{:indent$}/* mode switch -> mode {next} */",
+                    "",
+                    indent = indent
+                );
+            }
         }
     }
 }

@@ -48,7 +48,7 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-fn err(message: String) -> ExecError {
+pub(crate) fn err(message: String) -> ExecError {
     ExecError { message }
 }
 
@@ -69,27 +69,27 @@ pub struct ExecReport {
 }
 
 /// One edge's FIFO state inside the pool: a ring over its region.
-struct Fifo {
+pub(crate) struct Fifo {
     /// Ring index of the oldest token (0..size).
-    front: u64,
+    pub(crate) front: u64,
     /// Tokens currently on the edge.
-    tokens: u64,
+    pub(crate) tokens: u64,
 }
 
-struct Interp<'p> {
-    plan: &'p ExecutablePlan,
+pub(crate) struct Interp<'p> {
+    pub(crate) plan: &'p ExecutablePlan,
     /// One stamp per pool word: `Some((binding, firing))` while the
     /// word holds a live token.
-    cells: Vec<Option<(usize, u64)>>,
-    fifos: Vec<Fifo>,
-    live: Vec<bool>,
-    live_words: u64,
-    peak_live_words: u64,
-    firings: u64,
+    pub(crate) cells: Vec<Option<(usize, u64)>>,
+    pub(crate) fifos: Vec<Fifo>,
+    pub(crate) live: Vec<bool>,
+    pub(crate) live_words: u64,
+    pub(crate) peak_live_words: u64,
+    pub(crate) firings: u64,
 }
 
 impl<'p> Interp<'p> {
-    fn new(plan: &'p ExecutablePlan) -> Result<Interp<'p>, ExecError> {
+    pub(crate) fn new(plan: &'p ExecutablePlan) -> Result<Interp<'p>, ExecError> {
         for b in &plan.bindings {
             if b.offset + b.size > plan.pool_words {
                 return Err(err(format!(
@@ -260,7 +260,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn run_ops(&mut self) -> Result<(), ExecError> {
+    pub(crate) fn run_ops(&mut self) -> Result<(), ExecError> {
         // Iterative loop execution over the flattened ops: a stack of
         // (op index of BeginLoop, remaining iterations).
         let mut stack: Vec<(usize, u64)> = Vec::new();
@@ -282,7 +282,7 @@ impl<'p> Interp<'p> {
                             match self.plan.ops[pc] {
                                 PlanOp::BeginLoop { .. } => depth += 1,
                                 PlanOp::EndLoop => depth -= 1,
-                                PlanOp::Fire { .. } => {}
+                                PlanOp::Fire { .. } | PlanOp::ModeSwitch { .. } => {}
                             }
                             pc += 1;
                         }
@@ -299,6 +299,12 @@ impl<'p> Interp<'p> {
                     } else {
                         pc += 1;
                     }
+                }
+                // A period-terminating marker: the mode interpreter
+                // performs the actual transition after this period's
+                // conservation checks pass.
+                PlanOp::ModeSwitch { .. } => {
+                    pc += 1;
                 }
             }
         }

@@ -53,10 +53,15 @@
 
 pub mod c_backend;
 pub mod interp;
+pub mod modes;
 pub mod plan;
 
 pub use c_backend::{emit_c, emit_standalone_c};
 pub use interp::{execute_plan, ExecError, ExecReport};
+pub use modes::{
+    execute_mode_plan, ActivationReport, ModeExecReport, ModeExecutablePlan, ModePlanEntry,
+    PersistentBinding,
+};
 pub use plan::{BufferBinding, ExecutablePlan, MemoryModel, PlanActor, PlanOp, TOKEN_BYTES};
 
 use sdf_alloc::Allocation;

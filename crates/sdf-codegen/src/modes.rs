@@ -1,0 +1,392 @@
+//! Multi-mode executable plans and their transition-aware interpreter.
+//!
+//! A [`ModeExecutablePlan`] packages one [`ExecutablePlan`] per mode,
+//! all bound into the **same** shared pool, plus the persistent-buffer
+//! table: for every declared persistent edge, its (mode-invariant) pool
+//! offset and its binding index inside each mode's plan.  Each mode's
+//! op stream ends with a [`PlanOp::ModeSwitch`] marker naming the next
+//! mode of the default round-robin cycle.
+//!
+//! [`execute_mode_plan`] is the transition oracle: it fires a sequence
+//! of mode activations, carrying the persistent delay tokens (with
+//! their pool-word stamps) across every switch while resetting all
+//! mode-local state, and proves the multi-mode contract:
+//!
+//! * **static disjointness** — every persistent region lies inside the
+//!   pool, disjoint from every other persistent region and from every
+//!   mode-local binding of every mode, and keeps one offset everywhere;
+//! * **token conservation across switches** — each activation returns
+//!   every edge to its initial delay, and the carried persistent tokens
+//!   arrive in the next mode bit-stamped exactly as they left;
+//! * **per-activation oracle invariants** — the single-plan checks
+//!   (stamped reads, live-region disjointness, peak ≤ pool) hold inside
+//!   every activation.
+
+use crate::interp::{err, ExecError, Interp};
+use crate::plan::{ExecutablePlan, PlanOp};
+
+/// One mode's entry in a multi-mode plan.
+#[derive(Clone, Debug)]
+pub struct ModePlanEntry {
+    /// Mode name.
+    pub name: String,
+    /// The mode's plan, bound into the shared pool (its
+    /// [`ExecutablePlan::pool_words`] equals the merged pool size).
+    pub plan: ExecutablePlan,
+}
+
+/// One persistent edge's place in the shared pool.
+#[derive(Clone, Debug)]
+pub struct PersistentBinding {
+    /// Producer actor name.
+    pub src: String,
+    /// Consumer actor name.
+    pub snk: String,
+    /// The region's first word — identical in every mode.
+    pub offset: u64,
+    /// Reserved words (the max of the per-mode buffer sizes).
+    pub size: u64,
+    /// Initial delay tokens — the state carried across transitions.
+    pub delay: u64,
+    /// Binding index of this edge inside each mode's plan, mode order.
+    pub bindings: Vec<usize>,
+}
+
+/// A multi-mode plan: per-mode [`ExecutablePlan`]s sharing one pool.
+#[derive(Clone, Debug)]
+pub struct ModeExecutablePlan {
+    /// The mode graph's name.
+    pub graph: String,
+    /// The merged shared pool, words.
+    pub pool_words: u64,
+    /// Bytes per token (same for every mode).
+    pub token_bytes: u64,
+    /// Per-mode plans, in mode order.
+    pub modes: Vec<ModePlanEntry>,
+    /// Persistent-buffer table, in declaration order.
+    pub persistent: Vec<PersistentBinding>,
+}
+
+impl ModeExecutablePlan {
+    /// Assembles and validates a multi-mode plan, appending the
+    /// [`PlanOp::ModeSwitch`] marker (default round-robin successor) to
+    /// each mode's op stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] when any static invariant fails: mismatched pool
+    /// sizes, a persistent offset that differs between modes, or a
+    /// persistent region overlapping any other region (see the module
+    /// docs).
+    pub fn assemble(
+        graph: impl Into<String>,
+        mut modes: Vec<ModePlanEntry>,
+        persistent: Vec<PersistentBinding>,
+    ) -> Result<ModeExecutablePlan, ExecError> {
+        if modes.is_empty() {
+            return Err(err("a multi-mode plan needs at least one mode".to_string()));
+        }
+        let pool_words = modes[0].plan.pool_words;
+        let token_bytes = modes[0].plan.token_bytes;
+        let n = modes.len();
+        for (m, entry) in modes.iter_mut().enumerate() {
+            if entry.plan.pool_words != pool_words {
+                return Err(err(format!(
+                    "mode {:?} binds a {}-word pool but the merged pool is {} words",
+                    entry.name, entry.plan.pool_words, pool_words
+                )));
+            }
+            entry
+                .plan
+                .ops
+                .push(PlanOp::ModeSwitch { next: (m + 1) % n });
+        }
+        let plan = ModeExecutablePlan {
+            graph: graph.into(),
+            pool_words,
+            token_bytes,
+            modes,
+            persistent,
+        };
+        plan.validate_static()?;
+        Ok(plan)
+    }
+
+    /// The static half of the transition oracle (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] naming the first violated invariant.
+    pub fn validate_static(&self) -> Result<(), ExecError> {
+        for p in &self.persistent {
+            if p.bindings.len() != self.modes.len() {
+                return Err(err(format!(
+                    "persistent edge {} -> {} binds {} modes, plan has {}",
+                    p.src,
+                    p.snk,
+                    p.bindings.len(),
+                    self.modes.len()
+                )));
+            }
+            if p.offset + p.size > self.pool_words {
+                return Err(err(format!(
+                    "persistent edge {} -> {} spans words {}..{} outside the {}-word pool",
+                    p.src,
+                    p.snk,
+                    p.offset,
+                    p.offset + p.size,
+                    self.pool_words
+                )));
+            }
+            for (m, entry) in self.modes.iter().enumerate() {
+                let b = &entry.plan.bindings[p.bindings[m]];
+                if b.offset != p.offset {
+                    return Err(err(format!(
+                        "persistent edge {} -> {} moved: offset {} in mode {:?} \
+                         but {} in the shared table — offsets must survive transitions",
+                        p.src, p.snk, b.offset, entry.name, p.offset
+                    )));
+                }
+                if b.size > p.size {
+                    return Err(err(format!(
+                        "persistent edge {} -> {} needs {} words in mode {:?} \
+                         but the shared table reserves only {}",
+                        p.src, p.snk, b.size, entry.name, p.size
+                    )));
+                }
+                if b.delay != p.delay {
+                    return Err(err(format!(
+                        "persistent edge {} -> {} carries {} delay tokens in mode {:?} \
+                         but the shared table says {}",
+                        p.src, p.snk, b.delay, entry.name, p.delay
+                    )));
+                }
+            }
+        }
+        // Persistent regions: pairwise disjoint, and disjoint from every
+        // mode-local binding of every mode (a local overlapping a
+        // persistent region would clobber carried tokens).
+        for (i, p) in self.persistent.iter().enumerate() {
+            for q in &self.persistent[i + 1..] {
+                if p.offset < q.offset + q.size && q.offset < p.offset + p.size {
+                    return Err(err(format!(
+                        "persistent regions overlap: {} -> {} (words {}..{}) and \
+                         {} -> {} (words {}..{})",
+                        p.src,
+                        p.snk,
+                        p.offset,
+                        p.offset + p.size,
+                        q.src,
+                        q.snk,
+                        q.offset,
+                        q.offset + q.size
+                    )));
+                }
+            }
+            for (m, entry) in self.modes.iter().enumerate() {
+                for (bi, b) in entry.plan.bindings.iter().enumerate() {
+                    if bi == p.bindings[m] {
+                        continue;
+                    }
+                    if p.offset < b.offset + b.size && b.offset < p.offset + p.size {
+                        return Err(err(format!(
+                            "mode {:?} binds edge {} ({} -> {}, words {}..{}) inside the \
+                             persistent region of {} -> {} (words {}..{})",
+                            entry.name,
+                            b.edge,
+                            b.src,
+                            b.snk,
+                            b.offset,
+                            b.offset + b.size,
+                            p.src,
+                            p.snk,
+                            p.offset,
+                            p.offset + p.size
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The default oracle sequence: every mode once in order, then back
+    /// to mode 0 — every transition of the round-robin cycle is crossed
+    /// and re-entry is proven.
+    pub fn default_sequence(&self) -> Vec<usize> {
+        let mut seq: Vec<usize> = (0..self.modes.len()).collect();
+        seq.push(0);
+        seq
+    }
+
+    /// Total firings of one pass over `sequence`.
+    pub fn total_firings(&self, sequence: &[usize]) -> u64 {
+        sequence
+            .iter()
+            .map(|&m| self.modes[m].plan.total_firings())
+            .sum()
+    }
+}
+
+/// What one mode activation measured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActivationReport {
+    /// Which mode fired.
+    pub mode: usize,
+    /// Firings in this activation (one period of the mode).
+    pub firings: u64,
+    /// Peak simultaneously-live words during the activation.
+    pub peak_live_words: u64,
+}
+
+/// What a clean multi-mode interpretation measured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModeExecReport {
+    /// Per-activation measurements, in sequence order.
+    pub activations: Vec<ActivationReport>,
+    /// Total firings across the sequence.
+    pub firings: u64,
+    /// Peak live words over every activation.
+    pub peak_live_words: u64,
+    /// The shared pool size, for the `peak ≤ pool` headline.
+    pub pool_words: u64,
+    /// Mode switches crossed (`sequence.len() − 1`).
+    pub transitions: u64,
+}
+
+/// Executes `sequence` of mode activations against the shared pool,
+/// carrying persistent tokens across every switch (see module docs).
+///
+/// # Errors
+///
+/// [`ExecError`] naming the violated invariant: any single-plan oracle
+/// failure inside an activation, a token leak at a period end, or a
+/// persistent token corrupted or lost across a transition.
+pub fn execute_mode_plan(
+    plan: &ModeExecutablePlan,
+    sequence: &[usize],
+) -> Result<ModeExecReport, ExecError> {
+    let _span = sdf_trace::span!(
+        "exec.mode.run",
+        modes = plan.modes.len(),
+        activations = sequence.len()
+    );
+    plan.validate_static()?;
+    if sequence.is_empty() {
+        return Err(err("empty mode sequence".to_string()));
+    }
+    for &m in sequence {
+        if m >= plan.modes.len() {
+            return Err(err(format!(
+                "sequence names mode {m} but the plan has only {}",
+                plan.modes.len()
+            )));
+        }
+    }
+    // Carried persistent state: the firing stamps of each edge's delay
+    // tokens, oldest first, as they left the previous activation.
+    let mut carry: Vec<Option<Vec<u64>>> = vec![None; plan.persistent.len()];
+    let mut activations = Vec::with_capacity(sequence.len());
+    let mut firings = 0u64;
+    let mut peak_live_words = 0u64;
+    for (step, &m) in sequence.iter().enumerate() {
+        let entry = &plan.modes[m];
+        let mut interp = Interp::new(&entry.plan)?;
+        // Seed carried persistent tokens: same owner, the stamps they
+        // wore when the previous activation ended.  Local buffers keep
+        // the fresh-delay state `Interp::new` gave them — a re-entered
+        // mode re-initialises its local delays from scratch.
+        for (pi, p) in plan.persistent.iter().enumerate() {
+            let Some(stamps) = &carry[pi] else { continue };
+            let ib = p.bindings[m];
+            let b = &entry.plan.bindings[ib];
+            if stamps.len() as u64 != b.delay {
+                return Err(err(format!(
+                    "token leak across transition into mode {:?} (step {step}): \
+                     persistent edge {} -> {} carried {} tokens, expected its delay {}",
+                    entry.name,
+                    p.src,
+                    p.snk,
+                    stamps.len(),
+                    b.delay
+                )));
+            }
+            for (k, &stamp) in stamps.iter().enumerate() {
+                interp.cells[(b.offset + k as u64) as usize] = Some((ib, stamp));
+            }
+        }
+        interp.run_ops().map_err(|e| {
+            err(format!(
+                "mode {:?} (step {step}): {}",
+                entry.name, e.message
+            ))
+        })?;
+        // Token conservation at the period end — for persistent edges
+        // this *is* conservation across the upcoming switch.
+        for (i, b) in entry.plan.bindings.iter().enumerate() {
+            if interp.fifos[i].tokens != b.delay {
+                return Err(err(format!(
+                    "token leak in mode {:?} (step {step}): edge {} ({} -> {}) ended \
+                     with {} tokens, expected its initial delay {}",
+                    entry.name, b.edge, b.src, b.snk, interp.fifos[i].tokens, b.delay
+                )));
+            }
+        }
+        if interp.peak_live_words > plan.pool_words {
+            return Err(err(format!(
+                "mode {:?} (step {step}): peak live footprint {} words exceeds the \
+                 {}-word shared pool",
+                entry.name, interp.peak_live_words, plan.pool_words
+            )));
+        }
+        // Harvest the persistent tokens for the next activation,
+        // verifying every carried word still wears this edge's stamp —
+        // a foreign stamp means some local buffer clobbered state that
+        // must survive the switch.
+        for (pi, p) in plan.persistent.iter().enumerate() {
+            let ib = p.bindings[m];
+            let b = &entry.plan.bindings[ib];
+            let fifo = &interp.fifos[ib];
+            let mut stamps = Vec::with_capacity(fifo.tokens as usize);
+            for k in 0..fifo.tokens {
+                let pos = (b.offset + (fifo.front + k) % b.size) as usize;
+                match interp.cells[pos] {
+                    Some((owner, stamp)) if owner == ib => stamps.push(stamp),
+                    Some((owner, _)) => {
+                        let o = &entry.plan.bindings[owner];
+                        return Err(err(format!(
+                            "persistent token corrupted at the switch out of mode {:?} \
+                             (step {step}): word {} of edge {} -> {} overwritten by \
+                             edge {} ({} -> {})",
+                            entry.name, pos, p.src, p.snk, o.edge, o.src, o.snk
+                        )));
+                    }
+                    None => {
+                        return Err(err(format!(
+                            "persistent token lost at the switch out of mode {:?} \
+                             (step {step}): word {} of edge {} -> {} is dead",
+                            entry.name, pos, p.src, p.snk
+                        )));
+                    }
+                }
+            }
+            carry[pi] = Some(stamps);
+        }
+        firings += interp.firings;
+        peak_live_words = peak_live_words.max(interp.peak_live_words);
+        activations.push(ActivationReport {
+            mode: m,
+            firings: interp.firings,
+            peak_live_words: interp.peak_live_words,
+        });
+    }
+    sdf_trace::counter_add("exec.mode.firings", firings);
+    sdf_trace::counter_add("exec.mode.transitions", sequence.len() as u64 - 1);
+    Ok(ModeExecReport {
+        activations,
+        firings,
+        peak_live_words,
+        pool_words: plan.pool_words,
+        transitions: sequence.len() as u64 - 1,
+    })
+}

@@ -72,6 +72,18 @@ pub enum PlanOp {
     },
     /// Close the innermost open loop.
     EndLoop,
+    /// End the current mode's period and hand control to mode `next`
+    /// (an index into the owning
+    /// [`ModeExecutablePlan`](crate::modes::ModeExecutablePlan)).  Only
+    /// multi-mode plans contain this op — it terminates a per-mode op
+    /// stream, so single-graph execution treats it as a period
+    /// boundary; the mode interpreter performs the transition
+    /// bookkeeping (persistent-token carry, local-buffer reset) when it
+    /// reaches it.
+    ModeSwitch {
+        /// Mode index the transition targets.
+        next: usize,
+    },
 }
 
 /// Where one edge's buffer lives in the pool.
@@ -280,6 +292,7 @@ impl ExecutablePlan {
                 PlanOp::EndLoop => {
                     stack.pop();
                 }
+                PlanOp::ModeSwitch { .. } => {}
             }
         }
         total
@@ -335,6 +348,9 @@ impl ExecutablePlan {
                     let _ = write!(s, "{{\"op\":\"loop\",\"count\":{count}}}");
                 }
                 PlanOp::EndLoop => s.push_str("{\"op\":\"end\"}"),
+                PlanOp::ModeSwitch { next } => {
+                    let _ = write!(s, "{{\"op\":\"switch\",\"next\":{next}}}");
+                }
             }
         }
         let _ = write!(s, "],\"op_count\":{}}}", self.ops.len());

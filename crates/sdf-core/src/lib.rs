@@ -51,6 +51,7 @@ pub mod graph;
 pub mod hof;
 pub mod io;
 pub mod math;
+pub mod mode;
 pub mod rational;
 pub mod repetitions;
 pub mod schedule;
@@ -60,6 +61,7 @@ pub mod transform;
 
 pub use error::SdfError;
 pub use graph::{ActorId, Edge, EdgeId, SdfGraph};
+pub use mode::{Mode, ModeGraph, PersistentEdge};
 pub use rational::Rational;
 pub use repetitions::{is_consistent, RepetitionsVector};
 pub use schedule::{LoopedSchedule, SasNode, SasTree, ScheduleNode};

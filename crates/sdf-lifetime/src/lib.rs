@@ -47,6 +47,7 @@ pub mod fine;
 pub mod gantt;
 pub mod interval;
 pub mod merge;
+pub mod modes;
 pub mod occupancy;
 pub mod tree;
 pub mod wig;
@@ -55,6 +56,7 @@ pub use clique::{mcw_exact, mcw_optimistic, mcw_pessimistic};
 pub use fine::{FineBuffer, FineIntersectionGraph, FineLifetime};
 pub use interval::{buffer_lifetime, Period, PeriodicLifetime};
 pub use merge::{CbpSpec, MergedGraph};
+pub use modes::{ModeBuffer, ModeBufferKind, ModeConflictGraph};
 pub use occupancy::{OccupancySample, OccupancyTimeline};
 pub use tree::{ScheduleTree, TreeNodeId};
 pub use wig::{Buffer, ConflictGraph, IntersectionGraph, WigSpliceStats};

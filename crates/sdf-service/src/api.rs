@@ -34,6 +34,7 @@ use sdf_trace::json::{self, escape, Json};
 use sdf_trace::{CacheStatus, FlightRecord, Histogram, StageSpan};
 use sdfmem::engine::{AnalysisBuilder, StageTimings, Synthesis};
 use sdfmem::incremental::{apply_edits, dirty_edges, EditScript};
+use sdfmem::modes::{synthesize_modes, ModeSynthesis};
 use sdfmem::pipeline::Analysis;
 use sdfmem::sentinel::{capture_profile, CaptureOptions};
 
@@ -220,6 +221,15 @@ pub enum ServiceRequest {
         /// `remove-edge` lines).
         edits: String,
     },
+    /// Synthesise a multi-mode scenario graph into one shared pool
+    /// (the `mode_report` document): per-mode plans on the candidate
+    /// lattice, merged cross-mode allocation, persistent-buffer table
+    /// and the transition oracle's verdict. Deterministic, so
+    /// cacheable.
+    Modes {
+        /// Mode-graph text in the [`sdf_core::mode`] format.
+        graph: String,
+    },
     /// Capture a regression-sentinel baseline profile. Never cached:
     /// the profile embeds wall-clock timing statistics.
     Baseline {
@@ -266,6 +276,7 @@ impl ServiceRequest {
             ServiceRequest::Simulate { .. } => "simulate",
             ServiceRequest::Explain { .. } => "explain",
             ServiceRequest::Edit { .. } => "edit",
+            ServiceRequest::Modes { .. } => "modes",
             ServiceRequest::Baseline { .. } => "baseline",
             ServiceRequest::Compare { .. } => "compare",
             ServiceRequest::Stats => "stats",
@@ -277,10 +288,10 @@ impl ServiceRequest {
 
     /// Whether results of this request may be served from the cache.
     ///
-    /// `analyze`, `plan`, `simulate`, `explain` and `edit` are
-    /// deterministic functions of the canonical request (`edit`'s delta
-    /// path is bit-identical to a cold run, so both produce the same
-    /// payload bytes). `baseline` embeds timing statistics and
+    /// `analyze`, `plan`, `simulate`, `explain`, `edit` and `modes`
+    /// are deterministic functions of the canonical request (`edit`'s
+    /// delta path is bit-identical to a cold run, so both produce the
+    /// same payload bytes). `baseline` embeds timing statistics and
     /// `compare` is cheap pure post-processing; neither is cached.
     pub fn cacheable(&self) -> bool {
         matches!(
@@ -290,6 +301,7 @@ impl ServiceRequest {
                 | ServiceRequest::Simulate { .. }
                 | ServiceRequest::Explain { .. }
                 | ServiceRequest::Edit { .. }
+                | ServiceRequest::Modes { .. }
         )
     }
 
@@ -360,6 +372,10 @@ impl ServiceRequest {
                     script.to_text()
                 ))
             }
+            ServiceRequest::Modes { graph } => {
+                let mg = parse_mode_graph_input(graph)?;
+                Ok(format!("modes\n{}", sdf_core::mode::to_mode_text(&mg)))
+            }
             _ => Err(ServiceError::bad_request(format!(
                 "`{}` requests are not content-addressable",
                 self.op()
@@ -417,7 +433,7 @@ impl ServiceRequest {
                     escape(graph)
                 );
             }
-            ServiceRequest::Explain { graph } => {
+            ServiceRequest::Explain { graph } | ServiceRequest::Modes { graph } => {
                 let _ = write!(s, ",\"graph\":\"{}\"", escape(graph));
             }
             ServiceRequest::Edit { graph, edits } => {
@@ -538,6 +554,7 @@ impl ServiceRequest {
                 model: model()?,
             },
             "explain" => ServiceRequest::Explain { graph: graph()? },
+            "modes" => ServiceRequest::Modes { graph: graph()? },
             "edit" => ServiceRequest::Edit {
                 graph: graph()?,
                 edits: str_field("edits")
@@ -640,6 +657,12 @@ pub enum ResponsePayload {
         /// the base (positional diff, as the delta path sees it).
         dirty_edges: usize,
     },
+    /// `modes`: the multi-mode synthesis (merged pool, per-mode plans,
+    /// persistent table, gate, transition-oracle verdict).
+    Modes {
+        /// The full multi-mode synthesis.
+        synthesis: Box<ModeSynthesis>,
+    },
     /// `baseline`: the captured profile.
     Baseline {
         /// The profile.
@@ -718,6 +741,7 @@ impl ResponsePayload {
                 );
                 s
             }
+            ResponsePayload::Modes { synthesis } => mode_report_json(synthesis),
             ResponsePayload::Baseline { profile } => profile.to_json().trim_end().to_string(),
             ResponsePayload::Compare { report } => {
                 report.render(DiffFormat::Json).trim_end().to_string()
@@ -997,6 +1021,17 @@ pub fn parse_edits_input(text: &str) -> Result<EditScript, ServiceError> {
     EditScript::parse(text).map_err(|e| ServiceError::parse("edits", e))
 }
 
+/// Parses mode-graph text, mapping failures to the service's typed
+/// error ([`ErrorCode::ParseError`] with `input: "graph"`).
+///
+/// # Errors
+///
+/// [`ErrorCode::ParseError`] when the text is not a well-formed
+/// [`sdf_core::mode`] document.
+pub fn parse_mode_graph_input(text: &str) -> Result<sdf_core::mode::ModeGraph, ServiceError> {
+    sdf_core::mode::parse_mode_graph(text).map_err(|e| ServiceError::parse("graph", e.to_string()))
+}
+
 /// Assembles the deterministic `edit` payload from an edited graph and
 /// its analysis. Shared between the in-process cold path and the
 /// daemon's session-backed delta path so both produce identical bytes
@@ -1068,6 +1103,93 @@ pub fn lower_plan(
                 .map_err(|e| engine(e.to_string()))
         }
     }
+}
+
+/// The `mode_report` document (also what `sdfmem modes --report json`
+/// prints): per-mode summaries and plans, the persistent-buffer table,
+/// the merged-pool accounting with its gate, and the transition
+/// oracle's verdict.
+fn mode_report_json(synthesis: &ModeSynthesis) -> String {
+    let mut s = json::document_header("mode_report");
+    let _ = write!(
+        s,
+        "\"graph\":\"{}\",\"token_bytes\":{},\"modes\":[",
+        escape(&synthesis.plan.graph),
+        synthesis.plan.token_bytes
+    );
+    for (i, summary) in synthesis.summaries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"actors\":{},\"edges\":{},\
+             \"standalone_pool_words\":{},\"nonshared_bufmem\":{},\
+             \"firings\":{},\"plan\":{}}}",
+            escape(&summary.name),
+            summary.actors,
+            summary.edges,
+            summary.standalone_pool_words,
+            summary.nonshared_bufmem,
+            summary.firings,
+            synthesis.plan.modes[i].plan.to_json().trim_end()
+        );
+    }
+    s.push_str("],\"persistent\":[");
+    for (i, p) in synthesis.plan.persistent.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"src\":\"{}\",\"snk\":\"{}\",\"offset\":{},\"size\":{},\"delay\":{}}}",
+            escape(&p.src),
+            escape(&p.snk),
+            p.offset,
+            p.size,
+            p.delay
+        );
+    }
+    let _ = write!(
+        s,
+        "],\"merged_pool_words\":{},\"sum_pool_words\":{},\"max_pool_words\":{},\
+         \"persistent_words\":{},\"gate_bound\":{},\"gate_ok\":{},\
+         \"savings_percent\":{:.2},\"clean\":{}",
+        synthesis.merged_pool_words,
+        synthesis.sum_pool_words,
+        synthesis.max_pool_words,
+        synthesis.persistent_words,
+        synthesis.gate_bound,
+        synthesis.gate_ok,
+        synthesis.savings_percent(),
+        synthesis.exec.is_ok()
+    );
+    match &synthesis.exec {
+        Ok(r) => {
+            let _ = write!(
+                s,
+                ",\"exec\":{{\"firings\":{},\"peak_live_words\":{},\
+                 \"pool_words\":{},\"transitions\":{},\"activations\":[",
+                r.firings, r.peak_live_words, r.pool_words, r.transitions
+            );
+            for (i, a) in r.activations.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"mode\":{},\"firings\":{},\"peak_live_words\":{}}}",
+                    a.mode, a.firings, a.peak_live_words
+                );
+            }
+            s.push_str("]}");
+        }
+        Err(e) => {
+            let _ = write!(s, ",\"error\":\"{}\"", escape(e));
+        }
+    }
+    s.push('}');
+    s
 }
 
 /// The `simulation_report` document (also what `sdfmem simulate
@@ -1258,6 +1380,15 @@ fn execute_request_inner(
             })?;
             edit_payload(&base, edited, analysis, script.ops.len())
         }
+        ServiceRequest::Modes { graph } => {
+            let mg = clock.time("parse", || parse_mode_graph_input(graph))?;
+            let synthesis = clock.time("engine", || {
+                synthesize_modes(&mg).map_err(|e| ServiceError::engine(e.to_string()))
+            })?;
+            Ok(ResponsePayload::Modes {
+                synthesis: Box::new(synthesis),
+            })
+        }
         ServiceRequest::Baseline {
             graph,
             repeats,
@@ -1373,6 +1504,11 @@ mod tests {
             ServiceRequest::Edit {
                 graph: FIG2.into(),
                 edits: "set-rate A B 40 10\nset-delay B C 3\n".into(),
+            },
+            ServiceRequest::Modes {
+                graph: "modegraph toy\npersistent x y\nmode one\nedge x y 1 1 delay 1\n\
+                        mode two\nedge x y 1 1 delay 1\nedge y c 1 3\n"
+                    .into(),
             },
             ServiceRequest::Stats,
             ServiceRequest::Metrics,

@@ -164,6 +164,7 @@ fn op_latency_histogram(op: &str) -> &'static str {
         "simulate" => "service.op.simulate.latency",
         "explain" => "service.op.explain.latency",
         "edit" => "service.op.edit.latency",
+        "modes" => "service.op.modes.latency",
         "baseline" => "service.op.baseline.latency",
         "compare" => "service.op.compare.latency",
         "stats" => "service.op.stats.latency",

@@ -34,7 +34,7 @@ use crate::api::{
 };
 use crate::hash::fingerprint;
 
-/// How many live sessions the registry retains (FIFO eviction). Each
+/// How many live sessions the registry retains (LRU eviction). Each
 /// session holds one graph plus per-stage delta state; the shared memo
 /// store is bounded separately.
 const SESSION_CAPACITY: usize = 32;
@@ -47,8 +47,11 @@ pub struct SessionRegistry {
 
 struct Inner {
     sessions: HashMap<String, IncrementalSession>,
-    /// Insertion order for FIFO eviction; keys here are always present
-    /// in `sessions` and vice versa.
+    /// Recency order for LRU eviction, least recently used at the
+    /// front; keys here are always present in `sessions` and vice
+    /// versa. `take_session` removes a key and every insert pushes it
+    /// to the back, so a session touched by an edit moves to the back
+    /// even when its fingerprint is unchanged.
     order: VecDeque<String>,
 }
 
@@ -91,9 +94,13 @@ impl SessionRegistry {
         let Ok(mut inner) = self.inner.lock() else {
             return;
         };
-        if inner.sessions.insert(key.clone(), session).is_none() {
-            inner.order.push_back(key);
+        if inner.sessions.insert(key.clone(), session).is_some() {
+            // Overwriting an existing key is a use: move it to the
+            // most-recently-used end instead of leaving it at its old
+            // (possibly about-to-be-evicted) position.
+            inner.order.retain(|k| k != &key);
         }
+        inner.order.push_back(key);
         while inner.sessions.len() > SESSION_CAPACITY {
             let Some(oldest) = inner.order.pop_front() else {
                 break;
@@ -240,13 +247,40 @@ mod tests {
     }
 
     #[test]
-    fn registry_is_fifo_bounded() {
+    fn registry_is_lru_bounded() {
         let registry = SessionRegistry::new();
-        for i in 0..(SESSION_CAPACITY + 8) {
-            let graph = format!("graph g{i}\nedge A B {} 10\nedge B C 20 10\n", 10 * (i + 1));
-            let (resp, _, _) = registry.execute_edit_timed(&graph, "set-delay A B 1\n");
+        let base = |i: usize| format!("graph g{i}\nedge A B {} 10\nedge B C 20 10\n", 10 * (i + 1));
+        let edited = |i: usize, d: u64| {
+            format!(
+                "graph g{i}\nedge A B {} 10 delay {d}\nedge B C 20 10\n",
+                10 * (i + 1)
+            )
+        };
+        // Fill to capacity; each session ends up keyed by its edited
+        // graph (delay 1 on A->B).
+        for i in 0..SESSION_CAPACITY {
+            let (resp, _, _) = registry.execute_edit_timed(&base(i), "set-delay A B 1\n");
             assert!(matches!(resp, ServiceResponse::Ok(_)));
         }
         assert_eq!(registry.session_count(), SESSION_CAPACITY);
+        // Touch session 0, the least recently used: its edit rides the
+        // delta path and must move it to the most-recently-used end.
+        let (touch, _, stats) = registry.execute_edit_timed(&edited(0, 1), "set-delay A B 2\n");
+        assert!(matches!(touch, ServiceResponse::Ok(_)));
+        assert!(!stats.expect("stats").cold, "touch rides the delta path");
+        // A brand-new session overflows the bound. FIFO would evict the
+        // just-touched session 0; LRU evicts session 1 instead.
+        let (fresh, _, _) =
+            registry.execute_edit_timed(&base(SESSION_CAPACITY), "set-delay A B 1\n");
+        assert!(matches!(fresh, ServiceResponse::Ok(_)));
+        assert_eq!(registry.session_count(), SESSION_CAPACITY);
+        // The hot session survived the eviction...
+        let (s0, _, stats) = registry.execute_edit_timed(&edited(0, 2), "set-delay A B 3\n");
+        assert!(matches!(s0, ServiceResponse::Ok(_)));
+        assert!(!stats.expect("stats").cold, "hot session was evicted");
+        // ...and the least recently used one was the victim.
+        let (s1, _, stats) = registry.execute_edit_timed(&edited(1, 1), "set-delay A B 3\n");
+        assert!(matches!(s1, ServiceResponse::Ok(_)));
+        assert!(stats.expect("stats").cold, "LRU victim should be gone");
     }
 }

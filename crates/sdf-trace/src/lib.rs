@@ -94,8 +94,13 @@ use std::time::Instant;
 /// document, the `engine.incremental.*` counter/gauge namespace
 /// (session and memo-store accounting in stats, metrics and per-request
 /// telemetry), and the `edit_bench` trajectory in `BENCH_9.json`
-/// (another deliberate baseline refresh).
-pub const SCHEMA_VERSION: u32 = 9;
+/// (another deliberate baseline refresh); `10` added the multi-mode
+/// layer: the `modes` op and its `mode_report` document (per-mode
+/// plans, merged cross-mode pool, persistent-buffer table, transition
+/// oracle verdict), the `switch` op in `executable_plan` ops arrays,
+/// the `modes.*` counter namespace, and the `mode_bench` trajectory in
+/// `BENCH_10.json` (another deliberate baseline refresh).
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// Number of event shards; a small power of two keeps cross-thread
 /// contention low without wasting memory on mostly-serial runs.

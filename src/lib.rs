@@ -70,6 +70,7 @@
 
 pub mod engine;
 pub mod incremental;
+pub mod modes;
 pub mod pipeline;
 pub mod sentinel;
 
@@ -77,6 +78,7 @@ pub use engine::{
     AnalysisBuilder, Candidate, EngineReport, Heuristic, StageTimings, Synthesis, SynthesisOptions,
 };
 pub use incremental::{DeltaStats, EditOp, EditScript, IncrementalResult, IncrementalSession};
+pub use modes::{synthesize_modes, ModeSummary, ModeSynthesis};
 pub use pipeline::Analysis;
 
 pub use sdf_alloc as alloc;

@@ -1,0 +1,246 @@
+//! Multi-mode synthesis: one shared pool across every mode of a
+//! [`ModeGraph`].
+//!
+//! [`synthesize_modes`] runs the existing candidate-lattice engine on
+//! every mode independently (each mode gets the full heuristic ×
+//! loop-DP × allocation-order sweep), merges the per-mode intersection
+//! graphs with [`ModeConflictGraph`] and first-fits **one** pool for
+//! the whole scenario set:
+//!
+//! * persistent buffers get a single offset, identical in every mode;
+//! * mode-local buffers of different modes may overlap freely (only
+//!   one mode runs at a time);
+//! * the merged pool is gated against `max(per-mode pools) +
+//!   persistent words` — sharing across modes must never cost more
+//!   than the worst mode plus the carried state.
+//!
+//! The result lowers into a [`ModeExecutablePlan`] and is proven by the
+//! transition oracle ([`sdf_codegen::execute_mode_plan`]): fire mode A,
+//! switch, fire mode B, conserving persistent tokens and live-buffer
+//! disjointness across every transition.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdfmem::modes::synthesize_modes;
+//! use sdfmem::core::mode::parse_mode_graph;
+//!
+//! let text = "\
+//! modegraph toy
+//! persistent x y
+//! mode one
+//! edge x y 1 1 delay 1
+//! edge a b 2 1
+//! mode two
+//! edge x y 1 1 delay 1
+//! edge y c 1 3
+//! ";
+//! let mg = parse_mode_graph(text).unwrap();
+//! let synth = synthesize_modes(&mg).unwrap();
+//! assert!(synth.gate_ok);
+//! assert!(synth.merged_pool_words <= synth.sum_pool_words);
+//! assert!(synth.exec.is_ok());
+//! ```
+
+use sdf_alloc::{allocate, Allocation, AllocationOrder, PlacementPolicy};
+use sdf_codegen::{
+    execute_mode_plan, ExecutablePlan, ModeExecReport, ModeExecutablePlan, ModePlanEntry,
+    PersistentBinding,
+};
+use sdf_core::error::SdfError;
+use sdf_core::mode::ModeGraph;
+use sdf_lifetime::modes::ModeConflictGraph;
+use sdf_lifetime::wig::IntersectionGraph;
+
+use crate::engine::AnalysisBuilder;
+
+/// One mode's synthesis, summarised for reports.
+#[derive(Clone, Debug)]
+pub struct ModeSummary {
+    /// Mode name.
+    pub name: String,
+    /// Actors in the mode's graph.
+    pub actors: usize,
+    /// Edges in the mode's graph.
+    pub edges: usize,
+    /// The pool the mode needs *on its own* (the engine winner's
+    /// shared total) — the per-mode baseline the merge is judged by.
+    pub standalone_pool_words: u64,
+    /// The mode's non-shared bufmem (per-edge baseline).
+    pub nonshared_bufmem: u64,
+    /// Firings in one period of the mode.
+    pub firings: u64,
+}
+
+/// Everything multi-mode synthesis produces.
+#[derive(Clone, Debug)]
+pub struct ModeSynthesis {
+    /// The lowered multi-mode plan (shared pool, per-mode plans,
+    /// persistent table).
+    pub plan: ModeExecutablePlan,
+    /// The merged cross-mode conflict graph the pool was packed on.
+    pub merged: ModeConflictGraph,
+    /// The merged first-fit allocation (offsets index the merged graph).
+    pub merged_allocation: Allocation,
+    /// Per-mode summaries, in mode order.
+    pub summaries: Vec<ModeSummary>,
+    /// The merged shared pool, words.
+    pub merged_pool_words: u64,
+    /// Sum of the standalone per-mode pools — what separate pools per
+    /// mode would cost.
+    pub sum_pool_words: u64,
+    /// Max of the standalone per-mode pools.
+    pub max_pool_words: u64,
+    /// Total words reserved for persistent buffers.
+    pub persistent_words: u64,
+    /// The gate: `max_pool_words + persistent_words`.
+    pub gate_bound: u64,
+    /// Whether `merged_pool_words ≤ gate_bound`.
+    pub gate_ok: bool,
+    /// The transition oracle's verdict over the default round-robin
+    /// sequence (every switch crossed, mode 0 re-entered).
+    pub exec: Result<ModeExecReport, String>,
+}
+
+impl ModeSynthesis {
+    /// The headline saving of one merged pool versus one pool per mode:
+    /// `(sum − merged) / sum × 100`.
+    pub fn savings_percent(&self) -> f64 {
+        if self.sum_pool_words == 0 {
+            return 0.0;
+        }
+        (self.sum_pool_words as f64 - self.merged_pool_words as f64) / self.sum_pool_words as f64
+            * 100.0
+    }
+}
+
+/// Synthesises `mg` into one shared pool across all modes (see the
+/// module docs for the guarantees).
+///
+/// # Errors
+///
+/// Propagates [`ModeGraph::validate`] violations and any per-mode
+/// engine or lowering failure ([`SdfError`]).
+pub fn synthesize_modes(mg: &ModeGraph) -> Result<ModeSynthesis, SdfError> {
+    let _span = sdf_trace::span!("modes.synthesize", modes = mg.modes().len());
+    mg.validate()?;
+    let builder = AnalysisBuilder::new();
+
+    // Per-mode synthesis on the existing candidate lattice.
+    let mut analyses = Vec::with_capacity(mg.modes().len());
+    let mut summaries = Vec::with_capacity(mg.modes().len());
+    for mode in mg.modes() {
+        let analysis = builder.run(&mode.graph)?;
+        summaries.push(ModeSummary {
+            name: mode.name.clone(),
+            actors: mode.graph.actor_count(),
+            edges: mode.graph.edge_count(),
+            standalone_pool_words: analysis.shared_total(),
+            nonshared_bufmem: analysis.nonshared_bufmem,
+            firings: analysis.repetitions.total_firings(),
+        });
+        analyses.push(analysis);
+    }
+
+    // Resolve every persistent edge to its per-mode WIG buffer index.
+    let wigs: Vec<&IntersectionGraph> = analyses.iter().map(|a| &a.wig).collect();
+    let mut persistent_rows = Vec::with_capacity(mg.persistent().len());
+    for p in 0..mg.persistent().len() {
+        let mut row = Vec::with_capacity(mg.modes().len());
+        for (m, analysis) in analyses.iter().enumerate() {
+            let edge = mg.resolve_persistent(m, p)?;
+            row.push(analysis.wig.buffer_of_edge(edge)?);
+        }
+        persistent_rows.push(row);
+    }
+
+    // Merge and pack one pool.
+    let merged = ModeConflictGraph::build(&wigs, &persistent_rows);
+    let merged_allocation = allocate(
+        &merged,
+        AllocationOrder::DurationDescending,
+        PlacementPolicy::FirstFit,
+    );
+    let merged_pool_words = merged_allocation.total();
+    let offsets: Vec<u64> = (0..sdf_lifetime::wig::ConflictGraph::len(&merged))
+        .map(|i| merged_allocation.offset(i))
+        .collect();
+    let per_mode_offsets = merged.project_offsets(&offsets);
+
+    // Lower each mode's winning schedule against the merged offsets.
+    let mut entries = Vec::with_capacity(mg.modes().len());
+    for (m, mode) in mg.modes().iter().enumerate() {
+        let a = &analyses[m];
+        let alloc = Allocation::from_parts(per_mode_offsets[m].clone(), merged_pool_words);
+        let plan =
+            ExecutablePlan::lower_shared(&mode.graph, &a.repetitions, &a.schedule, &a.wig, &alloc)?;
+        entries.push(ModePlanEntry {
+            name: mode.name.clone(),
+            plan,
+        });
+    }
+
+    // The persistent table: offsets are per-node, identical everywhere.
+    let mut persistent = Vec::with_capacity(mg.persistent().len());
+    for (p, pe) in mg.persistent().iter().enumerate() {
+        let node = merged.node_of(0, persistent_rows[p][0]);
+        let mut bindings = Vec::with_capacity(mg.modes().len());
+        let mut delay = 0;
+        for (m, entry) in entries.iter().enumerate() {
+            let edge = mg.resolve_persistent(m, p)?;
+            let ib = entry
+                .plan
+                .bindings
+                .iter()
+                .position(|b| b.edge == edge.index())
+                .ok_or_else(|| {
+                    SdfError::InvalidSchedule(format!(
+                        "persistent edge {} -> {} has no binding in mode {:?}",
+                        pe.src, pe.snk, entry.name
+                    ))
+                })?;
+            delay = entry.plan.bindings[ib].delay;
+            bindings.push(ib);
+        }
+        persistent.push(PersistentBinding {
+            src: pe.src.clone(),
+            snk: pe.snk.clone(),
+            offset: offsets[node],
+            size: sdf_lifetime::wig::ConflictGraph::size(&merged, node),
+            delay,
+            bindings,
+        });
+    }
+
+    let plan = ModeExecutablePlan::assemble(mg.name(), entries, persistent)
+        .map_err(|e| SdfError::InvalidSchedule(e.to_string()))?;
+
+    // Gate and oracle.
+    let sum_pool_words = summaries.iter().map(|s| s.standalone_pool_words).sum();
+    let max_pool_words = summaries
+        .iter()
+        .map(|s| s.standalone_pool_words)
+        .max()
+        .unwrap_or(0);
+    let persistent_words = merged.persistent_words();
+    let gate_bound = max_pool_words + persistent_words;
+    let gate_ok = merged_pool_words <= gate_bound;
+    let exec = execute_mode_plan(&plan, &plan.default_sequence()).map_err(|e| e.to_string());
+
+    sdf_trace::counter_add("modes.merged_pool_words", merged_pool_words);
+    sdf_trace::counter_add("modes.sum_pool_words", sum_pool_words);
+
+    Ok(ModeSynthesis {
+        plan,
+        merged,
+        merged_allocation,
+        summaries,
+        merged_pool_words,
+        sum_pool_words,
+        max_pool_words,
+        persistent_words,
+        gate_bound,
+        gate_ok,
+        exec,
+    })
+}

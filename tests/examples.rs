@@ -66,3 +66,60 @@ fn registry_twins_match_their_files() {
         );
     }
 }
+
+fn mode_corpus_files() -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("examples/graphs exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sdfm"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn mode_corpus_parses_and_synthesises_cleanly() {
+    let files = mode_corpus_files();
+    assert!(files.len() >= 2, "mode corpus shrank: {files:?}");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let mg = sdfmem::core::mode::parse_mode_graph(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let synth = sdfmem::modes::synthesize_modes(&mg)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The merged pool must beat separate per-mode pools strictly,
+        // respect its gate, and transition cleanly — the promises the
+        // CLI examples and CI smoke make.
+        assert!(
+            synth.merged_pool_words < synth.sum_pool_words,
+            "{}: merged {} not better than separate {}",
+            path.display(),
+            synth.merged_pool_words,
+            synth.sum_pool_words
+        );
+        assert!(synth.gate_ok, "{}", path.display());
+        synth
+            .exec
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: oracle: {e}", path.display()));
+    }
+}
+
+#[test]
+fn mode_registry_twins_match_their_files() {
+    for (name, registry) in sdfmem::apps::modes::mode_graphs() {
+        let path = corpus_dir().join(format!("{name}.sdfm"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            sdfmem::core::mode::to_mode_text(&registry),
+            text,
+            "{name}: file drifted from the registry — regenerate with export_graphs"
+        );
+        // And parsing the file reproduces the registry graph's shape.
+        let parsed = sdfmem::core::mode::parse_mode_graph(&text).expect("parses");
+        assert_eq!(parsed.name(), registry.name());
+        assert_eq!(parsed.modes().len(), registry.modes().len());
+        assert_eq!(parsed.persistent().len(), registry.persistent().len());
+    }
+}
